@@ -1,0 +1,178 @@
+// E6 / §2.2+§4.2: NIC failover through the pool. A server's NIC link dies;
+// the host's agent detects it over MMIO, reports over the CXL channel, the
+// orchestrator migrates the lease to a healthy NIC on another host, the
+// stack rebinds (rings stay in pool memory — the replacement NIC simply
+// DMAs the same addresses), and the server's MAC moves to the new port.
+//
+// Reported: end-to-end service outage seen by a client pinging throughout,
+// plus the control-plane timeline.
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/core/rack.h"
+#include "src/sim/task.h"
+#include "src/stack/udp.h"
+
+using namespace cxlpool;
+using namespace cxlpool::core;
+using namespace cxlpool::stack;
+using sim::RunBlocking;
+using sim::Spawn;
+using sim::Task;
+
+namespace {
+
+struct Node {
+  Rack::VirtualNicHandle nic;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<UdpStack> stack;
+};
+
+Task<> MakeNode(Rack& rack, HostId host, Node* out) {
+  VirtualNic::Config vc;
+  vc.rings_in_cxl = true;  // required for failover: rings must outlive the NIC
+  vc.rx_doorbell_batch = 4;
+  auto handle = co_await rack.CreateVirtualNic(host, vc);
+  CXLPOOL_CHECK(handle.ok());
+  out->nic = std::move(*handle);
+  auto pool = BufferPool::Create(rack.pod().host(host), Placement::kCxlPool, 512, 2048);
+  CXLPOOL_CHECK(pool.ok());
+  out->pool = std::move(*pool);
+  UdpStack::Config sc;
+  sc.rx_buffers = 128;
+  out->stack = std::make_unique<UdpStack>(rack.pod().host(host),
+                                          out->nic.vnic.get(), out->pool.get(),
+                                          out->nic.mac, sc);
+  CXLPOOL_CHECK_OK(co_await out->stack->Start(rack.stop_token()));
+}
+
+Task<> EchoServer(UdpSocket* sock, sim::EventLoop& loop, sim::StopToken& stop) {
+  while (!stop.stopped()) {
+    auto d = co_await sock->Recv(loop.now() + 20 * kMicrosecond);
+    if (d.ok()) {
+      (void)co_await sock->SendTo(d->src_mac, d->src_port, d->payload);
+    }
+  }
+}
+
+// Pings every 10 us; records the arrival time of every response.
+Task<> Prober(UdpSocket* sock, netsim::MacAddr dst, sim::EventLoop& loop,
+              std::vector<Nanos>& responses, sim::StopToken& stop) {
+  std::vector<std::byte> payload(64, std::byte{1});
+  uint64_t in_flight = 0;
+  Spawn([](UdpSocket* s, sim::EventLoop& l, std::vector<Nanos>& out,
+           sim::StopToken& st, uint64_t& inflight) -> Task<> {
+    while (!st.stopped()) {
+      auto d = co_await s->Recv(l.now() + 20 * kMicrosecond);
+      if (d.ok()) {
+        out.push_back(l.now());
+        if (inflight > 0) {
+          --inflight;
+        }
+      }
+    }
+  }(sock, loop, responses, stop, in_flight));
+  while (!stop.stopped()) {
+    if (in_flight < 256) {
+      Status st = co_await sock->SendTo(dst, 7, payload);
+      if (st.ok()) {
+        ++in_flight;
+      }
+    }
+    co_await sim::Delay(loop, 10 * kMicrosecond);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== NIC failover via the pooling orchestrator ===\n\n");
+
+  sim::EventLoop loop;
+  RackConfig rc;
+  rc.pod.num_hosts = 3;
+  rc.pod.num_mhds = 2;
+  rc.pod.mhd_capacity = 64 * kMiB;
+  rc.pod.dram_per_host = 16 * kMiB;
+  Rack rack(loop, rc);
+  rack.Start();
+
+  Node server;
+  Node client;
+  RunBlocking(loop, MakeNode(rack, HostId(1), &server));  // uses local NIC 1
+  RunBlocking(loop, MakeNode(rack, HostId(2), &client));
+  CXLPOOL_CHECK(server.nic.assignment.device == PcieDeviceId(1));
+  netsim::MacAddr server_mac = server.nic.mac;
+
+  auto* srv_sock = server.stack->Bind(7).value();
+  auto* cli_sock = client.stack->Bind(9).value();
+  Spawn(EchoServer(srv_sock, loop, rack.stop_token()));
+
+  // Wire the migration handler: rebind the stack to the replacement NIC
+  // and take the server MAC over to the new port.
+  Nanos migration_done = -1;
+  PcieDeviceId new_device;
+  rack.orchestrator().agent(HostId(1))->SetMigrationHandler(
+      [&](PcieDeviceId old_dev, PcieDeviceId new_dev, HostId) -> Task<> {
+        auto path = rack.orchestrator().MakeMmioPath(HostId(1), new_dev);
+        CXLPOOL_CHECK_OK(path.status());
+        CXLPOOL_CHECK_OK(co_await server.stack->HandleMigration(std::move(*path)));
+        // MAC takeover: the server address moves to the replacement port.
+        devices::Nic* old_nic = rack.nic(old_dev);
+        devices::Nic* new_nic = rack.nic(new_dev);
+        old_nic->DisconnectNetwork();
+        CXLPOOL_CHECK_OK(rack.network().Attach(server_mac, new_nic));
+        new_device = new_dev;
+        migration_done = loop.now();
+      });
+
+  std::vector<Nanos> responses;
+  Spawn(Prober(cli_sock, server_mac, loop, responses, rack.stop_token()));
+
+  // Let traffic flow, then kill the server NIC's wire.
+  Nanos fail_at = 2 * kMillisecond;
+  loop.RunUntil(fail_at);
+  rack.nic(1)->InjectLinkFailure();
+  std::printf("t=%-8lld ns  NIC 1 link DOWN (server traffic blackholed)\n",
+              static_cast<long long>(fail_at));
+  loop.RunUntil(fail_at + 5 * kMillisecond);
+  rack.Shutdown();
+  loop.RunFor(kMillisecond);
+
+  // Outage seen by the client: the longest gap in the response stream
+  // around the failure (a few in-flight replies still land right after the
+  // wire dies; they do not mean the service is up).
+  CXLPOOL_CHECK(migration_done > 0);
+  Nanos gap_start = 0;
+  Nanos gap_end = 0;
+  Nanos prev = 0;
+  for (Nanos t : responses) {
+    if (t > fail_at + 5 * kMillisecond) {
+      break;
+    }
+    if (t - prev > gap_end - gap_start && prev >= fail_at - kMillisecond) {
+      gap_start = prev;
+      gap_end = t;
+    }
+    prev = t;
+  }
+
+  std::printf("t=%-8lld ns  orchestrator migration complete (lease now on "
+              "device %u, host %u)\n",
+              static_cast<long long>(migration_done), new_device.value(),
+              rack.orchestrator().record(new_device)->home.value());
+  std::printf("t=%-8lld ns  responses flowing again through the replacement "
+              "NIC\n\n", static_cast<long long>(gap_end));
+  std::printf("detection + migration latency: %.1f us (agent MMIO health poll "
+              "+ CXL channel report + migrate RPC + rebind/repost)\n",
+              (migration_done - fail_at) / 1000.0);
+  std::printf("end-to-end service outage:     %.1f us (longest client-side "
+              "response gap)\n", (gap_end - gap_start) / 1000.0);
+  std::printf("responses received: %zu; failovers executed: %llu\n",
+              responses.size(),
+              static_cast<unsigned long long>(rack.orchestrator().stats().failovers));
+  std::printf("\npaper context (Sec. 2.2): without pooling, a NIC failure makes "
+              "the server\nunreachable until repair — hours, not tens of "
+              "microseconds.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E1 / Figure 2: percentages of stranded CPU cores, memory capacity, SSD
+// storage, and NIC bandwidth under per-host provisioning.
+//
+// Paper (Azure production data): SSD and NIC are the two most stranded
+// resources, 54% and 29% stranded on average; CPU and memory are far
+// lower. This harness packs a synthetic Azure-like VM mix onto a cluster
+// of hosts until full and reports the stranding distribution.
+#include <cstdio>
+
+#include "src/stranding/experiment.h"
+
+using namespace cxlpool;
+using namespace cxlpool::strand;
+
+int main() {
+  std::printf("=== Figure 2: stranded resources under per-host provisioning ===\n");
+  std::printf("cluster: 96 hosts x (96 cores, 384 GiB DRAM, 4 TiB SSD, 100 Gbps NIC)\n");
+  std::printf("workload: synthetic heterogeneous VM mix (see DefaultVmCatalog), "
+              "30 perturbed trials\n\n");
+
+  ExperimentConfig config;
+  config.cluster = PooledSsdNicConfig(/*num_hosts=*/96, /*pod_size=*/1);
+  config.trials = 30;
+  config.seed = 42;
+
+  TrialSeries series = RunTrials(config);
+
+  std::printf("%-8s %10s %8s %8s %8s   %s\n", "resource", "mean%", "p10%", "p50%",
+              "p90%", "paper (mean)");
+  const char* paper[] = {"low (not quantified)", "low (not quantified)", "54%", "29%"};
+  for (int r = 0; r < kResourceCount; ++r) {
+    std::printf("%-8s %9.1f%% %7.1f%% %7.1f%% %7.1f%%   %s\n",
+                std::string(ResourceName(static_cast<Resource>(r))).c_str(),
+                series.stranded[r].mean() * 100,
+                series.Percentile(static_cast<Resource>(r), 0.10) * 100,
+                series.Percentile(static_cast<Resource>(r), 0.50) * 100,
+                series.Percentile(static_cast<Resource>(r), 0.90) * 100, paper[r]);
+  }
+  std::printf("\nmean VMs placed per trial: %.0f\n", series.mean_vms_placed);
+  std::printf("expected shape: SSD >> NIC >> cores > memory (memory binds)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E4 / Figure 4: latency distribution of shared-memory message passing
+// over the CXL pool (ping-pong over 64 B-slot rings, PCIe-5.0 x16 links).
+//
+// Paper: sub-microsecond latencies without cache coherence; median ~600 ns,
+// slightly above the theoretical minimum of one CXL write + one CXL read.
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/cxl/pod.h"
+#include "src/msg/channel.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+using namespace cxlpool;
+using sim::Task;
+
+namespace {
+
+Task<> Pong(msg::Channel& ch, sim::EventLoop& loop, sim::StopToken& stop) {
+  while (!stop.stopped()) {
+    std::vector<std::byte> m;
+    Status st = co_await ch.end_b().Recv(&m, loop.now() + 50 * kMicrosecond);
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      continue;
+    }
+    CXLPOOL_CHECK_OK(st);
+    CXLPOOL_CHECK_OK(co_await ch.end_b().Send(m));
+  }
+}
+
+Task<> Ping(msg::Channel& ch, sim::EventLoop& loop, sim::Histogram& hist,
+            int count, sim::StopToken& stop) {
+  std::vector<std::byte> payload(16, std::byte{0x42});  // single 64 B slot
+  for (int i = 0; i < count; ++i) {
+    Nanos start = loop.now();
+    CXLPOOL_CHECK_OK(co_await ch.end_a().Send(payload));
+    std::vector<std::byte> echo;
+    CXLPOOL_CHECK_OK(co_await ch.end_a().Recv(&echo, loop.now() + kMillisecond));
+    if (i >= count / 10) {  // discard warm-up
+      hist.Add((loop.now() - start) / 2);  // one-way
+    }
+  }
+  stop.Stop();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: shared-memory message passing latency (one-way) ===\n");
+  std::printf("ping-pong over 64 B-slot rings in the CXL pool; both hosts on\n");
+  std::printf("PCIe-5.0 x16 links; software coherence (nt-store / inval+load)\n\n");
+
+  sim::EventLoop loop;
+  cxl::CxlPodConfig pc;
+  pc.num_hosts = 2;
+  pc.num_mhds = 1;
+  pc.mhd_capacity = 16 * kMiB;
+  pc.dram_per_host = 1 * kMiB;
+  pc.link.lanes = 16;  // the paper's Figure 4 setup
+  cxl::CxlPod pod(loop, pc);
+
+  msg::Channel::Options opts;
+  opts.poll_min = 50;   // ping-pong peers busy-poll
+  opts.poll_max = 100;
+  auto ch = msg::Channel::Create(pod.pool(), pod.host(0), pod.host(1), opts);
+  CXLPOOL_CHECK_OK(ch.status());
+
+  sim::Histogram hist;
+  sim::StopToken stop;
+  sim::Spawn(Pong(**ch, loop, stop));
+  sim::Spawn(Ping(**ch, loop, hist, 5000, stop));
+  loop.Run();
+
+  const auto& t = pod.host(0).timing();
+  std::printf("theoretical floor (one CXL write + one CXL read): %lld ns\n\n",
+              static_cast<long long>(t.cxl_write + t.cxl_read));
+  std::printf("%8s %10s\n", "quantile", "ns");
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+    std::printf("%7.1f%% %10lld\n", q * 100,
+                static_cast<long long>(hist.Percentile(q)));
+  }
+  std::printf("\nmedian %lld ns (paper: ~600 ns, sub-us overall); max %lld ns\n",
+              static_cast<long long>(hist.Percentile(0.5)),
+              static_cast<long long>(hist.max()));
+  return 0;
+}

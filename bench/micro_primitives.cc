@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the simulator's hot primitives:
+// wall-clock throughput of the event loop, coroutine scheduling, the HDR
+// histogram, the write-back cache model, and the shared-memory ring.
+// These bound how big an experiment the harness can run per CPU-second.
+#include <benchmark/benchmark.h>
+
+#include "src/common/check.h"
+#include "src/cxl/pod.h"
+#include "src/mem/cache.h"
+#include "src/msg/ring.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+using namespace cxlpool;
+
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      loop.Schedule(i, [&sink] { ++sink; });
+    }
+    loop.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    auto chain = [](sim::EventLoop& l) -> sim::Task<int> {
+      int acc = 0;
+      for (int i = 0; i < 256; ++i) {
+        co_await sim::Delay(l, 10);
+        ++acc;
+      }
+      co_return acc;
+    };
+    benchmark::DoNotOptimize(sim::RunBlocking(loop, chain(loop)));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  sim::Histogram h;
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    h.Add(static_cast<int64_t>(rng.UniformInt(uint64_t{1000000})));
+  }
+  benchmark::DoNotOptimize(h.Percentile(0.5));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_CacheFindInstall(benchmark::State& state) {
+  mem::WriteBackCache cache(4096);
+  std::array<std::byte, kCachelineSize> line{};
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    uint64_t addr = rng.UniformInt(uint64_t{8192}) * kCachelineSize;
+    if (cache.Find(addr) == nullptr) {
+      cache.Install(addr, line.data(), false);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheFindInstall);
+
+void BM_RingMessageRoundTrip(benchmark::State& state) {
+  // Full simulated send+recv per iteration (the Figure 4 unit of work).
+  sim::EventLoop loop;
+  cxl::CxlPodConfig pc;
+  pc.num_hosts = 2;
+  pc.num_mhds = 1;
+  pc.mhd_capacity = 16 * kMiB;
+  pc.dram_per_host = 1 * kMiB;
+  cxl::CxlPod pod(loop, pc);
+  auto seg = pod.pool().Allocate(msg::RingFootprint(64));
+  CXLPOOL_CHECK_OK(seg.status());
+  msg::RingConfig rc;
+  rc.base = seg->base;
+  rc.slots = 64;
+  msg::RingSender tx(pod.host(0), rc);
+  msg::RingReceiver rx(pod.host(1), rc);
+  std::vector<std::byte> payload(16, std::byte{1});
+
+  for (auto _ : state) {
+    auto once = [](msg::RingSender& s, msg::RingReceiver& r, sim::EventLoop& l,
+                   std::span<const std::byte> p) -> sim::Task<> {
+      CXLPOOL_CHECK_OK(co_await s.Send(p));
+      std::vector<std::byte> got;
+      CXLPOOL_CHECK_OK(co_await r.Recv(&got, l.now() + kMillisecond));
+    };
+    sim::RunBlocking(loop, once(tx, rx, loop, payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingMessageRoundTrip);
+
+void BM_PoolAllocateRoute(benchmark::State& state) {
+  sim::EventLoop loop;
+  cxl::CxlPodConfig pc;
+  pc.num_hosts = 1;
+  pc.num_mhds = 2;
+  pc.mhd_capacity = 512 * kMiB;
+  pc.dram_per_host = 1 * kMiB;
+  cxl::CxlPod pod(loop, pc);
+  auto seg = pod.pool().Allocate(1 * kMiB);
+  CXLPOOL_CHECK_OK(seg.status());
+  sim::Rng rng(9);
+  for (auto _ : state) {
+    uint64_t addr = seg->base + rng.UniformInt(seg->size);
+    benchmark::DoNotOptimize(pod.pool().RouteAddress(addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAllocateRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

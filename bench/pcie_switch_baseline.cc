@@ -1,0 +1,156 @@
+// E11: the incumbent vs the proposal on the same task — a host using a
+// REMOTE pooled SSD for 4 KiB random reads and 128 KiB streaming reads.
+//
+//   PCIe switch:  SSD bound to the host through the switch; DMA lands in
+//                 host-local DRAM (+2 hops latency, crossbar bandwidth).
+//   CXL pool:     SSD stays on its home host; queues and data buffers live
+//                 in pool memory; doorbells forwarded over the CXL channel.
+//
+// The paper's point is not that the switch is slow (it is a little faster)
+// but that its price and rigidity are untenable — also shown: the
+// device-class restriction and the dollars.
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/core/rack.h"
+#include "src/pcie/switch_fabric.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+#include "src/tco/tco.h"
+
+using namespace cxlpool;
+using namespace cxlpool::core;
+using sim::RunBlocking;
+using sim::Task;
+
+namespace {
+
+constexpr int kRandomReads = 300;
+constexpr uint32_t kStreamBlocks = 256;  // x 512 B sectors in 128 KiB chunks
+
+Task<> RandomReads(VirtualSsd& ssd, sim::EventLoop& loop, uint64_t buf,
+                   sim::Histogram& lat) {
+  sim::Rng rng(5);
+  for (int i = 0; i < kRandomReads; ++i) {
+    uint64_t lba = rng.UniformInt(uint64_t{8192}) * 8;
+    Nanos start = loop.now();
+    auto st = co_await ssd.ReadBlocks(lba, 8, buf, loop.now() + kSecond);
+    CXLPOOL_CHECK(st.ok() && *st == devices::kSsdStatusOk);
+    lat.Add(loop.now() - start);
+  }
+}
+
+Task<double> StreamRead(VirtualSsd& ssd, sim::EventLoop& loop, uint64_t buf) {
+  Nanos start = loop.now();
+  uint64_t bytes = 0;
+  for (uint32_t i = 0; i < kStreamBlocks; ++i) {
+    auto st = co_await ssd.ReadBlocks(i * 256, 256, buf, loop.now() + kSecond);
+    CXLPOOL_CHECK(st.ok() && *st == devices::kSsdStatusOk);
+    bytes += 256 * devices::kSsdSectorSize;
+  }
+  co_return static_cast<double>(bytes) / static_cast<double>(loop.now() - start);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Remote SSD datapath: hardware PCIe switch vs CXL pool ===\n\n");
+
+  devices::SsdConfig ssd_config;
+  ssd_config.capacity_bytes = 64 * kMiB;
+  ssd_config.channels = 8;
+
+  // --- PCIe switch path ---
+  sim::Histogram sw_lat;
+  double sw_gbps = 0;
+  {
+    sim::EventLoop loop;
+    RackConfig rc;
+    rc.pod.num_hosts = 2;
+    rc.pod.mhd_capacity = 32 * kMiB;
+    rc.pod.dram_per_host = 16 * kMiB;
+    Rack rack(loop, rc);
+    rack.Start();
+
+    pcie::PcieSwitchFabric fabric(loop, pcie::PcieSwitchConfig{});
+    devices::Ssd ssd(PcieDeviceId(500), "pooled-ssd", loop, ssd_config);
+    CXLPOOL_CHECK_OK(fabric.AttachHost(&rack.pod().host(1)));
+    CXLPOOL_CHECK_OK(fabric.AttachDevice(&ssd, pcie::DeviceClass::kStorage));
+    CXLPOOL_CHECK_OK(fabric.Bind(ssd.id(), HostId(1)));
+
+    // Through the switch the SSD behaves as locally attached to host 1.
+    VirtualSsd::Config vc;
+    vc.rings_in_cxl = false;
+    auto vssd = RunBlocking(
+        loop, VirtualSsd::Create(rack.pod().host(1),
+                                 std::make_unique<LocalMmioPath>(&ssd), vc));
+    CXLPOOL_CHECK_OK(vssd.status());
+    auto buf = rack.pod().host(1).AllocateDram(256 * kKiB);
+    CXLPOOL_CHECK_OK(buf.status());
+    RunBlocking(loop, RandomReads(**vssd, loop, *buf, sw_lat));
+    sw_gbps = RunBlocking(loop, StreamRead(**vssd, loop, *buf));
+    rack.Shutdown();
+    loop.RunFor(kMillisecond);
+  }
+
+  // --- CXL pool path ---
+  sim::Histogram cxl_lat;
+  double cxl_gbps = 0;
+  {
+    sim::EventLoop loop;
+    RackConfig rc;
+    rc.pod.num_hosts = 2;
+    rc.pod.mhd_capacity = 64 * kMiB;
+    rc.pod.dram_per_host = 16 * kMiB;
+    rc.ssds_per_host = 0;
+    Rack rack(loop, rc);
+    devices::Ssd ssd(PcieDeviceId(500), "pooled-ssd", loop, ssd_config);
+    ssd.AttachTo(&rack.pod().host(0));  // home host 0; user is host 1
+    rack.orchestrator().RegisterDevice(HostId(0), &ssd, DeviceType::kSsd);
+    rack.Start();
+
+    auto path = rack.orchestrator().MakeMmioPath(HostId(1), ssd.id());
+    CXLPOOL_CHECK_OK(path.status());
+    VirtualSsd::Config vc;
+    vc.rings_in_cxl = true;
+    auto vssd = RunBlocking(
+        loop, VirtualSsd::Create(rack.pod().host(1), std::move(*path), vc));
+    CXLPOOL_CHECK_OK(vssd.status());
+    auto seg = rack.pod().pool().Allocate(256 * kKiB);
+    CXLPOOL_CHECK_OK(seg.status());
+    RunBlocking(loop, RandomReads(**vssd, loop, seg->base, cxl_lat));
+    cxl_gbps = RunBlocking(loop, StreamRead(**vssd, loop, seg->base));
+    rack.Shutdown();
+    loop.RunFor(kMillisecond);
+  }
+
+  std::printf("%-28s %14s %14s\n", "", "PCIe switch", "CXL pool");
+  std::printf("%-28s %11.1f us %11.1f us\n", "4 KiB random read p50",
+              sw_lat.Percentile(0.5) / 1000.0, cxl_lat.Percentile(0.5) / 1000.0);
+  std::printf("%-28s %11.1f us %11.1f us\n", "4 KiB random read p99",
+              sw_lat.Percentile(0.99) / 1000.0, cxl_lat.Percentile(0.99) / 1000.0);
+  std::printf("%-28s %11.2f GB/s %9.2f GB/s\n", "128 KiB streaming read",
+              sw_gbps, cxl_gbps);
+
+  // Flexibility: a storage-only pooling appliance refuses a NIC (the
+  // vendor-constraint problem, paper Sec. 1).
+  sim::EventLoop loop2;
+  pcie::PcieSwitchConfig storage_only;
+  storage_only.supported = pcie::DeviceClass::kStorage;
+  pcie::PcieSwitchFabric storage_fabric(loop2, storage_only);
+  devices::Nic nic(PcieDeviceId(7), "nic", loop2, devices::NicConfig{});
+  Status st = storage_fabric.AttachDevice(&nic, pcie::DeviceClass::kNic);
+  std::printf("\nflexibility: attaching a NIC to a storage-pooling appliance -> %s\n",
+              st.ToString().c_str());
+  std::printf("the CXL-pool datapath has no device-class restriction (same pool\n"
+              "memory + forwarding channel serve NICs, SSDs, accelerators).\n\n");
+
+  tco::TcoReport tco = tco::ComputeTco(tco::CostInputs{}, 0.54, 0.19, 0.29, 0.10);
+  std::printf("cost recap: switch infra $%.0f vs CXL infra (net of memory-pooling "
+              "savings) $%.0f\n", tco.pcie_switch_infra,
+              tco.cxl_infra_net_of_memory_savings);
+  std::printf("\nexpected shape: the switch is modestly faster on flash-bound ops "
+              "(sub-10%%\ndeltas vs ~100 us flash latency) — the argument against "
+              "it is cost and rigidity.\n");
+  return 0;
+}

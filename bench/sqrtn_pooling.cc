@@ -1,0 +1,65 @@
+// E2 / §2.1: pooling SSD + NIC across a pod of N hosts cuts stranding
+// roughly as 1/sqrt(N). Paper's worked numbers: at N=8, SSD 54% -> 19%,
+// NIC 29% -> 10% (straight s/sqrt(N) on the Figure 2 averages).
+//
+// Three views per resource:
+//   staff%  — square-root-staffing simulation: per-pod capacity planned at
+//             the p99 of aggregate demand (the provisioning the pool lets
+//             you buy); this is the mechanism behind the paper's estimate.
+//   rule%   — the paper's back-of-envelope s1/sqrt(N).
+//   pack%   — in-place bin-packing with pod-pooled SSD/NIC but unchanged
+//             per-host hardware (what pooling recovers without re-buying).
+#include <cstdio>
+
+#include "src/stranding/binpack.h"
+#include "src/stranding/experiment.h"
+#include "src/stranding/staffing.h"
+
+using namespace cxlpool;
+using namespace cxlpool::strand;
+
+int main() {
+  std::printf("=== sqrt(N) pooling: SSD+NIC stranding vs pod size N ===\n\n");
+
+  // Anchor the demand models at the Figure 2 baselines.
+  ExperimentConfig base;
+  base.cluster = PooledSsdNicConfig(96, 1);
+  base.trials = 20;
+  base.seed = 1234;
+  TrialSeries baseline = RunTrials(base);
+  double ssd1 = baseline.stranded[kSsd].mean();
+  double nic1 = baseline.stranded[kNic].mean();
+  std::printf("baseline (N=1, bin-packed): ssd %.1f%%, nic %.1f%% "
+              "(paper: 54%%, 29%%)\n\n", ssd1 * 100, nic1 * 100);
+
+  StaffingConfig ssd_cfg = CalibrateStaffing(ssd1);
+  StaffingConfig nic_cfg = CalibrateStaffing(nic1);
+
+  std::printf("%4s | %7s %7s %7s | %7s %7s %7s | %10s\n", "N", "ssd", "ssd",
+              "ssd", "nic", "nic", "nic", "fleet (ssd)");
+  std::printf("%4s | %7s %7s %7s | %7s %7s %7s | %10s\n", "", "staff%", "rule%",
+              "pack%", "staff%", "rule%", "pack%", "vs N=1");
+  std::printf("-----+------------------------+------------------------+-----------\n");
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    StaffingPoint ssd_staff = SimulateStaffing(ssd_cfg, n);
+    StaffingPoint nic_staff = SimulateStaffing(nic_cfg, n);
+
+    ExperimentConfig pooled;
+    pooled.cluster = PooledSsdNicConfig(96, n);
+    pooled.trials = 10;
+    pooled.seed = 1234;
+    TrialSeries pack = RunTrials(pooled);
+
+    std::printf("%4d | %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% %6.1f%% | %9.0f%%\n",
+                n, ssd_staff.stranded * 100, SqrtNEstimate(ssd1, n) * 100,
+                pack.stranded[kSsd].mean() * 100, nic_staff.stranded * 100,
+                SqrtNEstimate(nic1, n) * 100, pack.stranded[kNic].mean() * 100,
+                ssd_staff.fleet_fraction * 100);
+  }
+  std::printf("\npaper anchors at N=8: ssd ~19%%, nic ~10%%. The staffing\n"
+              "simulation shows the same strong monotone decline; the paper's\n"
+              "rule divides the stranded *fraction* directly and is the more\n"
+              "optimistic of the two at small N. 'fleet' is the SSD capacity a\n"
+              "pod buys relative to per-host provisioning (feeds the TCO model).\n");
+  return 0;
+}

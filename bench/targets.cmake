@@ -1,0 +1,47 @@
+# Benchmark binaries all land in build/bench/ (and ONLY the binaries — this
+# file is include()d from the root so CMake's book-keeping directories do
+# not pollute it) so the harness loop `for b in build/bench/*; do $b; done`
+# runs every experiment.
+function(cxlpool_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${ARGN})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    cxlpool_common cxlpool_sim cxlpool_mem cxlpool_cxl)
+endfunction()
+
+function(cxlpool_gbench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${ARGN})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE benchmark::benchmark
+    cxlpool_common cxlpool_sim cxlpool_mem cxlpool_cxl)
+endfunction()
+
+cxlpool_bench(fig2_stranding fig2_stranding.cc)
+target_link_libraries(fig2_stranding PRIVATE cxlpool_stranding)
+cxlpool_bench(sqrtn_pooling sqrtn_pooling.cc)
+target_link_libraries(sqrtn_pooling PRIVATE cxlpool_stranding)
+
+cxlpool_bench(fig3_udp_latency fig3_udp_latency.cc)
+target_link_libraries(fig3_udp_latency PRIVATE cxlpool_stack)
+cxlpool_bench(fig4_msg_latency fig4_msg_latency.cc)
+target_link_libraries(fig4_msg_latency PRIVATE cxlpool_msg)
+cxlpool_bench(tco_comparison tco_comparison.cc)
+target_link_libraries(tco_comparison PRIVATE cxlpool_stranding cxlpool_tco)
+cxlpool_bench(failover failover.cc)
+target_link_libraries(failover PRIVATE cxlpool_stack)
+cxlpool_bench(load_balance load_balance.cc)
+target_link_libraries(load_balance PRIVATE cxlpool_core)
+cxlpool_bench(mmio_forwarding mmio_forwarding.cc)
+target_link_libraries(mmio_forwarding PRIVATE cxlpool_core)
+cxlpool_bench(interleave_bw interleave_bw.cc)
+target_link_libraries(interleave_bw PRIVATE cxlpool_cxl)
+cxlpool_bench(accel_pooling accel_pooling.cc)
+target_link_libraries(accel_pooling PRIVATE cxlpool_core)
+cxlpool_bench(pcie_switch_baseline pcie_switch_baseline.cc)
+target_link_libraries(pcie_switch_baseline PRIVATE cxlpool_core cxlpool_tco)
+cxlpool_bench(coherence_ablation coherence_ablation.cc)
+target_link_libraries(coherence_ablation PRIVATE cxlpool_cxl cxlpool_msg)
+cxlpool_gbench(micro_primitives micro_primitives.cc)
+target_link_libraries(micro_primitives PRIVATE cxlpool_msg)

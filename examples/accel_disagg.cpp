@@ -1,0 +1,91 @@
+// Soft accelerator disaggregation (paper §5): one specialized accelerator
+// card serves every host in the CXL pod. Each host opens its own queue
+// pair; job data flows through pool memory; doorbells ride the forwarding
+// channel. No PCIe switch, no accelerator on 15 of the 16 hosts.
+//
+//   ./build/examples/accel_disagg
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/core/rack.h"
+#include "src/sim/task.h"
+
+using namespace cxlpool;
+using namespace cxlpool::core;
+using sim::RunBlocking;
+using sim::Task;
+
+int main() {
+  std::printf("=== Accelerator disaggregation over the CXL pool ===\n\n");
+
+  sim::EventLoop loop;
+  RackConfig rc;
+  rc.pod.num_hosts = 4;
+  rc.pod.num_mhds = 2;
+  rc.pod.mhd_capacity = 64 * kMiB;
+  rc.pod.dram_per_host = 8 * kMiB;
+  rc.accels = 1;      // ONE device for the whole pod
+  rc.accel_home = 0;  // physically attached to host 0
+  Rack rack(loop, rc);
+  rack.Start();
+
+  // Every host — including ones with no accelerator — runs a job.
+  auto run_job = [](Rack& rack, HostId host) -> Task<Nanos> {
+    sim::EventLoop& loop = rack.loop();
+    auto lease = rack.AcquireDevice(host, DeviceType::kAccel);
+    CXLPOOL_CHECK_OK(lease.status());
+    auto qp = rack.accel(0)->AllocateQueuePair();
+    CXLPOOL_CHECK_OK(qp.status());
+    VirtualAccel::Config vc;
+    auto accel = co_await VirtualAccel::Create(rack.pod().host(host),
+                                               std::move(lease->mmio), vc, *qp);
+    CXLPOOL_CHECK_OK(accel.status());
+
+    // Job data lives in pool memory so the remote device can DMA it.
+    auto seg = rack.pod().pool().Allocate(128 * kKiB);
+    CXLPOOL_CHECK_OK(seg.status());
+    std::vector<std::byte> input(32 * kKiB);
+    for (size_t i = 0; i < input.size(); ++i) {
+      input[i] = std::byte{static_cast<uint8_t>(i + host.value())};
+    }
+    CXLPOOL_CHECK_OK(co_await rack.pod().host(host).StoreNt(seg->base, input));
+
+    Nanos start = loop.now();
+    auto st = co_await (*accel)->RunJob(seg->base,
+                                        static_cast<uint32_t>(input.size()),
+                                        seg->base + 64 * kKiB,
+                                        loop.now() + kSecond);
+    CXLPOOL_CHECK(st.ok() && *st == 0);
+    Nanos took = loop.now() - start;
+
+    // Verify the transform end to end (real bytes flowed through the pool).
+    std::vector<std::byte> output(input.size());
+    CXLPOOL_CHECK_OK(
+        co_await rack.pod().host(host).Invalidate(seg->base + 64 * kKiB,
+                                                  output.size()));
+    CXLPOOL_CHECK_OK(
+        co_await rack.pod().host(host).Load(seg->base + 64 * kKiB, output));
+    for (size_t i = 0; i < output.size(); ++i) {
+      CXLPOOL_CHECK(output[i] == (input[i] ^ std::byte{0x5a}));
+    }
+    rack.accel(0)->ReleaseQueuePair(*qp);
+    CXLPOOL_CHECK_OK(rack.orchestrator().Release(host, lease->assignment.device));
+    co_return took;
+  };
+
+  for (int h = 0; h < rack.pod().host_count(); ++h) {
+    Nanos took = RunBlocking(loop, run_job(rack, HostId(h)));
+    std::printf("host %d: 32 KiB job on the %s accelerator -> %.1f us "
+                "(output verified)\n",
+                h, h == 0 ? "LOCAL " : "POOLED",
+                static_cast<double>(took) / 1000.0);
+  }
+
+  std::printf("\nremote submission adds only the forwarding-channel doorbell\n"
+              "(~1-2 us) and pool-memory DMA deltas to the job time; one card\n"
+              "serves the rack instead of one per host (see bench/accel_pooling\n"
+              "for the utilization and queueing study).\n");
+  rack.Shutdown();
+  loop.RunFor(kMillisecond);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a CXL pod, share memory between two hosts with
+// software coherence, and pass a sub-microsecond message — the two
+// building blocks everything else in this library stands on.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/cxl/pod.h"
+#include "src/msg/channel.h"
+#include "src/sim/task.h"
+
+using namespace cxlpool;
+
+int main() {
+  // A simulated rack unit: 4 hosts, each linked to 2 multi-headed CXL
+  // memory devices (the pod). Simulated time is nanoseconds on `loop`.
+  sim::EventLoop loop;
+  cxl::CxlPodConfig config;
+  config.num_hosts = 4;
+  config.num_mhds = 2;
+  config.mhd_capacity = 64 * kMiB;
+  config.dram_per_host = 16 * kMiB;
+  cxl::CxlPod pod(loop, config);
+
+  // 1. Allocate shared pool memory. Every host (and every PCIe device)
+  //    can address it.
+  auto segment = pod.pool().Allocate(1 * kMiB);
+  CXLPOOL_CHECK_OK(segment.status());
+  std::printf("pool segment at 0x%llx on MHD %u\n",
+              static_cast<unsigned long long>(segment->base),
+              segment->mhds[0].value());
+
+  // 2. Software coherence in action: host 0 publishes with a non-temporal
+  //    store; host 1 reads it back. A plain cached store would be
+  //    INVISIBLE to host 1 — today's CXL pools have no cross-host
+  //    hardware coherence. (See tests/cxl_test.cc for the failure modes.)
+  auto demo = [](cxl::CxlPod& pod, uint64_t addr) -> sim::Task<> {
+    const char msg[] = "hello from host 0";
+    std::vector<std::byte> bytes(sizeof(msg));
+    std::memcpy(bytes.data(), msg, sizeof(msg));
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(addr, bytes));
+    co_await sim::Delay(pod.loop(), kMicrosecond);  // posted-write commit
+
+    std::vector<std::byte> seen(sizeof(msg));
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Invalidate(addr, seen.size()));
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, seen));
+    std::printf("host 1 read: \"%s\" (t=%lld ns)\n",
+                reinterpret_cast<const char*>(seen.data()),
+                static_cast<long long>(pod.loop().now()));
+  };
+  sim::RunBlocking(loop, demo(pod, segment->base));
+
+  // 3. A message channel between two hosts: 64 B cacheline slots in the
+  //    pool, nt-store publish, invalidate+load polling (paper Sec. 4.1).
+  auto channel = msg::Channel::Create(pod.pool(), pod.host(2), pod.host(3));
+  CXLPOOL_CHECK_OK(channel.status());
+
+  auto ping_pong = [](msg::Channel& ch, sim::EventLoop& loop) -> sim::Task<> {
+    const char ping[] = "ping";
+    std::vector<std::byte> m(sizeof(ping));
+    std::memcpy(m.data(), ping, sizeof(ping));
+
+    Nanos start = loop.now();
+    CXLPOOL_CHECK_OK(co_await ch.end_a().Send(m));
+    std::vector<std::byte> got;
+    CXLPOOL_CHECK_OK(co_await ch.end_b().Recv(&got, loop.now() + kMillisecond));
+    std::printf("host 3 received \"%s\" after %lld ns (sub-microsecond, no\n"
+                "hardware coherence involved — Figure 4's mechanism)\n",
+                reinterpret_cast<const char*>(got.data()),
+                static_cast<long long>(loop.now() - start));
+  };
+  sim::RunBlocking(loop, ping_pong(**channel, loop));
+
+  std::printf("\nnext steps: examples/nic_failover, examples/ssd_harvest,\n"
+              "examples/accel_disagg, and the bench/ binaries for every\n"
+              "figure in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// CHECK macros for invariants that indicate programmer error. These abort
+// the process with a location message; they are not for recoverable errors
+// (use Status for those).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cxlpool {
+namespace check_internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace cxlpool
+
+#define CXLPOOL_CHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::cxlpool::check_internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                  \
+  } while (0)
+
+#define CXLPOOL_CHECK_OK(status_expr)                                   \
+  do {                                                                  \
+    const ::cxlpool::Status& _s = (status_expr);                        \
+    if (!_s.ok()) {                                                     \
+      std::fprintf(stderr, "FATAL %s:%d: status not OK: %s\n", __FILE__, \
+                   __LINE__, _s.ToString().c_str());                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define CXLPOOL_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define CXLPOOL_DCHECK(expr) CXLPOOL_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,69 @@
+// Strong integer ID types. Each entity class in the simulation (host, CXL
+// device, PCIe device, ...) gets its own incompatible ID type so they cannot
+// be mixed up at call sites.
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace cxlpool {
+
+// A strongly typed wrapper over uint32_t. `Tag` only disambiguates types.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(uint32_t value) : value_(value) {}
+
+  static constexpr Id Invalid() { return Id(); }
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) {
+      return os << "<invalid>";
+    }
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr uint32_t kInvalidValue = std::numeric_limits<uint32_t>::max();
+  uint32_t value_;
+};
+
+struct HostTag {};
+struct MhdTag {};      // multi-headed CXL memory device
+struct CxlLinkTag {};
+struct PcieDeviceTag {};
+struct ChannelTag {};
+struct VmTag {};
+struct FlowTag {};
+
+using HostId = Id<HostTag>;
+using MhdId = Id<MhdTag>;
+using CxlLinkId = Id<CxlLinkTag>;
+using PcieDeviceId = Id<PcieDeviceTag>;
+using ChannelId = Id<ChannelTag>;
+using VmId = Id<VmTag>;
+using FlowId = Id<FlowTag>;
+
+}  // namespace cxlpool
+
+namespace std {
+template <typename Tag>
+struct hash<cxlpool::Id<Tag>> {
+  size_t operator()(cxlpool::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,166 @@
+// Lightweight Status / Result<T> error handling, in the spirit of
+// absl::Status. The library does not use exceptions on its main paths;
+// recoverable failures travel as Status values and programming errors
+// abort via CHECK (see src/common/check.h).
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cxlpool {
+
+// Canonical error codes. Deliberately a small subset of the gRPC canon —
+// only the codes this codebase actually distinguishes.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kUnimplemented,
+  kAborted,
+  kDeadlineExceeded,
+};
+
+// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such device".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+Status OkStatus();
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status OutOfRange(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Unavailable(std::string msg);
+Status Internal(std::string msg);
+Status Unimplemented(std::string msg);
+Status Aborted(std::string msg);
+Status DeadlineExceeded(std::string msg);
+
+// A value-or-error. `value()` aborts if called on an error result, so call
+// sites either check `ok()` first or use ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal, "OK status used to build error Result");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+namespace status_internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace status_internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) {
+    status_internal::DieOnBadResultAccess(status_);
+  }
+}
+
+}  // namespace cxlpool
+
+// Propagates a non-OK Status from an expression to the caller.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::cxlpool::Status _st = (expr);                 \
+    if (!_st.ok()) {                                \
+      return _st;                                   \
+    }                                               \
+  } while (0)
+
+// Coroutine variant: co_returns the error Status. The expression may
+// itself contain a co_await.
+#define CO_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::cxlpool::Status _st = (expr);                 \
+    if (!_st.ok()) {                                \
+      co_return _st;                                \
+    }                                               \
+  } while (0)
+
+#define CXLPOOL_CONCAT_INNER_(a, b) a##b
+#define CXLPOOL_CONCAT_(a, b) CXLPOOL_CONCAT_INNER_(a, b)
+
+// ASSIGN_OR_RETURN(auto x, Compute()) — unwraps a Result or propagates
+// its Status.
+#define ASSIGN_OR_RETURN(decl, expr)                            \
+  auto CXLPOOL_CONCAT_(_res_, __LINE__) = (expr);               \
+  if (!CXLPOOL_CONCAT_(_res_, __LINE__).ok()) {                 \
+    return CXLPOOL_CONCAT_(_res_, __LINE__).status();           \
+  }                                                             \
+  decl = std::move(CXLPOOL_CONCAT_(_res_, __LINE__)).value()
+
+#endif  // SRC_COMMON_STATUS_H_

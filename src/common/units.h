@@ -1,0 +1,58 @@
+// Byte-size, time, and rate units used throughout the simulator.
+//
+// Simulated time is int64_t nanoseconds (sim::SimTime, aliased here as
+// Nanos). Rates are expressed in bytes per nanosecond (== GB/s numerically),
+// which keeps the arithmetic in the bandwidth models trivial.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace cxlpool {
+
+// --- Byte sizes ---
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// CPU cacheline size; also the CXL transfer granule and the slot size of
+// the shared-memory message channels (paper §4.1).
+inline constexpr uint64_t kCachelineSize = 64;
+
+// --- Time (nanoseconds) ---
+using Nanos = int64_t;
+inline constexpr Nanos kNanosecond = 1;
+inline constexpr Nanos kMicrosecond = 1000;
+inline constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanos kSecond = 1000 * kMillisecond;
+
+// --- Rates ---
+// 1 GB/s == 1e9 bytes / 1e9 ns == 1 byte/ns.
+constexpr double GbPerSecToBytesPerNanos(double gigabytes_per_sec) {
+  return gigabytes_per_sec;
+}
+
+// Network rates are usually quoted in Gbit/s.
+constexpr double GbitPerSecToBytesPerNanos(double gigabits_per_sec) {
+  return gigabits_per_sec / 8.0;
+}
+
+// Round `addr` down/up to a cacheline boundary.
+constexpr uint64_t CachelineFloor(uint64_t addr) {
+  return addr & ~(kCachelineSize - 1);
+}
+constexpr uint64_t CachelineCeil(uint64_t addr) {
+  return (addr + kCachelineSize - 1) & ~(kCachelineSize - 1);
+}
+
+// Number of cachelines touched by the byte range [addr, addr + size).
+constexpr uint64_t CachelinesTouched(uint64_t addr, uint64_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  return (CachelineCeil(addr + size) - CachelineFloor(addr)) / kCachelineSize;
+}
+
+}  // namespace cxlpool
+
+#endif  // SRC_COMMON_UNITS_H_

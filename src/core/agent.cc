@@ -1,0 +1,203 @@
+#include "src/core/agent.h"
+
+#include <bit>
+
+#include "src/common/check.h"
+#include "src/devices/nic.h"
+#include "src/msg/wire.h"
+
+namespace cxlpool::core {
+
+namespace report_wire {
+
+std::vector<std::byte> Encode(HostId reporter, std::span<const DeviceStatus> statuses) {
+  std::vector<std::byte> out;
+  msg::wire::Writer w(&out);
+  w.U32(reporter.value());
+  w.U32(static_cast<uint32_t>(statuses.size()));
+  for (const DeviceStatus& s : statuses) {
+    w.U32(s.device.value());
+    w.U8(static_cast<uint8_t>(s.type));
+    w.U8(s.healthy ? 1 : 0);
+    w.U64(std::bit_cast<uint64_t>(s.utilization));
+  }
+  return out;
+}
+
+Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
+    std::span<const std::byte> payload) {
+  if (payload.size() < 8) {
+    return InvalidArgument("short report frame");
+  }
+  msg::wire::Reader r(payload);
+  HostId reporter(r.U32());
+  uint32_t count = r.U32();
+  if (r.remaining() < count * 14u) {
+    return InvalidArgument("truncated report frame");
+  }
+  std::vector<DeviceStatus> statuses;
+  statuses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DeviceStatus s;
+    s.device = PcieDeviceId(r.U32());
+    s.type = static_cast<DeviceType>(r.U8());
+    s.healthy = r.U8() != 0;
+    s.utilization = std::bit_cast<double>(r.U64());
+    statuses.push_back(s);
+  }
+  return std::make_pair(reporter, std::move(statuses));
+}
+
+}  // namespace report_wire
+
+namespace migrate_wire {
+
+std::vector<std::byte> Encode(PcieDeviceId old_dev, PcieDeviceId new_dev,
+                              HostId new_home) {
+  std::vector<std::byte> out;
+  msg::wire::Writer w(&out);
+  w.U32(old_dev.value());
+  w.U32(new_dev.value());
+  w.U32(new_home.value());
+  return out;
+}
+
+Result<Decoded> Decode(std::span<const std::byte> payload) {
+  if (payload.size() < 12) {
+    return InvalidArgument("short migrate frame");
+  }
+  msg::wire::Reader r(payload);
+  Decoded d;
+  d.old_dev = PcieDeviceId(r.U32());
+  d.new_dev = PcieDeviceId(r.U32());
+  d.new_home = HostId(r.U32());
+  return d;
+}
+
+}  // namespace migrate_wire
+
+void Agent::RegisterDevice(pcie::PcieDevice* device, DeviceType type,
+                           UtilProbe util_probe, HealthProbe health_probe) {
+  CXLPOOL_CHECK(device != nullptr);
+  LocalDevice entry;
+  entry.device = device;
+  entry.type = type;
+  entry.util_probe = std::move(util_probe);
+  entry.health_probe = std::move(health_probe);
+  devices_.emplace(device->id(), std::move(entry));
+}
+
+pcie::PcieDevice* Agent::FindDevice(PcieDeviceId id) {
+  auto it = devices_.find(id);
+  return it == devices_.end() ? nullptr : it->second.device;
+}
+
+sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
+    uint16_t method, std::span<const std::byte> payload) {
+  bool is_write = method == kMethodMmioWrite;
+  if (!is_write && method != kMethodMmioRead) {
+    co_return Unimplemented("unknown forwarding method");
+  }
+  auto decoded = mmio_wire::Decode(payload, is_write);
+  if (!decoded.ok()) {
+    co_return decoded.status();
+  }
+  pcie::PcieDevice* device = FindDevice(decoded->device);
+  if (device == nullptr) {
+    co_return NotFound("device not on this host");
+  }
+  if (is_write) {
+    ++stats_.forwarded_writes;
+    Status st = co_await device->MmioWrite(decoded->reg, decoded->value);
+    if (!st.ok()) {
+      co_return st;
+    }
+    co_return std::vector<std::byte>{};
+  }
+  ++stats_.forwarded_reads;
+  auto value = co_await device->MmioRead(decoded->reg);
+  if (!value.ok()) {
+    co_return value.status();
+  }
+  std::vector<std::byte> resp(8);
+  msg::wire::PutU64(resp.data(), *value);
+  co_return resp;
+}
+
+sim::Task<Result<std::vector<std::byte>>> Agent::HandleControl(
+    uint16_t method, std::span<const std::byte> payload) {
+  if (method != kMethodMigrate) {
+    co_return Unimplemented("unknown control method");
+  }
+  auto decoded = migrate_wire::Decode(payload);
+  if (!decoded.ok()) {
+    co_return decoded.status();
+  }
+  if (migration_handler_) {
+    co_await migration_handler_(decoded->old_dev, decoded->new_dev,
+                                decoded->new_home);
+  }
+  ++stats_.migrations_executed;
+  co_return std::vector<std::byte>{};
+}
+
+void Agent::ServeForwarding(msg::Endpoint& endpoint, sim::StopToken& stop) {
+  auto server = std::make_unique<msg::RpcServer>(
+      endpoint, [this](uint16_t m, std::span<const std::byte> p) {
+        return HandleForwarding(m, p);
+      });
+  sim::Spawn(server->Serve(stop));
+  servers_.push_back(std::move(server));
+}
+
+void Agent::ServeControl(msg::Endpoint& endpoint, sim::StopToken& stop) {
+  auto server = std::make_unique<msg::RpcServer>(
+      endpoint, [this](uint16_t m, std::span<const std::byte> p) {
+        return HandleControl(m, p);
+      });
+  sim::Spawn(server->Serve(stop));
+  servers_.push_back(std::move(server));
+}
+
+void Agent::StartReporting(msg::Endpoint& to_orchestrator, sim::StopToken& stop) {
+  sim::Spawn(ReportLoop(to_orchestrator, stop));
+}
+
+sim::Task<std::vector<DeviceStatus>> Agent::ProbeDevices() {
+  std::vector<DeviceStatus> statuses;
+  for (auto& [id, entry] : devices_) {
+    DeviceStatus s;
+    s.device = id;
+    s.type = entry.type;
+    s.healthy = !entry.device->failed();
+    if (s.healthy && entry.type == DeviceType::kNic) {
+      // Link status is read over real MMIO, like a production agent would.
+      auto link = co_await entry.device->MmioRead(devices::kNicRegLinkStatus);
+      s.healthy = link.ok() && *link == 1;
+    }
+    if (s.healthy && entry.health_probe) {
+      s.healthy = entry.health_probe();
+    }
+    s.utilization = entry.util_probe ? entry.util_probe() : 0.0;
+    statuses.push_back(s);
+  }
+  co_return statuses;
+}
+
+sim::Task<> Agent::ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& stop) {
+  msg::RpcClient client(to_orchestrator);
+  while (!stop.stopped()) {
+    std::vector<DeviceStatus> statuses = co_await ProbeDevices();
+    if (!statuses.empty()) {
+      auto resp = co_await client.Call(
+          kMethodReport, report_wire::Encode(host_.id(), statuses),
+          host_.loop().now() + config_.rpc_timeout);
+      if (resp.ok()) {
+        ++stats_.reports_sent;
+      }
+    }
+    co_await sim::Delay(host_.loop(), config_.monitor_interval);
+  }
+}
+
+}  // namespace cxlpool::core

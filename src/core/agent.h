@@ -1,0 +1,134 @@
+// Pooling agent: one per host (paper §4.2). The agent owns the host's
+// physically attached PCIe devices and provides three services over CXL
+// shared-memory channels:
+//   1. MMIO forwarding — executes register accesses on behalf of remote
+//      hosts using pooled devices (the datapath's doorbell path).
+//   2. Monitoring — probes local device health (e.g. NIC link status via
+//      MMIO) and utilization, and reports to the orchestrator.
+//   3. Control — executes orchestrator commands (migrations) by invoking
+//      the host-side migration handler registered by the I/O stack.
+#ifndef SRC_CORE_AGENT_H_
+#define SRC_CORE_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/core/mmio_path.h"
+#include "src/msg/rpc.h"
+#include "src/pcie/device.h"
+#include "src/sim/poll.h"
+
+namespace cxlpool::core {
+
+enum class DeviceType : uint8_t {
+  kNic = 1,
+  kSsd = 2,
+  kAccel = 3,
+};
+
+// RPC methods beyond the MMIO pair declared in mmio_path.h.
+inline constexpr uint16_t kMethodReport = 3;   // agent -> orchestrator
+inline constexpr uint16_t kMethodMigrate = 4;  // orchestrator -> agent
+
+// One device's status inside a report frame.
+struct DeviceStatus {
+  PcieDeviceId device;
+  DeviceType type = DeviceType::kNic;
+  bool healthy = true;
+  double utilization = 0.0;
+};
+
+namespace report_wire {
+std::vector<std::byte> Encode(HostId reporter, std::span<const DeviceStatus> statuses);
+Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
+    std::span<const std::byte> payload);
+}  // namespace report_wire
+
+namespace migrate_wire {
+std::vector<std::byte> Encode(PcieDeviceId old_dev, PcieDeviceId new_dev,
+                              HostId new_home);
+struct Decoded {
+  PcieDeviceId old_dev;
+  PcieDeviceId new_dev;
+  HostId new_home;
+};
+Result<Decoded> Decode(std::span<const std::byte> payload);
+}  // namespace migrate_wire
+
+class Agent {
+ public:
+  struct Config {
+    Nanos monitor_interval = 20 * kMicrosecond;
+    Nanos rpc_timeout = 500 * kMicrosecond;
+  };
+
+  Agent(cxl::HostAdapter& host, Config config) : host_(host), config_(config) {}
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  HostId host_id() const { return host_.id(); }
+  cxl::HostAdapter& host() { return host_; }
+
+  // --- Local device registry ---
+  using UtilProbe = std::function<double()>;
+  // Health probe returns true while the device is serviceable; the default
+  // checks PcieDevice::failed() only.
+  using HealthProbe = std::function<bool()>;
+
+  void RegisterDevice(pcie::PcieDevice* device, DeviceType type,
+                      UtilProbe util_probe = nullptr,
+                      HealthProbe health_probe = nullptr);
+  pcie::PcieDevice* FindDevice(PcieDeviceId id);
+
+  // --- Services (each spawns a detached task) ---
+  // Serves forwarded MMIO for remote users of local devices.
+  void ServeForwarding(msg::Endpoint& endpoint, sim::StopToken& stop);
+  // Serves orchestrator control commands (migrations).
+  void ServeControl(msg::Endpoint& endpoint, sim::StopToken& stop);
+  // Monitors local devices and pushes reports to the orchestrator.
+  void StartReporting(msg::Endpoint& to_orchestrator, sim::StopToken& stop);
+
+  // Invoked (awaited) when the orchestrator migrates a device this host
+  // uses. The I/O stack rebinds its virtual devices here.
+  using MigrationHandler =
+      std::function<sim::Task<>(PcieDeviceId old_dev, PcieDeviceId new_dev,
+                                HostId new_home)>;
+  void SetMigrationHandler(MigrationHandler handler) {
+    migration_handler_ = std::move(handler);
+  }
+
+  struct Stats {
+    uint64_t forwarded_writes = 0;
+    uint64_t forwarded_reads = 0;
+    uint64_t reports_sent = 0;
+    uint64_t migrations_executed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct LocalDevice {
+    pcie::PcieDevice* device;
+    DeviceType type;
+    UtilProbe util_probe;
+    HealthProbe health_probe;
+  };
+
+  sim::Task<Result<std::vector<std::byte>>> HandleForwarding(
+      uint16_t method, std::span<const std::byte> payload);
+  sim::Task<Result<std::vector<std::byte>>> HandleControl(
+      uint16_t method, std::span<const std::byte> payload);
+  sim::Task<> ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& stop);
+  sim::Task<std::vector<DeviceStatus>> ProbeDevices();
+
+  cxl::HostAdapter& host_;
+  Config config_;
+  std::map<PcieDeviceId, LocalDevice> devices_;
+  MigrationHandler migration_handler_;
+  std::vector<std::unique_ptr<msg::RpcServer>> servers_;
+  Stats stats_;
+};
+
+}  // namespace cxlpool::core
+
+#endif  // SRC_CORE_AGENT_H_

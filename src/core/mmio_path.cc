@@ -1,0 +1,66 @@
+#include "src/core/mmio_path.h"
+
+#include "src/msg/wire.h"
+
+namespace cxlpool::core {
+
+namespace mmio_wire {
+
+std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t reg, uint64_t value) {
+  std::vector<std::byte> out;
+  msg::wire::Writer w(&out);
+  w.U32(device.value());
+  w.U64(reg);
+  w.U64(value);
+  return out;
+}
+
+std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t reg) {
+  std::vector<std::byte> out;
+  msg::wire::Writer w(&out);
+  w.U32(device.value());
+  w.U64(reg);
+  return out;
+}
+
+Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
+  size_t expect = is_write ? 20 : 12;
+  if (payload.size() < expect) {
+    return InvalidArgument("short MMIO frame");
+  }
+  msg::wire::Reader r(payload);
+  Decoded d;
+  d.device = PcieDeviceId(r.U32());
+  d.reg = r.U64();
+  if (is_write) {
+    d.value = r.U64();
+  }
+  return d;
+}
+
+}  // namespace mmio_wire
+
+sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value) {
+  auto resp = co_await client_->Call(kMethodMmioWrite,
+                                     mmio_wire::EncodeWrite(device_, reg, value),
+                                     loop_.now() + timeout_);
+  if (!resp.ok()) {
+    co_return resp.status();
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Result<uint64_t>> ForwardedMmioPath::Read(uint64_t reg) {
+  auto resp = co_await client_->Call(kMethodMmioRead,
+                                     mmio_wire::EncodeRead(device_, reg),
+                                     loop_.now() + timeout_);
+  if (!resp.ok()) {
+    co_return resp.status();
+  }
+  if (resp->size() < 8) {
+    co_return Internal("short MMIO read response");
+  }
+  co_return msg::wire::GetU64(resp->data());
+}
+
+}  // namespace cxlpool::core

@@ -1,0 +1,88 @@
+// MmioPath: how a host reaches a PCIe device's registers.
+//
+// A host can only MMIO devices behind its own root complex. For a pooled
+// device on another host, the operation is forwarded over the CXL
+// shared-memory channel to the owning host's agent, which performs the
+// access locally (paper §4.1 "Event signaling and host-to-host
+// communications"). The driver layer is identical either way — only the
+// path differs, which is what makes device pooling transparent.
+#ifndef SRC_CORE_MMIO_PATH_H_
+#define SRC_CORE_MMIO_PATH_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/msg/rpc.h"
+#include "src/pcie/device.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::core {
+
+// RPC methods served by the owning host's agent.
+inline constexpr uint16_t kMethodMmioWrite = 1;
+inline constexpr uint16_t kMethodMmioRead = 2;
+
+class MmioPath {
+ public:
+  virtual ~MmioPath() = default;
+  virtual sim::Task<Status> Write(uint64_t reg, uint64_t value) = 0;
+  virtual sim::Task<Result<uint64_t>> Read(uint64_t reg) = 0;
+  // True when operations traverse the forwarding channel (diagnostics and
+  // the E8 ablation).
+  virtual bool is_remote() const = 0;
+};
+
+// Direct path: the device hangs off this host's root complex.
+class LocalMmioPath : public MmioPath {
+ public:
+  explicit LocalMmioPath(pcie::PcieDevice* device) : device_(device) {}
+
+  sim::Task<Status> Write(uint64_t reg, uint64_t value) override {
+    return device_->MmioWrite(reg, value);
+  }
+  sim::Task<Result<uint64_t>> Read(uint64_t reg) override {
+    return device_->MmioRead(reg);
+  }
+  bool is_remote() const override { return false; }
+
+ private:
+  pcie::PcieDevice* device_;
+};
+
+// Forwarded path: ops travel over a shared-memory RPC channel to the agent
+// on the device's home host.
+class ForwardedMmioPath : public MmioPath {
+ public:
+  // `client` must outlive the path. `device` identifies the target at the
+  // remote agent. `timeout` bounds each forwarded operation.
+  ForwardedMmioPath(std::shared_ptr<msg::RpcClient> client, PcieDeviceId device,
+                    Nanos timeout, sim::EventLoop& loop)
+      : client_(std::move(client)), device_(device), timeout_(timeout), loop_(loop) {}
+
+  sim::Task<Status> Write(uint64_t reg, uint64_t value) override;
+  sim::Task<Result<uint64_t>> Read(uint64_t reg) override;
+  bool is_remote() const override { return true; }
+
+ private:
+  std::shared_ptr<msg::RpcClient> client_;
+  PcieDeviceId device_;
+  Nanos timeout_;
+  sim::EventLoop& loop_;
+};
+
+// Encodes/serves the forwarded-MMIO wire format; used by ForwardedMmioPath
+// and by the agent-side handler.
+namespace mmio_wire {
+std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t reg, uint64_t value);
+std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t reg);
+struct Decoded {
+  PcieDeviceId device;
+  uint64_t reg = 0;
+  uint64_t value = 0;  // writes only
+};
+Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write);
+}  // namespace mmio_wire
+
+}  // namespace cxlpool::core
+
+#endif  // SRC_CORE_MMIO_PATH_H_

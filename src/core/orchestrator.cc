@@ -1,0 +1,271 @@
+#include "src/core/orchestrator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/sim/logger.h"
+
+namespace cxlpool::core {
+
+Orchestrator::Orchestrator(cxl::CxlPod& pod, HostId home, Config config)
+    : pod_(pod), home_(home), config_(config) {}
+
+Result<Agent*> Orchestrator::AddAgent(cxl::HostAdapter& host) {
+  if (agents_.contains(host.id())) {
+    return AlreadyExists("agent already exists for host");
+  }
+  AgentEntry entry;
+  entry.agent = std::make_unique<Agent>(host, config_.agent);
+
+  ASSIGN_OR_RETURN(entry.report_channel,
+                   msg::Channel::Create(pod_.pool(), host, pod_.host(home_)));
+  ASSIGN_OR_RETURN(entry.control_channel,
+                   msg::Channel::Create(pod_.pool(), pod_.host(home_), host));
+  entry.control_client =
+      std::make_unique<msg::RpcClient>(entry.control_channel->end_a());
+
+  Agent* agent = entry.agent.get();
+  agents_.emplace(host.id(), std::move(entry));
+  return agent;
+}
+
+Agent* Orchestrator::agent(HostId host) {
+  auto it = agents_.find(host);
+  return it == agents_.end() ? nullptr : it->second.agent.get();
+}
+
+void Orchestrator::RegisterDevice(HostId home, pcie::PcieDevice* device,
+                                  DeviceType type, Agent::UtilProbe util_probe) {
+  Agent* a = agent(home);
+  CXLPOOL_CHECK(a != nullptr);
+  a->RegisterDevice(device, type, util_probe);
+  DeviceRecord rec;
+  rec.device = device;
+  rec.type = type;
+  rec.home = home;
+  devices_.emplace(device->id(), std::move(rec));
+}
+
+void Orchestrator::Start(sim::StopToken& stop) {
+  stop_ = &stop;
+  for (auto& [host_id, entry] : agents_) {
+    // Orchestrator-side report server.
+    entry.report_server = std::make_unique<msg::RpcServer>(
+        entry.report_channel->end_b(),
+        [this](uint16_t m, std::span<const std::byte> p) {
+          return HandleReport(m, p);
+        });
+    sim::Spawn(entry.report_server->Serve(stop));
+    // Agent-side services.
+    entry.agent->ServeControl(entry.control_channel->end_b(), stop);
+    entry.agent->StartReporting(entry.report_channel->end_a(), stop);
+  }
+  if (config_.auto_rebalance) {
+    sim::Spawn(RebalanceLoop(stop));
+  }
+}
+
+sim::Task<Result<std::vector<std::byte>>> Orchestrator::HandleReport(
+    uint16_t method, std::span<const std::byte> payload) {
+  if (method != kMethodReport) {
+    co_return Unimplemented("unknown report method");
+  }
+  auto decoded = report_wire::Decode(payload);
+  if (!decoded.ok()) {
+    co_return decoded.status();
+  }
+  ++stats_.reports_received;
+  Nanos now = pod_.loop().now();
+  for (const DeviceStatus& s : decoded->second) {
+    auto it = devices_.find(s.device);
+    if (it == devices_.end()) {
+      continue;
+    }
+    DeviceRecord& rec = it->second;
+    rec.utilization = s.utilization;
+    rec.last_report = now;
+    if (rec.healthy && !s.healthy) {
+      rec.healthy = false;
+      CXLPOOL_LOG(Info) << "device " << s.device << " reported unhealthy; "
+                        << rec.lessees.size() << " lease(s) to migrate";
+      // Fail over asynchronously; the report reply must not wait on it.
+      sim::Spawn(MigrateLeases(s.device, /*failover=*/true));
+    } else if (!rec.healthy && s.healthy) {
+      rec.healthy = true;  // repaired; eligible for new leases
+    }
+  }
+  co_return std::vector<std::byte>{};
+}
+
+Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
+                                                     PcieDeviceId exclude) {
+  DeviceRecord* best = nullptr;
+  for (auto& [id, rec] : devices_) {
+    if (id == exclude || !rec.healthy || rec.type != type) {
+      continue;
+    }
+    if (best == nullptr || rec.utilization < best->utilization ||
+        (rec.utilization == best->utilization &&
+         rec.lessees.size() < best->lessees.size())) {
+      best = &rec;
+    }
+  }
+  return best;
+}
+
+Result<Orchestrator::Assignment> Orchestrator::Acquire(HostId user, DeviceType type) {
+  ++stats_.acquires;
+  // §4.2: "the orchestrator first checks if the host has a local PCIe
+  // device that is below a load threshold."
+  DeviceRecord* local_best = nullptr;
+  PcieDeviceId local_id;
+  for (auto& [id, rec] : devices_) {
+    if (rec.type != type || !rec.healthy || rec.home != user) {
+      continue;
+    }
+    if (rec.utilization < config_.local_threshold &&
+        (local_best == nullptr || rec.utilization < local_best->utilization)) {
+      local_best = &rec;
+      local_id = id;
+    }
+  }
+  if (local_best != nullptr) {
+    local_best->lessees.push_back(user);
+    ++stats_.local_hits;
+    return Assignment{local_id, user, /*local=*/true};
+  }
+  // "If not, the orchestrator selects the least-utilized device in the pod."
+  DeviceRecord* best = PickDevice(type, PcieDeviceId::Invalid());
+  if (best == nullptr) {
+    return ResourceExhausted("no healthy device of requested type");
+  }
+  best->lessees.push_back(user);
+  return Assignment{best->device->id(), best->home, best->home == user};
+}
+
+Status Orchestrator::Release(HostId user, PcieDeviceId device) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return NotFound("unknown device");
+  }
+  auto& lessees = it->second.lessees;
+  auto pos = std::find(lessees.begin(), lessees.end(), user);
+  if (pos == lessees.end()) {
+    return FailedPrecondition("host holds no lease on this device");
+  }
+  lessees.erase(pos);
+  return OkStatus();
+}
+
+Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
+                                                             PcieDeviceId device) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return NotFound("unknown device");
+  }
+  DeviceRecord& rec = it->second;
+  if (rec.home == user) {
+    return std::unique_ptr<MmioPath>(std::make_unique<LocalMmioPath>(rec.device));
+  }
+  if (stop_ == nullptr) {
+    return FailedPrecondition("orchestrator not started");
+  }
+  Agent* home_agent = agent(rec.home);
+  if (home_agent == nullptr) {
+    return Internal("no agent on device home host");
+  }
+  ASSIGN_OR_RETURN(auto channel, msg::Channel::Create(pod_.pool(), pod_.host(user),
+                                                      pod_.host(rec.home)));
+  home_agent->ServeForwarding(channel->end_b(), *stop_);
+  auto client = std::make_shared<msg::RpcClient>(channel->end_a());
+  auto path = std::make_unique<ForwardedMmioPath>(client, device,
+                                                  config_.rpc_timeout, pod_.loop());
+  forwarding_channels_.push_back(std::move(channel));
+  forwarding_clients_.push_back(std::move(client));
+  return std::unique_ptr<MmioPath>(std::move(path));
+}
+
+const Orchestrator::DeviceRecord* Orchestrator::record(PcieDeviceId device) const {
+  auto it = devices_.find(device);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+sim::Task<> Orchestrator::MigrateLeases(PcieDeviceId from, bool failover) {
+  auto it = devices_.find(from);
+  if (it == devices_.end()) {
+    co_return;
+  }
+  DeviceRecord& rec = it->second;
+  std::vector<HostId> to_move;
+  if (failover) {
+    to_move = rec.lessees;  // everything must leave a failed device
+  } else if (!rec.lessees.empty()) {
+    to_move.push_back(rec.lessees.front());  // shed one lease per scan
+  }
+
+  for (HostId user : to_move) {
+    DeviceRecord* target = PickDevice(rec.type, from);
+    if (target == nullptr) {
+      CXLPOOL_LOG(Warning) << "no replacement device for " << from
+                           << "; lease on host " << user << " stranded";
+      co_return;
+    }
+    auto pos = std::find(rec.lessees.begin(), rec.lessees.end(), user);
+    if (pos == rec.lessees.end()) {
+      continue;  // released concurrently
+    }
+    rec.lessees.erase(pos);
+    target->lessees.push_back(user);
+
+    auto agent_it = agents_.find(user);
+    if (agent_it == agents_.end()) {
+      continue;
+    }
+    auto resp = co_await agent_it->second.control_client->Call(
+        kMethodMigrate,
+        migrate_wire::Encode(from, target->device->id(), target->home),
+        pod_.loop().now() + config_.rpc_timeout);
+    if (!resp.ok()) {
+      CXLPOOL_LOG(Warning) << "migrate RPC to host " << user
+                           << " failed: " << resp.status();
+      continue;
+    }
+    if (failover) {
+      ++stats_.failovers;
+    } else {
+      ++stats_.rebalances;
+    }
+  }
+}
+
+sim::Task<> Orchestrator::RebalanceOnce() {
+  std::vector<PcieDeviceId> overloaded;
+  for (auto& [id, rec] : devices_) {
+    if (!rec.healthy || rec.lessees.empty()) {
+      continue;
+    }
+    if (rec.utilization <= config_.overload_threshold) {
+      continue;
+    }
+    DeviceRecord* target = PickDevice(rec.type, id);
+    // Only worth moving if a clearly less-loaded device exists, and never
+    // drain a device below the target's lease count (utilization reports
+    // lag; the count guard prevents ping-pong on stale numbers).
+    if (target != nullptr && target->utilization + 0.2 < rec.utilization &&
+        target->lessees.size() < rec.lessees.size()) {
+      overloaded.push_back(id);
+    }
+  }
+  for (PcieDeviceId id : overloaded) {
+    co_await MigrateLeases(id, /*failover=*/false);
+  }
+}
+
+sim::Task<> Orchestrator::RebalanceLoop(sim::StopToken& stop) {
+  while (!stop.stopped()) {
+    co_await sim::Delay(pod_.loop(), config_.rebalance_interval);
+    co_await RebalanceOnce();
+  }
+}
+
+}  // namespace cxlpool::core

@@ -1,0 +1,122 @@
+// Pooling orchestrator (paper §4.2): the management-plane singleton that
+// runs "as a special management container on one of the hosts in the CXL
+// pod". It keeps the device registry, allocates devices to hosts
+// (local-below-threshold, else least-utilized), consumes agent health/
+// utilization reports over CXL channels, and drives failover and load-
+// balancing migrations through the agents.
+#ifndef SRC_CORE_ORCHESTRATOR_H_
+#define SRC_CORE_ORCHESTRATOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/agent.h"
+#include "src/core/mmio_path.h"
+#include "src/cxl/pod.h"
+#include "src/msg/channel.h"
+
+namespace cxlpool::core {
+
+class Orchestrator {
+ public:
+  struct Config {
+    // A local device under this utilization is preferred over any remote
+    // one (§4.2 allocation policy).
+    double local_threshold = 0.75;
+    // Devices above this utilization shed leases during rebalancing.
+    double overload_threshold = 0.85;
+    bool auto_rebalance = false;
+    Nanos rebalance_interval = 200 * kMicrosecond;
+    Nanos rpc_timeout = 2 * kMillisecond;
+    Agent::Config agent;
+  };
+
+  struct Assignment {
+    PcieDeviceId device;
+    HostId home;     // host the device is physically attached to
+    bool local = false;
+  };
+
+  struct DeviceRecord {
+    pcie::PcieDevice* device = nullptr;
+    DeviceType type = DeviceType::kNic;
+    HostId home;
+    bool healthy = true;
+    double utilization = 0.0;
+    std::vector<HostId> lessees;
+    Nanos last_report = 0;
+  };
+
+  // `home` is the host running the orchestrator container.
+  Orchestrator(cxl::CxlPod& pod, HostId home, Config config);
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  // Creates the agent for `host` plus its report/control channels, and
+  // spawns the orchestrator-side servers. Call once per host, then Start().
+  Result<Agent*> AddAgent(cxl::HostAdapter& host);
+  Agent* agent(HostId host);
+
+  // Registers a device with its owning agent and the global registry.
+  void RegisterDevice(HostId home, pcie::PcieDevice* device, DeviceType type,
+                      Agent::UtilProbe util_probe = nullptr);
+
+  // Spawns reporting loops and (optionally) the rebalancer.
+  void Start(sim::StopToken& stop);
+
+  // --- Allocation (paper §4.2) ---
+  Result<Assignment> Acquire(HostId user, DeviceType type);
+  Status Release(HostId user, PcieDeviceId device);
+
+  // Builds the MMIO path a `user` host needs for `device`: direct when
+  // local, otherwise a fresh forwarding channel to the home agent.
+  Result<std::unique_ptr<MmioPath>> MakeMmioPath(HostId user, PcieDeviceId device);
+
+  const DeviceRecord* record(PcieDeviceId device) const;
+
+  struct Stats {
+    uint64_t acquires = 0;
+    uint64_t local_hits = 0;  // acquisitions satisfied by a local device
+    uint64_t failovers = 0;
+    uint64_t rebalances = 0;
+    uint64_t reports_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Test hook: process one rebalance scan immediately.
+  sim::Task<> RebalanceOnce();
+
+ private:
+  struct AgentEntry {
+    std::unique_ptr<Agent> agent;
+    std::unique_ptr<msg::Channel> report_channel;   // agent -> orch RPC
+    std::unique_ptr<msg::Channel> control_channel;  // orch -> agent RPC
+    std::unique_ptr<msg::RpcServer> report_server;
+    std::unique_ptr<msg::RpcClient> control_client;
+  };
+
+  sim::Task<Result<std::vector<std::byte>>> HandleReport(
+      uint16_t method, std::span<const std::byte> payload);
+  // Picks the best healthy device of `type` excluding `exclude`; least
+  // utilized wins. Returns nullptr if none.
+  DeviceRecord* PickDevice(DeviceType type, PcieDeviceId exclude);
+  // Migrates every lease on `from` to a replacement; used by both
+  // failover (from is unhealthy) and rebalancing.
+  sim::Task<> MigrateLeases(PcieDeviceId from, bool failover);
+  sim::Task<> RebalanceLoop(sim::StopToken& stop);
+
+  cxl::CxlPod& pod_;
+  HostId home_;
+  Config config_;
+  std::map<HostId, AgentEntry> agents_;
+  std::map<PcieDeviceId, DeviceRecord> devices_;
+  std::vector<std::unique_ptr<msg::Channel>> forwarding_channels_;
+  std::vector<std::shared_ptr<msg::RpcClient>> forwarding_clients_;
+  sim::StopToken* stop_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace cxlpool::core
+
+#endif  // SRC_CORE_ORCHESTRATOR_H_

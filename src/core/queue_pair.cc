@@ -1,0 +1,175 @@
+#include "src/core/queue_pair.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/msg/wire.h"
+
+namespace cxlpool::core {
+
+using msg::wire::GetU16;
+using msg::wire::GetU64;
+using msg::wire::PutU64;
+
+QueuePairDriver::QueuePairDriver(cxl::HostAdapter& host,
+                                 std::unique_ptr<MmioPath> mmio, Config config)
+    : host_(host),
+      mmio_(std::move(mmio)),
+      config_(config),
+      mem_(host, config.rings_in_cxl),
+      backoff_(config.poll_min, config.poll_max) {}
+
+QueuePairDriver::~QueuePairDriver() {
+  if (owns_segment_) {
+    (void)host_.cxl_pool().Free(segment_);
+  }
+}
+
+sim::Task<Result<std::unique_ptr<QueuePairDriver>>> QueuePairDriver::Create(
+    cxl::HostAdapter& host, std::unique_ptr<MmioPath> mmio, Config config) {
+  CXLPOOL_CHECK(config.entries >= 2);
+  auto driver = std::unique_ptr<QueuePairDriver>(
+      new QueuePairDriver(host, std::move(mmio), config));
+
+  uint64_t bytes = static_cast<uint64_t>(config.entries) *
+                   (config.cmd_size + config.cpl_size);
+  if (config.rings_in_cxl) {
+    auto seg = host.cxl_pool().Allocate(bytes);
+    if (!seg.ok()) {
+      co_return seg.status();
+    }
+    driver->segment_ = *seg;
+    driver->owns_segment_ = true;
+    driver->sq_base_ = seg->base;
+  } else {
+    auto addr = host.AllocateDram(bytes);
+    if (!addr.ok()) {
+      co_return addr.status();
+    }
+    driver->sq_base_ = *addr;
+  }
+  driver->cq_base_ =
+      driver->sq_base_ + static_cast<uint64_t>(config.entries) * config.cmd_size;
+
+  Status st = co_await driver->ProgramDevice();
+  if (!st.ok()) {
+    co_return st;
+  }
+  co_return std::move(driver);
+}
+
+sim::Task<Status> QueuePairDriver::ProgramDevice() {
+  std::vector<std::byte> zeros(config_.cpl_size, std::byte{0});
+  for (uint32_t i = 0; i < config_.entries; ++i) {
+    CO_RETURN_IF_ERROR(co_await mem_.Publish(cq_base_ + i * config_.cpl_size, zeros));
+  }
+  CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.reset_reg, 1));
+  CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.sq_base_reg, sq_base_));
+  CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.sq_size_reg, config_.entries));
+  CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.cq_base_reg, cq_base_));
+  co_return OkStatus();
+}
+
+sim::Task<Result<bool>> QueuePairDriver::PollCqOnce() {
+  uint64_t addr = cq_base_ + (cq_next_ % config_.entries) * config_.cpl_size;
+  std::vector<std::byte> entry(config_.cpl_size);
+  Status st = co_await mem_.ReadFresh(addr, entry);
+  if (!st.ok()) {
+    co_return st;
+  }
+  uint64_t seq = GetU64(entry.data());
+  if (seq != cq_next_ + 1) {
+    co_return false;
+  }
+  uint64_t cookie = GetU64(entry.data() + 8);
+  uint16_t status = GetU16(entry.data() + 16);
+  completed_[cookie] = status;
+  ++cq_next_;
+  CXLPOOL_CHECK(in_flight_ > 0);
+  --in_flight_;
+  co_return true;
+}
+
+sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> cmd,
+                                                           Nanos deadline) {
+  CXLPOOL_CHECK(cmd.size() == config_.cmd_size);
+  // Flow control on the submission queue.
+  while (in_flight_ >= config_.entries) {
+    if (!polling_) {
+      polling_ = true;
+      auto got = co_await PollCqOnce();
+      polling_ = false;
+      if (!got.ok()) {
+        co_return got.status();
+      }
+      if (*got) {
+        continue;
+      }
+    }
+    if (host_.loop().now() >= deadline) {
+      co_return DeadlineExceeded("SQ full");
+    }
+    co_await sim::Delay(host_.loop(), backoff_.NextDelay());
+  }
+
+  uint64_t cookie = next_cookie_++;
+  PutU64(cmd.data() + config_.cookie_offset, cookie);
+  // Reserve the slot before suspending so concurrent submitters never
+  // collide; the doorbell only covers the contiguous published prefix.
+  uint64_t slot = sq_posted_++;
+  ++in_flight_;
+  uint64_t addr = sq_base_ + (slot % config_.entries) * config_.cmd_size;
+  CO_RETURN_IF_ERROR(co_await mem_.Publish(addr, cmd));
+  sq_published_.insert(slot);
+  while (sq_published_.contains(sq_ready_)) {
+    sq_published_.erase(sq_ready_);
+    ++sq_ready_;
+  }
+  if (sq_ready_ > sq_doorbell_sent_) {
+    uint64_t value = sq_ready_;
+    CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.sq_doorbell_reg, value));
+    if (value > sq_doorbell_sent_) {
+      sq_doorbell_sent_ = value;
+    }
+  }
+
+  for (;;) {
+    auto it = completed_.find(cookie);
+    if (it != completed_.end()) {
+      uint16_t status = it->second;
+      completed_.erase(it);
+      backoff_.Reset();
+      co_return status;
+    }
+    if (host_.loop().now() >= deadline) {
+      co_return DeadlineExceeded("command timed out");
+    }
+    if (!polling_) {
+      polling_ = true;
+      auto got = co_await PollCqOnce();
+      polling_ = false;
+      if (!got.ok()) {
+        co_return got.status();
+      }
+      if (*got) {
+        continue;  // something completed; re-check the map
+      }
+    }
+    co_await sim::Delay(host_.loop(),
+                        std::min(backoff_.NextDelay(), deadline - host_.loop().now()));
+  }
+}
+
+sim::Task<Status> QueuePairDriver::Rebind(std::unique_ptr<MmioPath> mmio) {
+  mmio_ = std::move(mmio);
+  sq_posted_ = 0;
+  sq_ready_ = 0;
+  sq_doorbell_sent_ = 0;
+  sq_published_.clear();
+  cq_next_ = 0;
+  in_flight_ = 0;
+  completed_.clear();
+  co_return co_await ProgramDevice();
+}
+
+}  // namespace cxlpool::core

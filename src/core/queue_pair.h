@@ -1,0 +1,91 @@
+// QueuePairDriver: generic host-side driver for submission/completion
+// queue devices (the SSD and accelerator models share this shape, as real
+// NVMe-like devices do). Placement and MMIO-path genericity work exactly
+// as in VirtualNic: rings live in local DRAM or CXL pool memory, doorbells
+// go direct or over the forwarding channel.
+//
+// Completion entries are 64 B: seq u64 | cookie u64 | status u16. Commands
+// are 64 B with a u64 cookie at a fixed offset. Completions may arrive out
+// of submission order; SubmitAndWait matches on cookie.
+#ifndef SRC_CORE_QUEUE_PAIR_H_
+#define SRC_CORE_QUEUE_PAIR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/core/mmio_path.h"
+#include "src/core/placed_memory.h"
+#include "src/cxl/pool.h"
+#include "src/sim/poll.h"
+
+namespace cxlpool::core {
+
+class QueuePairDriver {
+ public:
+  struct Config {
+    uint32_t entries = 64;
+    bool rings_in_cxl = true;
+    Nanos poll_min = 200;
+    Nanos poll_max = 4 * kMicrosecond;
+    // Device register map (device-specific values passed by the wrapper).
+    uint64_t reset_reg = 0;
+    uint64_t sq_base_reg = 0;
+    uint64_t sq_size_reg = 0;
+    uint64_t sq_doorbell_reg = 0;
+    uint64_t cq_base_reg = 0;
+    uint64_t cmd_size = 64;
+    uint64_t cpl_size = 64;
+    uint64_t cookie_offset = 32;
+  };
+
+  static sim::Task<Result<std::unique_ptr<QueuePairDriver>>> Create(
+      cxl::HostAdapter& host, std::unique_ptr<MmioPath> mmio, Config config);
+
+  // Stamps a fresh cookie into `cmd`, submits it, and waits for its
+  // completion status until `deadline`.
+  sim::Task<Result<uint16_t>> SubmitAndWait(std::span<std::byte> cmd, Nanos deadline);
+
+  // Retarget to a replacement device (failover / migration).
+  sim::Task<Status> Rebind(std::unique_ptr<MmioPath> mmio);
+
+  uint64_t submitted() const { return sq_posted_; }
+  uint64_t completed() const { return cq_next_; }
+  bool remote() const { return mmio_->is_remote(); }
+  PlacedMemory& memory() { return mem_; }
+
+  ~QueuePairDriver();
+
+ private:
+  QueuePairDriver(cxl::HostAdapter& host, std::unique_ptr<MmioPath> mmio,
+                  Config config);
+
+  sim::Task<Status> ProgramDevice();
+  // Consumes at most one completion entry; true if it consumed one.
+  sim::Task<Result<bool>> PollCqOnce();
+
+  cxl::HostAdapter& host_;
+  std::unique_ptr<MmioPath> mmio_;
+  Config config_;
+  PlacedMemory mem_;
+  sim::PollBackoff backoff_;
+
+  cxl::PoolSegment segment_;
+  bool owns_segment_ = false;
+  uint64_t sq_base_ = 0;
+  uint64_t cq_base_ = 0;
+
+  uint64_t next_cookie_ = 1;
+  uint64_t sq_posted_ = 0;   // reserved slots
+  uint64_t sq_ready_ = 0;    // contiguous published prefix
+  uint64_t sq_doorbell_sent_ = 0;
+  std::set<uint64_t> sq_published_;
+  uint64_t cq_next_ = 0;
+  uint64_t in_flight_ = 0;
+  bool polling_ = false;
+  std::map<uint64_t, uint16_t> completed_;  // cookie -> status
+};
+
+}  // namespace cxlpool::core
+
+#endif  // SRC_CORE_QUEUE_PAIR_H_

@@ -1,0 +1,71 @@
+// VirtualSsd: host-side handle to a (possibly remote) pooled SSD, built on
+// the generic QueuePairDriver. Storage is the second workload class the
+// paper pools (local-SSD stranding is the largest at 54%, §2.1).
+#ifndef SRC_CORE_VIRTUAL_SSD_H_
+#define SRC_CORE_VIRTUAL_SSD_H_
+
+#include <memory>
+
+#include "src/core/queue_pair.h"
+#include "src/devices/ssd.h"
+
+namespace cxlpool::core {
+
+class VirtualSsd {
+ public:
+  struct Config {
+    uint32_t queue_entries = 64;
+    bool rings_in_cxl = true;
+  };
+
+  static sim::Task<Result<std::unique_ptr<VirtualSsd>>> Create(
+      cxl::HostAdapter& host, std::unique_ptr<MmioPath> mmio, Config config) {
+    QueuePairDriver::Config qp;
+    qp.entries = config.queue_entries;
+    qp.rings_in_cxl = config.rings_in_cxl;
+    qp.reset_reg = devices::kSsdRegReset;
+    qp.sq_base_reg = devices::kSsdRegSqBase;
+    qp.sq_size_reg = devices::kSsdRegSqSize;
+    qp.sq_doorbell_reg = devices::kSsdRegSqDoorbell;
+    qp.cq_base_reg = devices::kSsdRegCqBase;
+    qp.cmd_size = devices::kSsdCmdSize;
+    qp.cpl_size = devices::kSsdCplSize;
+    auto driver = co_await QueuePairDriver::Create(host, std::move(mmio), qp);
+    if (!driver.ok()) {
+      co_return driver.status();
+    }
+    co_return std::unique_ptr<VirtualSsd>(new VirtualSsd(std::move(*driver)));
+  }
+
+  // Reads/writes `nsectors` 512 B sectors at `lba` to/from `buf_addr`
+  // (which the device DMAs — local DRAM or CXL pool). Returns the device
+  // status code (devices::kSsdStatusOk on success).
+  sim::Task<Result<uint16_t>> ReadBlocks(uint64_t lba, uint32_t nsectors,
+                                         uint64_t buf_addr, Nanos deadline) {
+    return Submit(devices::kSsdOpRead, lba, nsectors, buf_addr, deadline);
+  }
+  sim::Task<Result<uint16_t>> WriteBlocks(uint64_t lba, uint32_t nsectors,
+                                          uint64_t buf_addr, Nanos deadline) {
+    return Submit(devices::kSsdOpWrite, lba, nsectors, buf_addr, deadline);
+  }
+
+  sim::Task<Status> Rebind(std::unique_ptr<MmioPath> mmio) {
+    return driver_->Rebind(std::move(mmio));
+  }
+
+  QueuePairDriver& driver() { return *driver_; }
+  bool remote() const { return driver_->remote(); }
+
+ private:
+  explicit VirtualSsd(std::unique_ptr<QueuePairDriver> driver)
+      : driver_(std::move(driver)) {}
+
+  sim::Task<Result<uint16_t>> Submit(uint8_t opcode, uint64_t lba, uint32_t nsectors,
+                                     uint64_t buf_addr, Nanos deadline);
+
+  std::unique_ptr<QueuePairDriver> driver_;
+};
+
+}  // namespace cxlpool::core
+
+#endif  // SRC_CORE_VIRTUAL_SSD_H_

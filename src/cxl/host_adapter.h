@@ -1,0 +1,154 @@
+// HostAdapter: one host's view of the simulated memory system.
+//
+// CPU-side operations (Load/Store/StoreNt/Flush/Invalidate) route through a
+// per-host write-back cache for CXL pool addresses, charging calibrated
+// latency plus link-bandwidth serialization in simulated time. Pool memory
+// is NOT coherent across hosts: cached loads can return stale bytes and
+// dirty stores stay invisible to the pool until flushed — the software
+// coherence protocol (paper §4.1) uses StoreNt to publish and
+// Invalidate-before-Load to consume.
+//
+// Device-side operations (DmaRead/DmaWrite) model inbound PCIe DMA through
+// this host's root complex: coherent with THIS host's cache (snooped) but
+// not with any other host's — which is exactly the asymmetry the paper's
+// datapath is designed around.
+#ifndef SRC_CXL_HOST_ADAPTER_H_
+#define SRC_CXL_HOST_ADAPTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/cxl/link.h"
+#include "src/cxl/params.h"
+#include "src/cxl/pool.h"
+#include "src/mem/address_map.h"
+#include "src/mem/cache.h"
+#include "src/sim/bandwidth.h"
+#include "src/sim/random.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::cxl {
+
+class HostAdapter {
+ public:
+  struct Config {
+    CxlTiming timing;
+    // Cache capacity (in 64 B lines) dedicated to CXL-mapped memory.
+    size_t cache_lines = 128 * 1024;  // 8 MiB
+  };
+
+  struct Stats {
+    uint64_t loads = 0;
+    uint64_t load_bytes = 0;
+    uint64_t stores = 0;
+    uint64_t store_bytes = 0;
+    uint64_t nt_stores = 0;
+    uint64_t nt_store_bytes = 0;
+    uint64_t flushes = 0;
+    uint64_t flushed_dirty_lines = 0;
+    uint64_t invalidates = 0;
+    uint64_t dma_reads = 0;
+    uint64_t dma_writes = 0;
+    // Dirty lines dropped because an nt-store overwrote them, or because a
+    // writeback target was unreachable. Nonzero values indicate a protocol
+    // bug in the code under test.
+    uint64_t lost_dirty_lines = 0;
+  };
+
+  HostAdapter(HostId id, sim::EventLoop& loop, mem::AddressMap& map, CxlPool& pool,
+              Config config);
+  HostAdapter(const HostAdapter&) = delete;
+  HostAdapter& operator=(const HostAdapter&) = delete;
+
+  HostId id() const { return id_; }
+  sim::EventLoop& loop() { return loop_; }
+  const CxlTiming& timing() const { return config_.timing; }
+
+  // Wires this host's local DRAM window (created by CxlPod).
+  void AttachDram(uint64_t base, uint64_t size, double bytes_per_ns);
+  // Bump-allocates host-local DRAM (for local I/O buffers).
+  Result<uint64_t> AllocateDram(uint64_t size);
+
+  // Registers the CXL link this host uses to reach link->mhd().
+  void ConnectLink(CxlLink* link);
+  // The link to an MHD, or nullptr if not connected.
+  CxlLink* LinkTo(MhdId mhd) const;
+
+  // --- CPU-side timed operations (coroutines; complete in simulated time).
+  // Cached load; may return stale pool bytes if another agent wrote the
+  // pool since this host cached the line.
+  sim::Task<Status> Load(uint64_t addr, std::span<std::byte> out);
+  // Cached write-back store; NOT visible to other hosts until flushed.
+  sim::Task<Status> Store(uint64_t addr, std::span<const std::byte> in);
+  // Non-temporal store: bypasses the cache, immediately visible in the
+  // pool. The publish primitive of the software coherence protocol.
+  sim::Task<Status> StoreNt(uint64_t addr, std::span<const std::byte> in);
+  // clwb + fence over [addr, addr+len): writes back dirty lines, drops them.
+  sim::Task<Status> Flush(uint64_t addr, uint64_t len);
+  // Self-invalidate [addr, addr+len) so the next Load refetches from the
+  // pool. The consume primitive of the software coherence protocol.
+  // (Dirty lines are written back first, like clflush.)
+  sim::Task<Status> Invalidate(uint64_t addr, uint64_t len);
+
+  // --- Device-side (inbound PCIe DMA through this host's root complex).
+  sim::Task<Status> DmaRead(uint64_t addr, std::span<std::byte> out);
+  sim::Task<Status> DmaWrite(uint64_t addr, std::span<const std::byte> in);
+
+  // Untimed helpers for tests: direct backend access, no cache interaction.
+  void PeekBackend(uint64_t addr, std::span<std::byte> out) const;
+  void PokeBackend(uint64_t addr, std::span<const std::byte> in);
+
+  mem::WriteBackCache& cache() { return cache_; }
+  const Stats& stats() const { return stats_; }
+  mem::AddressMap& address_map() { return map_; }
+  CxlPool& cxl_pool() { return pool_; }
+
+ private:
+  // Resolves + validates a CPU or DMA access. Local DRAM must belong to
+  // this host (a CPU cannot load another host's DRAM; a device cannot DMA
+  // into another host's DRAM — that is precisely what requires either a
+  // PCIe switch or, per this paper, the CXL pool).
+  Result<const mem::Region*> ResolveAccess(uint64_t addr, uint64_t len);
+
+  // Health-checked link for a pool address.
+  Result<CxlLink*> RouteCxl(uint64_t addr);
+
+  // Delays until pending posted writes on the involved links have
+  // committed to media (PCIe ordering: reads do not pass writes).
+  sim::Task<Status> WaitForWriteHorizon(uint64_t addr, uint64_t len);
+
+  // Applies the configured lognormal jitter to a CXL base latency.
+  Nanos JitterCxl(Nanos base);
+
+  // Shared flush/invalidate implementation.
+  sim::Task<Status> FlushImpl(uint64_t addr, uint64_t len, bool invalidate);
+
+  // Writes an evicted dirty line back to the pool (async with respect to
+  // the evicting operation). Drops the data if the path is unhealthy.
+  void WritebackEvicted(const mem::WriteBackCache::EvictedLine& ev);
+
+  HostId id_;
+  sim::EventLoop& loop_;
+  mem::AddressMap& map_;
+  CxlPool& pool_;
+  Config config_;
+  mem::WriteBackCache cache_;
+
+  std::vector<CxlLink*> links_;  // indexed by MHD id; may contain nullptr
+
+  uint64_t dram_base_ = 0;
+  uint64_t dram_size_ = 0;
+  uint64_t dram_bump_ = 0;
+  sim::BandwidthQueue dram_bw_;
+  sim::Rng jitter_rng_;
+
+  Stats stats_;
+};
+
+}  // namespace cxlpool::cxl
+
+#endif  // SRC_CXL_HOST_ADAPTER_H_

@@ -1,0 +1,49 @@
+// A point-to-point CXL link between one host and one MHD port. Owns two
+// bandwidth queues (one per direction) and a health flag for failure
+// injection.
+#ifndef SRC_CXL_LINK_H_
+#define SRC_CXL_LINK_H_
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+#include "src/cxl/params.h"
+#include "src/sim/bandwidth.h"
+
+namespace cxlpool::cxl {
+
+class CxlLink {
+ public:
+  CxlLink(CxlLinkId id, HostId host, MhdId mhd, LinkSpec spec)
+      : id_(id),
+        host_(host),
+        mhd_(mhd),
+        spec_(spec),
+        to_device_(spec.BytesPerNanos()),
+        from_device_(spec.BytesPerNanos()) {}
+
+  CxlLinkId id() const { return id_; }
+  HostId host() const { return host_; }
+  MhdId mhd() const { return mhd_; }
+  const LinkSpec& spec() const { return spec_; }
+
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  // Direction host -> MHD (writes, read requests are negligible).
+  sim::BandwidthQueue& to_device() { return to_device_; }
+  // Direction MHD -> host (read data).
+  sim::BandwidthQueue& from_device() { return from_device_; }
+
+ private:
+  CxlLinkId id_;
+  HostId host_;
+  MhdId mhd_;
+  LinkSpec spec_;
+  sim::BandwidthQueue to_device_;
+  sim::BandwidthQueue from_device_;
+  bool up_ = true;
+};
+
+}  // namespace cxlpool::cxl
+
+#endif  // SRC_CXL_LINK_H_

@@ -1,0 +1,41 @@
+// A multi-headed CXL memory device (MHD): one slab of media exposed
+// through up to kMaxPorts independent CXL ports, one per connected host
+// (paper §3 — UnifabriX-class devices offer up to 20 ports today).
+#ifndef SRC_CXL_MHD_H_
+#define SRC_CXL_MHD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/ids.h"
+#include "src/mem/backend.h"
+
+namespace cxlpool::cxl {
+
+class MultiHeadedDevice {
+ public:
+  static constexpr int kMaxPorts = 20;
+
+  MultiHeadedDevice(MhdId id, uint64_t capacity_bytes)
+      : id_(id),
+        media_("mhd" + std::to_string(id.value()) + "-media", capacity_bytes) {}
+
+  MhdId id() const { return id_; }
+  uint64_t capacity() const { return media_.size(); }
+
+  mem::MemoryBackend& media() { return media_; }
+  const mem::MemoryBackend& media() const { return media_; }
+
+  // Failure injection: a failed MHD rejects all accesses until repaired.
+  bool failed() const { return failed_; }
+  void set_failed(bool failed) { failed_ = failed; }
+
+ private:
+  MhdId id_;
+  mem::MemoryBackend media_;
+  bool failed_ = false;
+};
+
+}  // namespace cxlpool::cxl
+
+#endif  // SRC_CXL_MHD_H_

@@ -1,0 +1,91 @@
+// Calibrated timing/bandwidth parameters for the CXL pod simulation.
+//
+// Sources (all cited by the paper):
+//  - Idle CXL load-to-use ≈ 2.15x local DDR5 on a Leo controller, 2-3x in
+//    general [Das Sharma et al., CSUR'24; Sun et al., MICRO'23] (paper §3).
+//    MHD-based pools sit at the upper end of that band; we model ~2.8x.
+//  - A CXL 2.0 / PCIe-5.0 x8 link sustains ≈30 GB/s at a 2:1 read:write
+//    mix, matching one DDR5-4800 channel (paper §3).
+//  - CPUs interleave at 256 B granularity across CXL links; Granite Rapids
+//    class parts expose 64 CXL lanes/socket ≈ 240 GB/s (paper §3).
+//
+// All constants are plain data so experiments can perturb them (sensitivity
+// sweeps in bench/).
+#ifndef SRC_CXL_PARAMS_H_
+#define SRC_CXL_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace cxlpool::cxl {
+
+struct CxlTiming {
+  // Local DDR5: idle load-to-use and (store-buffer absorbed) store cost.
+  Nanos dram_load = 110;
+  Nanos dram_store = 15;
+  double dram_bytes_per_ns = 30.0;  // one DDR5-4800 channel, effective
+
+  // On-package cache hit for a line of CXL-mapped memory.
+  Nanos cache_hit = 3;
+
+  // CXL pool media access through one MHD port (link + controller + media).
+  // read/dram_load ≈ 2.8x, inside the paper's 2-3x band.
+  Nanos cxl_read = 320;
+  // Posted write visibility latency (when a subsequent reader on another
+  // port can observe the data).
+  Nanos cxl_write = 230;
+
+  // Issue overhead of a clwb/clflush instruction (before the writeback
+  // itself, which costs cxl_write).
+  Nanos flush_issue = 20;
+  // Dropping a clean line so the next load refetches (self-invalidate).
+  Nanos invalidate = 5;
+
+  // One Back-Invalidate snoop round (CXL 3.0 BI emulation; §3): added to a
+  // pool write when remote cached copies must be invalidated.
+  Nanos bi_snoop = 100;
+
+  // Per-cacheline pipeline overhead charged on multi-line transfers (the
+  // CPU sustains several outstanding misses; transfers are not fully
+  // latency-serialized).
+  Nanos per_line_pipelined = 2;
+
+  // Multiplicative lognormal jitter on CXL access latency (controller
+  // arbitration, media refresh, link retraining noise). Gives latency
+  // distributions their tails (Figure 4); 0 disables.
+  double cxl_jitter_sigma = 0.12;
+};
+
+// A CXL link is built on the PCIe physical layer: gen + lane count define
+// its bandwidth. Effective per-lane rate for PCIe 5.0 after encoding and
+// protocol overhead ≈ 3.75 GB/s (x8 ≈ 30 GB/s, as in the paper).
+struct LinkSpec {
+  int pcie_gen = 5;
+  int lanes = 8;
+
+  double BytesPerNanos() const {
+    // Per-lane effective GB/s by generation (approximate, full duplex per
+    // direction): gen4 = 1.97, gen5 = 3.75, gen6 = 7.5.
+    double per_lane = 3.75;
+    if (pcie_gen == 4) {
+      per_lane = 1.97;
+    } else if (pcie_gen == 6) {
+      per_lane = 7.5;
+    }
+    return per_lane * lanes;
+  }
+};
+
+// Interleave granule used by CPUs across CXL links (paper §3).
+inline constexpr uint64_t kInterleaveGranule = 256;
+
+// Address-space layout of the simulated pod: each host's local DRAM gets a
+// fixed window, the pool starts above all of them.
+inline constexpr uint64_t kDramWindowBase = 0x0000'0001'0000'0000ULL;  // 4 GiB
+inline constexpr uint64_t kDramWindowStride = 0x0000'0001'0000'0000ULL;
+inline constexpr uint64_t kPoolWindowBase = 0x0000'0100'0000'0000ULL;  // 1 TiB
+
+}  // namespace cxlpool::cxl
+
+#endif  // SRC_CXL_PARAMS_H_

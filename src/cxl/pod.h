@@ -1,0 +1,72 @@
+// CxlPod: a rack-scale unit of hosts connected to a CXL memory pool
+// (paper §3). Builds the full fabric: per-host local DRAM windows, MHDs,
+// one CXL link per (host, MHD) pair — the dense MHD topology in which every
+// host reaches every MHD, giving λ = #MHDs redundant capacity paths — and
+// the shared address map everything resolves through.
+#ifndef SRC_CXL_POD_H_
+#define SRC_CXL_POD_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/cxl/host_adapter.h"
+#include "src/cxl/link.h"
+#include "src/cxl/pool.h"
+#include "src/mem/address_map.h"
+#include "src/mem/backend.h"
+#include "src/sim/event_loop.h"
+
+namespace cxlpool::cxl {
+
+struct CxlPodConfig {
+  int num_hosts = 4;
+  int num_mhds = 2;
+  uint64_t mhd_capacity = 64 * kMiB;
+  uint64_t dram_per_host = 64 * kMiB;
+  LinkSpec link;  // default PCIe-5.0 x8 per (host, MHD) link
+  CxlTiming timing;
+  size_t cache_lines_per_host = 128 * 1024;  // 8 MiB of cached CXL lines
+};
+
+class CxlPod {
+ public:
+  CxlPod(sim::EventLoop& loop, const CxlPodConfig& config);
+  CxlPod(const CxlPod&) = delete;
+  CxlPod& operator=(const CxlPod&) = delete;
+
+  sim::EventLoop& loop() { return loop_; }
+  mem::AddressMap& address_map() { return map_; }
+  CxlPool& pool() { return *pool_; }
+  const CxlPodConfig& config() const { return config_; }
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  HostAdapter& host(int i) { return *hosts_.at(i); }
+  HostAdapter& host(HostId id) { return *hosts_.at(id.value()); }
+
+  // The link host `h` uses to reach MHD `m`, or nullptr.
+  CxlLink* link(HostId h, MhdId m) { return host(h).LinkTo(m); }
+
+  // --- Failure injection (E6 and topology tests) ---
+  void FailMhd(MhdId m) { pool_->mhd(m).set_failed(true); }
+  void RepairMhd(MhdId m) { pool_->mhd(m).set_failed(false); }
+  void FailLink(HostId h, MhdId m);
+  void RepairLink(HostId h, MhdId m);
+
+  // Number of healthy, distinct paths from host `h` into pool capacity
+  // (healthy links to healthy MHDs) — the λ redundancy of §5.
+  int HealthyPaths(HostId h) const;
+
+ private:
+  sim::EventLoop& loop_;
+  CxlPodConfig config_;
+  mem::AddressMap map_;
+  std::unique_ptr<CxlPool> pool_;
+  std::vector<std::unique_ptr<mem::MemoryBackend>> dram_;
+  std::vector<std::unique_ptr<HostAdapter>> hosts_;
+  std::vector<std::unique_ptr<CxlLink>> links_;
+};
+
+}  // namespace cxlpool::cxl
+
+#endif  // SRC_CXL_POD_H_

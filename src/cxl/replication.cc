@@ -1,0 +1,91 @@
+#include "src/cxl/replication.h"
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace cxlpool::cxl {
+
+Result<ReplicatedRegion> ReplicatedRegion::Create(CxlPool& pool, uint64_t size,
+                                                  int replicas) {
+  if (replicas < 2) {
+    return InvalidArgument("replication needs >= 2 replicas");
+  }
+  // Count healthy MHDs.
+  int healthy = 0;
+  for (size_t m = 0; m < pool.mhd_count(); ++m) {
+    if (!pool.mhd(MhdId(static_cast<uint32_t>(m))).failed()) {
+      ++healthy;
+    }
+  }
+  if (healthy < replicas) {
+    return ResourceExhausted("pod has " + std::to_string(healthy) +
+                             " healthy MHDs, need " + std::to_string(replicas));
+  }
+
+  ReplicatedRegion region;
+  region.size_ = size;
+  int placed = 0;
+  for (size_t m = 0; m < pool.mhd_count() && placed < replicas; ++m) {
+    MhdId id(static_cast<uint32_t>(m));
+    if (pool.mhd(id).failed()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(PoolSegment seg, pool.Allocate(size, id));
+    region.segments_.push_back(seg);
+    ++placed;
+  }
+  CXLPOOL_CHECK(placed == replicas);
+  return region;
+}
+
+sim::Task<Status> ReplicatedRegion::Publish(HostAdapter& host, uint64_t offset,
+                                            std::span<const std::byte> in) {
+  if (offset + in.size() > size_) {
+    co_return OutOfRange("write beyond replicated region");
+  }
+  ++stats_.publishes;
+  int ok = 0;
+  Status last_error = OkStatus();
+  // Posted nt-stores: issuing them back-to-back overlaps the commits.
+  for (const PoolSegment& seg : segments_) {
+    Status st = co_await host.StoreNt(seg.base + offset, in);
+    if (st.ok()) {
+      ++ok;
+    } else {
+      last_error = st;
+    }
+  }
+  if (ok == 0) {
+    co_return last_error;
+  }
+  if (ok < static_cast<int>(segments_.size())) {
+    ++stats_.degraded_writes;
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> ReplicatedRegion::ReadFresh(HostAdapter& host, uint64_t offset,
+                                              std::span<std::byte> out) {
+  if (offset + out.size() > size_) {
+    co_return OutOfRange("read beyond replicated region");
+  }
+  Status last_error = Internal("no replicas");
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    uint64_t addr = segments_[i].base + offset;
+    Status st = co_await host.Invalidate(addr, out.size());
+    if (st.ok()) {
+      st = co_await host.Load(addr, out);
+    }
+    if (st.ok()) {
+      if (i > 0) {
+        ++stats_.failover_reads;
+      }
+      co_return OkStatus();
+    }
+    last_error = st;
+  }
+  co_return last_error;
+}
+
+}  // namespace cxlpool::cxl

@@ -1,0 +1,65 @@
+// Highly-available pool memory (paper §5 "Highly-available CXL pods").
+//
+// MHD-based pods offer λ redundant paths: dense topologies place λ copies
+// of critical state on distinct MHDs so that the failure of any device or
+// link leaves the data reachable. This is the software half of that story:
+// a ReplicatedRegion writes every replica (posted nt-stores, so the extra
+// copies ride in parallel) and reads from the first healthy replica.
+//
+// Intended for control-plane state that must survive MHD failures — e.g.
+// orchestrator metadata or channel bootstrap blocks — not for bulk I/O
+// buffers (a lost RX buffer is retransmitted; lost orchestrator state is
+// an outage).
+#ifndef SRC_CXL_REPLICATION_H_
+#define SRC_CXL_REPLICATION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cxl/host_adapter.h"
+#include "src/cxl/pool.h"
+
+namespace cxlpool::cxl {
+
+class ReplicatedRegion {
+ public:
+  // Allocates `size` bytes on `replicas` DISTINCT healthy MHDs. Fails if
+  // the pool has fewer healthy MHDs than requested (λ cannot exceed the
+  // pod's path redundancy).
+  static Result<ReplicatedRegion> Create(CxlPool& pool, uint64_t size,
+                                         int replicas);
+
+  // Writes `in` at offset to EVERY replica. Posted writes overlap, so the
+  // latency cost over a single write is one extra link serialization, not
+  // λ× the commit latency. Fails only if ALL replicas are unreachable;
+  // partially-failed writes count in stats().degraded_writes.
+  sim::Task<Status> Publish(HostAdapter& host, uint64_t offset,
+                            std::span<const std::byte> in);
+
+  // Reads from the first reachable replica (primary first). Fresh
+  // (invalidate+load) semantics, like any cross-host consume.
+  sim::Task<Status> ReadFresh(HostAdapter& host, uint64_t offset,
+                              std::span<std::byte> out);
+
+  struct Stats {
+    uint64_t publishes = 0;
+    uint64_t degraded_writes = 0;  // >=1 replica was unreachable
+    uint64_t failover_reads = 0;   // primary unreachable, replica served
+  };
+
+  uint64_t size() const { return size_; }
+  int replicas() const { return static_cast<int>(segments_.size()); }
+  const PoolSegment& segment(int i) const { return segments_.at(i); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ReplicatedRegion() = default;
+
+  uint64_t size_ = 0;
+  std::vector<PoolSegment> segments_;
+  Stats stats_;
+};
+
+}  // namespace cxlpool::cxl
+
+#endif  // SRC_CXL_REPLICATION_H_

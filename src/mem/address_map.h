@@ -1,0 +1,70 @@
+// The global simulated physical address space. Hosts, DMA engines, and the
+// CXL fabric all resolve addresses through one AddressMap, which is what
+// lets a PCIe device DMA into CXL pool memory with no device-model changes
+// (the paper's "devices can directly use CXL memory as I/O buffers").
+#ifndef SRC_MEM_ADDRESS_MAP_H_
+#define SRC_MEM_ADDRESS_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/mem/backend.h"
+
+namespace cxlpool::mem {
+
+enum class MemoryKind : uint8_t {
+  kLocalDram,  // coherent, host-local DDR5
+  kCxlPool,    // CXL pool memory — NOT cache-coherent across hosts
+};
+
+struct Region {
+  uint64_t base = 0;
+  uint64_t size = 0;
+  MemoryKind kind = MemoryKind::kLocalDram;
+  // For kLocalDram: the host whose DRAM this is. Device DMA to another
+  // host's DRAM is rejected (that is exactly what PCIe pooling cannot do
+  // without a switch — and what CXL pool memory provides instead).
+  HostId dram_host;
+  // For kCxlPool: the multi-headed device backing this range.
+  MhdId mhd;
+  MemoryBackend* backend = nullptr;
+  uint64_t backend_offset = 0;
+
+  bool Contains(uint64_t addr, uint64_t len) const {
+    return addr >= base && addr + len <= base + size;
+  }
+};
+
+class AddressMap {
+ public:
+  AddressMap() = default;
+  AddressMap(const AddressMap&) = delete;
+  AddressMap& operator=(const AddressMap&) = delete;
+
+  // Registers a region. Fails on overlap or missing backend.
+  Status Register(const Region& region);
+
+  // Region containing `addr`, or nullptr if unmapped.
+  const Region* Lookup(uint64_t addr) const;
+
+  // Region containing the whole byte range, or error. Ranges spanning two
+  // regions are rejected — allocators never produce them.
+  Result<const Region*> Resolve(uint64_t addr, uint64_t len) const;
+
+  // Functional (untimed) access used by DMA engines and tests once timing
+  // has been charged elsewhere. CHECK-fails on unmapped ranges.
+  void ReadBytes(uint64_t addr, std::span<std::byte> out) const;
+  void WriteBytes(uint64_t addr, std::span<const std::byte> in);
+
+  size_t region_count() const { return regions_.size(); }
+
+ private:
+  std::map<uint64_t, Region> regions_;  // keyed by base
+};
+
+}  // namespace cxlpool::mem
+
+#endif  // SRC_MEM_ADDRESS_MAP_H_

@@ -1,0 +1,23 @@
+#include "src/mem/backend.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace cxlpool::mem {
+
+MemoryBackend::MemoryBackend(std::string name, uint64_t size_bytes)
+    : name_(std::move(name)), data_(size_bytes) {}
+
+void MemoryBackend::Read(uint64_t offset, std::span<std::byte> out) const {
+  CXLPOOL_CHECK(offset + out.size() <= data_.size());
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+void MemoryBackend::Write(uint64_t offset, std::span<const std::byte> in) {
+  CXLPOOL_CHECK(offset + in.size() <= data_.size());
+  std::memcpy(data_.data() + offset, in.data(), in.size());
+}
+
+}  // namespace cxlpool::mem

@@ -1,0 +1,39 @@
+// MemoryBackend: the actual bytes behind a memory region (a host's local
+// DRAM or a CXL multi-headed device's media). Purely functional storage —
+// all timing lives in the adapters and links that route accesses here.
+#ifndef SRC_MEM_BACKEND_H_
+#define SRC_MEM_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cxlpool::mem {
+
+class MemoryBackend {
+ public:
+  // `name` is for diagnostics ("host0-dram", "mhd2-media").
+  MemoryBackend(std::string name, uint64_t size_bytes);
+
+  uint64_t size() const { return data_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Copies bytes out of / into the backing store. Offsets are
+  // backend-relative; callers must stay in bounds (CHECKed).
+  void Read(uint64_t offset, std::span<std::byte> out) const;
+  void Write(uint64_t offset, std::span<const std::byte> in);
+
+  // Direct pointer for tests and zero-copy internals.
+  std::byte* data() { return data_.data(); }
+  const std::byte* data() const { return data_.data(); }
+
+ private:
+  std::string name_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace cxlpool::mem
+
+#endif  // SRC_MEM_BACKEND_H_

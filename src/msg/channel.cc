@@ -1,0 +1,28 @@
+#include "src/msg/channel.h"
+
+namespace cxlpool::msg {
+
+Result<std::unique_ptr<Channel>> Channel::Create(cxl::CxlPool& pool,
+                                                 cxl::HostAdapter& a,
+                                                 cxl::HostAdapter& b,
+                                                 Options options) {
+  uint64_t per_ring = RingFootprint(options.slots);
+  ASSIGN_OR_RETURN(cxl::PoolSegment seg, pool.Allocate(2 * per_ring, options.mhd));
+
+  RingConfig a_to_b;
+  a_to_b.base = seg.base;
+  a_to_b.slots = options.slots;
+  a_to_b.poll_min = options.poll_min;
+  a_to_b.poll_max = options.poll_max;
+
+  RingConfig b_to_a = a_to_b;
+  b_to_a.base = seg.base + per_ring;
+
+  auto channel = std::unique_ptr<Channel>(new Channel());
+  channel->segment_ = seg;
+  channel->end_a_ = std::make_unique<Endpoint>(a, a_to_b, b_to_a);
+  channel->end_b_ = std::make_unique<Endpoint>(b, b_to_a, a_to_b);
+  return channel;
+}
+
+}  // namespace cxlpool::msg

@@ -1,0 +1,82 @@
+// A shared-memory doorbell: one 64 B pool line carrying a monotonically
+// increasing u64. Ringing is a single non-temporal store; watching is an
+// invalidate+load poll. Cheaper than a ring when the only information is
+// "progress advanced to N" — e.g. queue tail pointers mirrored into CXL.
+#ifndef SRC_MSG_DOORBELL_H_
+#define SRC_MSG_DOORBELL_H_
+
+#include <array>
+
+#include "src/common/status.h"
+#include "src/cxl/host_adapter.h"
+#include "src/msg/wire.h"
+#include "src/sim/poll.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::msg {
+
+class DoorbellSender {
+ public:
+  DoorbellSender(cxl::HostAdapter& host, uint64_t line_addr)
+      : host_(host), addr_(line_addr) {}
+
+  // Publishes `value` (callers use monotonically increasing values).
+  sim::Task<Status> Ring(uint64_t value) {
+    std::array<std::byte, 8> buf;
+    wire::PutU64(buf.data(), value);
+    return host_.StoreNt(addr_, buf);
+  }
+
+ private:
+  cxl::HostAdapter& host_;
+  uint64_t addr_;
+};
+
+class DoorbellWatcher {
+ public:
+  DoorbellWatcher(cxl::HostAdapter& host, uint64_t line_addr,
+                  Nanos poll_min = 100, Nanos poll_max = 2 * kMicrosecond)
+      : host_(host), addr_(line_addr), backoff_(poll_min, poll_max) {}
+
+  // Single fresh read of the doorbell value.
+  sim::Task<Result<uint64_t>> ReadValue() {
+    Status st = co_await host_.Invalidate(addr_, 8);
+    if (!st.ok()) {
+      co_return st;
+    }
+    std::array<std::byte, 8> buf;
+    st = co_await host_.Load(addr_, buf);
+    if (!st.ok()) {
+      co_return st;
+    }
+    co_return wire::GetU64(buf.data());
+  }
+
+  // Waits until the doorbell value exceeds `last_seen` or `deadline` hits.
+  sim::Task<Result<uint64_t>> WaitBeyond(uint64_t last_seen, Nanos deadline) {
+    for (;;) {
+      auto v = co_await ReadValue();
+      if (!v.ok()) {
+        co_return v.status();
+      }
+      if (*v > last_seen) {
+        backoff_.Reset();
+        co_return *v;
+      }
+      Nanos now = host_.loop().now();
+      if (now >= deadline) {
+        co_return DeadlineExceeded("doorbell unchanged");
+      }
+      co_await sim::Delay(host_.loop(), std::min(backoff_.NextDelay(), deadline - now));
+    }
+  }
+
+ private:
+  cxl::HostAdapter& host_;
+  uint64_t addr_;
+  sim::PollBackoff backoff_;
+};
+
+}  // namespace cxlpool::msg
+
+#endif  // SRC_MSG_DOORBELL_H_

@@ -1,0 +1,181 @@
+#include "src/msg/ring.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/msg/wire.h"
+
+namespace cxlpool::msg {
+
+namespace {
+constexpr uint64_t kSeqOffset = 0;
+constexpr uint64_t kChunkLenOffset = 4;
+constexpr uint64_t kMsgLenOffset = 6;
+constexpr uint64_t kPayloadOffset = kSlotHeaderSize;
+
+bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+RingSender::RingSender(cxl::HostAdapter& host, const RingConfig& config)
+    : host_(host),
+      config_(config),
+      cursor_addr_(config.base + static_cast<uint64_t>(config.slots) * kSlotSize),
+      backoff_(config.poll_min, config.poll_max) {
+  CXLPOOL_CHECK(IsPowerOfTwo(config.slots));
+  CXLPOOL_CHECK(config.base % kCachelineSize == 0);
+}
+
+sim::Task<Status> RingSender::WaitForSpace(uint32_t chunks_needed) {
+  if (chunks_needed > config_.slots) {
+    co_return InvalidArgument("message needs more chunks than the ring has slots");
+  }
+  while (head_ + chunks_needed - cached_tail_ > config_.slots) {
+    // Ring looks full: refresh the consumer cursor from the pool.
+    CO_RETURN_IF_ERROR(co_await host_.Invalidate(cursor_addr_, 8));
+    std::array<std::byte, 8> buf;
+    CO_RETURN_IF_ERROR(co_await host_.Load(cursor_addr_, buf));
+    cached_tail_ = wire::GetU64(buf.data());
+    if (head_ + chunks_needed - cached_tail_ <= config_.slots) {
+      backoff_.Reset();
+      break;
+    }
+    co_await sim::Delay(host_.loop(), backoff_.NextDelay());
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> RingSender::Send(std::span<const std::byte> payload) {
+  if (payload.size() > kMaxMessageSize) {
+    co_return InvalidArgument("message exceeds kMaxMessageSize");
+  }
+  uint32_t chunks = std::max<uint32_t>(
+      1, static_cast<uint32_t>((payload.size() + kSlotPayload - 1) / kSlotPayload));
+  CO_RETURN_IF_ERROR(co_await WaitForSpace(chunks));
+
+  size_t offset = 0;
+  for (uint32_t c = 0; c < chunks; ++c) {
+    size_t chunk_len = std::min<size_t>(kSlotPayload, payload.size() - offset);
+    std::array<std::byte, kSlotSize> line{};
+    wire::PutU32(line.data() + kSeqOffset, static_cast<uint32_t>(head_ + 1));
+    wire::PutU16(line.data() + kChunkLenOffset, static_cast<uint16_t>(chunk_len));
+    wire::PutU16(line.data() + kMsgLenOffset, static_cast<uint16_t>(payload.size()));
+    std::memcpy(line.data() + kPayloadOffset, payload.data() + offset, chunk_len);
+
+    uint64_t slot_addr = config_.base + (head_ % config_.slots) * kSlotSize;
+    // The whole line is published with one non-temporal store: payload and
+    // the seq flag become visible atomically at cacheline granularity.
+    CO_RETURN_IF_ERROR(co_await host_.StoreNt(slot_addr, line));
+    ++head_;
+    offset += chunk_len;
+  }
+  co_return OkStatus();
+}
+
+RingReceiver::RingReceiver(cxl::HostAdapter& host, const RingConfig& config)
+    : host_(host),
+      config_(config),
+      cursor_addr_(config.base + static_cast<uint64_t>(config.slots) * kSlotSize),
+      backoff_(config.poll_min, config.poll_max) {
+  CXLPOOL_CHECK(IsPowerOfTwo(config.slots));
+}
+
+sim::Task<Result<uint32_t>> RingReceiver::LoadSlot(
+    uint64_t index, std::array<std::byte, kSlotSize>* line) {
+  uint64_t slot_addr = config_.base + (index % config_.slots) * kSlotSize;
+  // Software coherence: drop any cached copy before loading, or we would
+  // spin on a stale line forever.
+  Status st = co_await host_.Invalidate(slot_addr, kSlotSize);
+  if (!st.ok()) {
+    co_return st;
+  }
+  st = co_await host_.Load(slot_addr, *line);
+  if (!st.ok()) {
+    co_return st;
+  }
+  co_return wire::GetU32(line->data() + kSeqOffset);
+}
+
+sim::Task<Status> RingReceiver::PublishCursor() {
+  std::array<std::byte, 8> buf;
+  wire::PutU64(buf.data(), tail_);
+  CO_RETURN_IF_ERROR(co_await host_.StoreNt(cursor_addr_, buf));
+  last_published_cursor_ = tail_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> RingReceiver::ConsumeMessage(
+    std::array<std::byte, kSlotSize> first_line, std::vector<std::byte>* out) {
+  uint16_t msg_len = wire::GetU16(first_line.data() + kMsgLenOffset);
+  uint16_t chunk_len = wire::GetU16(first_line.data() + kChunkLenOffset);
+  out->insert(out->end(), first_line.data() + kPayloadOffset,
+              first_line.data() + kPayloadOffset + chunk_len);
+  ++tail_;
+  size_t received = chunk_len;
+
+  while (received < msg_len) {
+    // Continuation chunks: the sender is already committed to writing
+    // them, so spin at the minimum cadence without a deadline.
+    std::array<std::byte, kSlotSize> line;
+    auto seq_or = co_await LoadSlot(tail_, &line);
+    if (!seq_or.ok()) {
+      co_return seq_or.status();
+    }
+    if (*seq_or != static_cast<uint32_t>(tail_ + 1)) {
+      co_await sim::Delay(host_.loop(), config_.poll_min);
+      continue;
+    }
+    chunk_len = wire::GetU16(line.data() + kChunkLenOffset);
+    out->insert(out->end(), line.data() + kPayloadOffset,
+                line.data() + kPayloadOffset + chunk_len);
+    received += chunk_len;
+    ++tail_;
+  }
+
+  ++messages_;
+  if (tail_ - last_published_cursor_ >= config_.slots / 4) {
+    CO_RETURN_IF_ERROR(co_await PublishCursor());
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> RingReceiver::Recv(std::vector<std::byte>* out, Nanos deadline) {
+  for (;;) {
+    std::array<std::byte, kSlotSize> line;
+    auto seq_or = co_await LoadSlot(tail_, &line);
+    if (!seq_or.ok()) {
+      co_return seq_or.status();
+    }
+    if (*seq_or == static_cast<uint32_t>(tail_ + 1)) {
+      backoff_.Reset();
+      co_return co_await ConsumeMessage(line, out);
+    }
+    // Idle: lazily publish the consumer cursor. Without this a sender
+    // needing many contiguous slots can wait forever for credits the
+    // batched publish in ConsumeMessage would never flush (deadlock).
+    if (tail_ != last_published_cursor_) {
+      CO_RETURN_IF_ERROR(co_await PublishCursor());
+    }
+    Nanos now = host_.loop().now();
+    if (now >= deadline) {
+      co_return DeadlineExceeded("no message before deadline");
+    }
+    Nanos delay = std::min(backoff_.NextDelay(), deadline - now);
+    co_await sim::Delay(host_.loop(), delay);
+  }
+}
+
+sim::Task<Status> RingReceiver::TryRecv(std::vector<std::byte>* out) {
+  std::array<std::byte, kSlotSize> line;
+  auto seq_or = co_await LoadSlot(tail_, &line);
+  if (!seq_or.ok()) {
+    co_return seq_or.status();
+  }
+  if (*seq_or != static_cast<uint32_t>(tail_ + 1)) {
+    co_return NotFound("ring empty");
+  }
+  co_return co_await ConsumeMessage(line, out);
+}
+
+}  // namespace cxlpool::msg

@@ -1,0 +1,121 @@
+// Shared-memory message ring over non-coherent CXL pool memory (paper
+// §4.1: "The channel is implemented as a ring buffer, with each message
+// slot sized at 64 B to match the cacheline granularity. It manages cache
+// coherence in software by using non-temporal stores to send messages.")
+//
+// Wire layout of one ring (all in one pool segment):
+//   [slot 0 .. slot N-1]    N x 64 B message slots
+//   [consumer cursor]       one 64 B line holding a u64 consumed count
+//
+// Slot format (64 B):
+//   u32 seq        message index + 1; the publish flag. A slot is valid
+//                  for message k iff seq == k+1. Written last (the whole
+//                  line goes out in one non-temporal store).
+//   u16 chunk_len  payload bytes in this slot (<= 54)
+//   u16 msg_len    total message bytes (set in every chunk)
+//   u8  payload[54]
+//
+// Messages longer than one slot span consecutive slots (the common case —
+// doorbells, control messages — is single-slot, which is the configuration
+// measured in Figure 4).
+//
+// Coherence protocol:
+//   sender:   StoreNt(slot)                      -> immediately visible
+//   receiver: Invalidate(slot); Load(slot)       -> never reads stale seq
+//   receiver: StoreNt(cursor) every N/4 messages -> flow control
+//   sender:   Invalidate(cursor); Load(cursor) when the ring looks full
+#ifndef SRC_MSG_RING_H_
+#define SRC_MSG_RING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/cxl/host_adapter.h"
+#include "src/sim/poll.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::msg {
+
+inline constexpr uint64_t kSlotSize = kCachelineSize;
+inline constexpr uint64_t kSlotHeaderSize = 10;  // seq(4) chunk_len(2) msg_len(2) + pad(2)
+inline constexpr uint64_t kSlotPayload = kSlotSize - kSlotHeaderSize;  // 54
+inline constexpr uint64_t kMaxMessageSize = 8 * kKiB;
+
+// Bytes of pool memory a ring with `slots` slots occupies.
+constexpr uint64_t RingFootprint(uint32_t slots) {
+  return static_cast<uint64_t>(slots) * kSlotSize + kCachelineSize;
+}
+
+struct RingConfig {
+  uint64_t base = 0;    // pool address of slot 0
+  uint32_t slots = 64;  // must be a power of two
+  // Receiver busy-poll cadence; decays by 2x to max while idle.
+  Nanos poll_min = 100;
+  Nanos poll_max = 2 * kMicrosecond;
+};
+
+// Producer endpoint. Exactly one sender and one receiver per ring (SPSC);
+// the bidirectional Channel in channel.h pairs two rings.
+class RingSender {
+ public:
+  RingSender(cxl::HostAdapter& host, const RingConfig& config);
+
+  // Publishes one message (<= kMaxMessageSize). Blocks (in simulated time)
+  // while the ring is full. Fails if the CXL path is unhealthy.
+  sim::Task<Status> Send(std::span<const std::byte> payload);
+
+  uint64_t messages_sent() const { return head_; }
+  cxl::HostAdapter& host() { return host_; }
+
+ private:
+  sim::Task<Status> WaitForSpace(uint32_t chunks_needed);
+
+  cxl::HostAdapter& host_;
+  RingConfig config_;
+  uint64_t cursor_addr_;
+  uint64_t head_ = 0;         // next slot index to write
+  uint64_t cached_tail_ = 0;  // last observed consumer cursor
+  sim::PollBackoff backoff_;
+};
+
+// Consumer endpoint.
+class RingReceiver {
+ public:
+  RingReceiver(cxl::HostAdapter& host, const RingConfig& config);
+
+  // Receives the next message, waiting until `deadline` (absolute sim
+  // time). Returns kDeadlineExceeded on timeout, kUnavailable if the CXL
+  // path died. On success the message bytes are appended to *out.
+  sim::Task<Status> Recv(std::vector<std::byte>* out, Nanos deadline);
+
+  // Non-blocking single poll: kNotFound if no message is ready right now.
+  // (Still charges the invalidate+load cost of inspecting the head slot.)
+  sim::Task<Status> TryRecv(std::vector<std::byte>* out);
+
+  uint64_t messages_received() const { return messages_; }
+  cxl::HostAdapter& host() { return host_; }
+
+ private:
+  // Reads slot `index`'s line fresh from the pool. Returns seq.
+  sim::Task<Result<uint32_t>> LoadSlot(uint64_t index,
+                                       std::array<std::byte, kSlotSize>* line);
+  sim::Task<Status> PublishCursor();
+  // Pops one full message whose first chunk line is already loaded.
+  sim::Task<Status> ConsumeMessage(std::array<std::byte, kSlotSize> first_line,
+                                   std::vector<std::byte>* out);
+
+  cxl::HostAdapter& host_;
+  RingConfig config_;
+  uint64_t cursor_addr_;
+  uint64_t tail_ = 0;  // next slot index to read
+  uint64_t messages_ = 0;
+  uint64_t last_published_cursor_ = 0;
+  sim::PollBackoff backoff_;
+};
+
+}  // namespace cxlpool::msg
+
+#endif  // SRC_MSG_RING_H_

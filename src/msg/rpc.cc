@@ -1,0 +1,116 @@
+#include "src/msg/rpc.h"
+
+#include "src/common/check.h"
+#include "src/msg/wire.h"
+
+namespace cxlpool::msg {
+
+namespace {
+constexpr size_t kHeaderSize = 1 + 8 + 2;
+}  // namespace
+
+namespace {
+// Releases a semaphore on scope exit (co_return included).
+class TurnGuard {
+ public:
+  explicit TurnGuard(sim::Semaphore* sem) : sem_(sem) {}
+  ~TurnGuard() { sem_->Release(); }
+  TurnGuard(const TurnGuard&) = delete;
+  TurnGuard& operator=(const TurnGuard&) = delete;
+
+ private:
+  sim::Semaphore* sem_;
+};
+}  // namespace
+
+sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
+    uint16_t method, std::span<const std::byte> request, Nanos deadline) {
+  co_await turn_.Acquire();
+  TurnGuard guard(&turn_);
+  uint64_t id = next_call_id_++;
+
+  std::vector<std::byte> frame;
+  frame.reserve(kHeaderSize + request.size());
+  wire::Writer w(&frame);
+  w.U8(kRpcRequest);
+  w.U64(id);
+  w.U16(method);
+  w.Bytes(request);
+
+  Status st = co_await endpoint_.Send(frame);
+  if (!st.ok()) {
+    co_return st;
+  }
+
+  for (;;) {
+    std::vector<std::byte> resp;
+    st = co_await endpoint_.Recv(&resp, deadline);
+    if (!st.ok()) {
+      co_return st;
+    }
+    if (resp.size() < kHeaderSize) {
+      co_return Internal("short RPC frame");
+    }
+    wire::Reader r(resp);
+    uint8_t kind = r.U8();
+    uint64_t got_id = r.U64();
+    uint16_t code_or_method = r.U16();
+    if (got_id != id) {
+      continue;  // stale response from an abandoned call; drop
+    }
+    if (kind == kRpcErrorResponse) {
+      co_return Status(static_cast<StatusCode>(code_or_method),
+                       "remote handler failed");
+    }
+    if (kind != kRpcResponse) {
+      co_return Internal("unexpected RPC frame kind");
+    }
+    auto rest = r.Rest();
+    co_return std::vector<std::byte>(rest.begin(), rest.end());
+  }
+}
+
+sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
+  sim::EventLoop& loop = endpoint_.loop();
+  while (!stop.stopped()) {
+    std::vector<std::byte> frame;
+    // Slice the wait so the stop flag is observed promptly.
+    Status st = co_await endpoint_.Recv(&frame, loop.now() + 50 * kMicrosecond);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kDeadlineExceeded) {
+        continue;
+      }
+      co_return;  // channel path died; supervisor restarts if desired
+    }
+    if (frame.size() < kHeaderSize) {
+      continue;
+    }
+    wire::Reader r(frame);
+    uint8_t kind = r.U8();
+    uint64_t id = r.U64();
+    uint16_t method = r.U16();
+    if (kind != kRpcRequest) {
+      continue;
+    }
+    Result<std::vector<std::byte>> result = co_await handler_(method, r.Rest());
+    std::vector<std::byte> resp;
+    wire::Writer w(&resp);
+    if (result.ok()) {
+      w.U8(kRpcResponse);
+      w.U64(id);
+      w.U16(method);
+      w.Bytes(result.value());
+    } else {
+      w.U8(kRpcErrorResponse);
+      w.U64(id);
+      w.U16(static_cast<uint16_t>(result.status().code()));
+    }
+    ++calls_served_;
+    Status send_st = co_await endpoint_.Send(resp);
+    if (!send_st.ok()) {
+      co_return;
+    }
+  }
+}
+
+}  // namespace cxlpool::msg

@@ -1,0 +1,66 @@
+// Minimal RPC over a Channel. Used by the pooling orchestrator/agents and
+// by the MMIO forwarding datapath (core/). One client per endpoint; calls
+// are serialized (the control plane is low-rate by design — the hot
+// datapath uses rings directly).
+//
+// Wire format: [u8 kind][u64 call_id][u16 method][payload...]
+#ifndef SRC_MSG_RPC_H_
+#define SRC_MSG_RPC_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/msg/channel.h"
+#include "src/sim/poll.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::msg {
+
+inline constexpr uint8_t kRpcRequest = 0;
+inline constexpr uint8_t kRpcResponse = 1;
+inline constexpr uint8_t kRpcErrorResponse = 2;
+
+class RpcClient {
+ public:
+  explicit RpcClient(Endpoint& endpoint)
+      : endpoint_(endpoint), turn_(endpoint.loop(), 1) {}
+
+  // Issues a call and waits for the response (until `deadline`, absolute).
+  // Calls from concurrent coroutines are serialized internally (the
+  // channel carries one outstanding request at a time).
+  sim::Task<Result<std::vector<std::byte>>> Call(uint16_t method,
+                                                 std::span<const std::byte> request,
+                                                 Nanos deadline);
+
+ private:
+  Endpoint& endpoint_;
+  uint64_t next_call_id_ = 1;
+  sim::Semaphore turn_;
+};
+
+class RpcServer {
+ public:
+  // Handler returns the response payload or an error status (reported to
+  // the caller as kRpcErrorResponse carrying the code).
+  using Handler = std::function<sim::Task<Result<std::vector<std::byte>>>(
+      uint16_t method, std::span<const std::byte> request)>;
+
+  RpcServer(Endpoint& endpoint, Handler handler)
+      : endpoint_(endpoint), handler_(std::move(handler)) {}
+
+  // Serve loop; runs until `stop` fires. Spawn as a detached task.
+  sim::Task<> Serve(sim::StopToken& stop);
+
+  uint64_t calls_served() const { return calls_served_; }
+
+ private:
+  Endpoint& endpoint_;
+  Handler handler_;
+  uint64_t calls_served_ = 0;
+};
+
+}  // namespace cxlpool::msg
+
+#endif  // SRC_MSG_RPC_H_

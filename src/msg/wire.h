@@ -1,0 +1,82 @@
+// Tiny fixed-endian (little-endian) wire encoding helpers for message
+// payloads placed in shared memory.
+#ifndef SRC_MSG_WIRE_H_
+#define SRC_MSG_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace cxlpool::msg::wire {
+
+inline void PutU16(std::byte* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void PutU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void PutU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+inline uint16_t GetU16(const std::byte* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline uint32_t GetU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t GetU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Append-style writer over a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::byte>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(std::byte{v}); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Bytes(std::span<const std::byte> b) { Raw(b.data(), b.size()); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const std::byte* b = static_cast<const std::byte*>(p);
+    out_->insert(out_->end(), b, b + n);
+  }
+  std::vector<std::byte>* out_;
+};
+
+// Sequential reader; CHECK-fails on underflow (malformed internal
+// messages are programmer errors, not runtime conditions).
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  uint8_t U8() { return static_cast<uint8_t>(Take(1)[0]); }
+  uint16_t U16() { return GetU16(Take(2).data()); }
+  uint32_t U32() { return GetU32(Take(4).data()); }
+  uint64_t U64() { return GetU64(Take(8).data()); }
+  std::span<const std::byte> Bytes(size_t n) { return Take(n); }
+  std::span<const std::byte> Rest() { return Take(data_.size() - pos_); }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> Take(size_t n) {
+    CXLPOOL_CHECK(pos_ + n <= data_.size());
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cxlpool::msg::wire
+
+#endif  // SRC_MSG_WIRE_H_

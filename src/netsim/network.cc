@@ -1,0 +1,45 @@
+#include "src/netsim/network.h"
+
+#include <utility>
+
+namespace cxlpool::netsim {
+
+Status Network::Attach(MacAddr mac, Endpoint* endpoint) {
+  if (ports_.contains(mac)) {
+    return AlreadyExists("MAC already attached");
+  }
+  Port port;
+  port.endpoint = endpoint;
+  port.egress = std::make_unique<sim::BandwidthQueue>(
+      GbitPerSecToBytesPerNanos(config_.port_gbit));
+  ports_.emplace(mac, std::move(port));
+  return OkStatus();
+}
+
+Status Network::Detach(MacAddr mac) {
+  if (ports_.erase(mac) == 0) {
+    return NotFound("MAC not attached");
+  }
+  return OkStatus();
+}
+
+void Network::Transmit(Frame frame) {
+  auto it = ports_.find(frame.dst);
+  if (it == ports_.end()) {
+    ++dropped_;
+    return;
+  }
+  Nanos now = loop_.now();
+  Nanos arrival_at_switch = now + config_.propagation;
+  Nanos egress_done =
+      it->second.egress->Acquire(arrival_at_switch + config_.switch_latency,
+                                 frame.wire_size());
+  Nanos delivery = egress_done + config_.propagation;
+  Endpoint* endpoint = it->second.endpoint;
+  ++delivered_;
+  loop_.ScheduleAt(delivery, [endpoint, f = std::move(frame)]() mutable {
+    endpoint->DeliverFrame(std::move(f));
+  });
+}
+
+}  // namespace cxlpool::netsim

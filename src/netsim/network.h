@@ -1,0 +1,82 @@
+// Minimal Ethernet fabric for the UDP experiments: endpoints (NIC MACs)
+// attached to one store-and-forward switch. A frame transmitted by an
+// endpoint is charged the sender's wire serialization by the NIC model;
+// the network adds propagation, switch latency, and egress-port
+// serialization, then delivers to the destination endpoint.
+#ifndef SRC_NETSIM_NETWORK_H_
+#define SRC_NETSIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/bandwidth.h"
+#include "src/sim/event_loop.h"
+
+namespace cxlpool::netsim {
+
+using MacAddr = uint64_t;
+
+struct Frame {
+  MacAddr dst = 0;
+  MacAddr src = 0;
+  std::vector<std::byte> payload;
+
+  size_t wire_size() const { return payload.size() + kFrameOverhead; }
+  // Ethernet + IP + UDP framing overhead charged on the wire.
+  static constexpr size_t kFrameOverhead = 42;
+};
+
+// Implemented by NIC models.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void DeliverFrame(Frame frame) = 0;
+};
+
+struct NetworkConfig {
+  double port_gbit = 100.0;     // per-port egress rate
+  Nanos switch_latency = 1200;  // shared ToR, shallow queues
+  Nanos propagation = 350;      // cable + PHY + RS-FEC per traversal
+};
+
+class Network {
+ public:
+  Network(sim::EventLoop& loop, const NetworkConfig& config)
+      : loop_(loop), config_(config) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Attaches an endpoint under `mac`. Frames to unknown MACs are dropped.
+  Status Attach(MacAddr mac, Endpoint* endpoint);
+  Status Detach(MacAddr mac);
+
+  // Hands a frame (already serialized onto the sender's wire by the NIC)
+  // to the fabric; it arrives at the destination endpoint after
+  // propagation + switch + egress serialization.
+  void Transmit(Frame frame);
+
+  uint64_t frames_delivered() const { return delivered_; }
+  uint64_t frames_dropped() const { return dropped_; }
+
+  sim::EventLoop& loop() { return loop_; }
+
+ private:
+  struct Port {
+    Endpoint* endpoint;
+    std::unique_ptr<sim::BandwidthQueue> egress;
+  };
+
+  sim::EventLoop& loop_;
+  NetworkConfig config_;
+  std::map<MacAddr, Port> ports_;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace cxlpool::netsim
+
+#endif  // SRC_NETSIM_NETWORK_H_

@@ -1,0 +1,128 @@
+#include "src/pcie/device.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace cxlpool::pcie {
+
+PcieDevice::PcieDevice(PcieDeviceId id, std::string name, sim::EventLoop& loop,
+                       cxl::LinkSpec link, PcieTiming timing)
+    : id_(id),
+      name_(std::move(name)),
+      loop_(loop),
+      link_(link),
+      timing_(timing),
+      to_host_(link.BytesPerNanos()),
+      from_host_(link.BytesPerNanos()) {}
+
+void PcieDevice::AttachTo(cxl::HostAdapter* host) {
+  CXLPOOL_CHECK(host != nullptr);
+  CXLPOOL_CHECK(host_ == nullptr);
+  host_ = host;
+  ++generation_;
+  OnAttach();
+}
+
+void PcieDevice::Detach() {
+  if (host_ == nullptr) {
+    return;
+  }
+  OnDetach();
+  host_ = nullptr;
+  ++generation_;
+}
+
+void PcieDevice::InjectFailure() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  ++generation_;
+  OnFailure();
+}
+
+void PcieDevice::Repair() {
+  failed_ = false;
+  ++generation_;
+}
+
+sim::Task<Status> PcieDevice::MmioWrite(uint64_t reg, uint64_t value) {
+  if (host_ == nullptr) {
+    co_return FailedPrecondition("device not attached");
+  }
+  if (failed_) {
+    co_return Unavailable("device " + name_ + " failed");
+  }
+  Nanos extra = interposer_ ? interposer_->MmioExtraLatency(/*is_read=*/false) : 0;
+  // Posted semantics: the device sees the write after the PCIe latency;
+  // the CPU continues as soon as its write buffer drains.
+  loop_.Schedule(timing_.mmio_write + extra, [this, reg, value] {
+    if (host_ != nullptr && !failed_) {
+      OnMmioWrite(reg, value);
+    }
+  });
+  co_await sim::Delay(loop_, timing_.mmio_post_cpu);
+  co_return OkStatus();
+}
+
+sim::Task<Result<uint64_t>> PcieDevice::MmioRead(uint64_t reg) {
+  if (host_ == nullptr) {
+    co_return FailedPrecondition("device not attached");
+  }
+  if (failed_) {
+    co_return Unavailable("device " + name_ + " failed");
+  }
+  Nanos extra = interposer_ ? interposer_->MmioExtraLatency(/*is_read=*/true) : 0;
+  co_await sim::Delay(loop_, timing_.mmio_read + extra);
+  co_return OnMmioRead(reg);
+}
+
+sim::Task<Status> PcieDevice::DmaRead(uint64_t addr, std::span<std::byte> out) {
+  if (host_ == nullptr) {
+    co_return FailedPrecondition("device not attached");
+  }
+  if (failed_) {
+    co_return Unavailable("device " + name_ + " failed");
+  }
+  ++dma_stats_.reads;
+  dma_stats_.read_bytes += out.size();
+  Nanos start = loop_.now();
+  // Memory-side access (local DRAM or CXL pool; coherent with the attached
+  // host's cache via root-complex snoop).
+  CO_RETURN_IF_ERROR(co_await host_->DmaRead(addr, out));
+  // Device-link serialization overlaps the memory fetch pipeline; total
+  // completion is the max plus fixed per-op overhead.
+  Nanos link_done = from_host_.Acquire(start, out.size());
+  Nanos done = std::max(loop_.now(), link_done) + timing_.dma_overhead;
+  if (interposer_ != nullptr) {
+    done = std::max(done, interposer_->ChargeDma(start, out.size()));
+    done += interposer_->DmaExtraLatency();
+  }
+  co_await sim::WaitUntil(loop_, done);
+  co_return OkStatus();
+}
+
+sim::Task<Status> PcieDevice::DmaWrite(uint64_t addr, std::span<const std::byte> in) {
+  if (host_ == nullptr) {
+    co_return FailedPrecondition("device not attached");
+  }
+  if (failed_) {
+    co_return Unavailable("device " + name_ + " failed");
+  }
+  ++dma_stats_.writes;
+  dma_stats_.write_bytes += in.size();
+  Nanos start = loop_.now();
+  CO_RETURN_IF_ERROR(co_await host_->DmaWrite(addr, in));
+  Nanos link_done = to_host_.Acquire(start, in.size());
+  Nanos done = std::max(loop_.now(), link_done) + timing_.dma_overhead;
+  if (interposer_ != nullptr) {
+    done = std::max(done, interposer_->ChargeDma(start, in.size()));
+    done += interposer_->DmaExtraLatency();
+  }
+  co_await sim::WaitUntil(loop_, done);
+  co_return OkStatus();
+}
+
+}  // namespace cxlpool::pcie

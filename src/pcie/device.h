@@ -1,0 +1,138 @@
+// PCIe device framework.
+//
+// A PcieDevice is attached to exactly one host's root complex at a time.
+// Its CPU-facing surface is MMIO registers (BAR); its memory-facing surface
+// is DMA, which resolves through the global AddressMap — so an unmodified
+// device can target local DRAM or CXL pool memory, which is the paper's
+// core enabling observation ("PCIe devices can directly use CXL memory as
+// I/O buffers without device modifications").
+//
+// Only the attached host can issue MMIO to the device. Remote hosts go
+// through the core/ MMIO forwarding channel (paper §4.1) or, in the
+// baseline, through a hardware PCIe switch (switch_fabric.h).
+#ifndef SRC_PCIE_DEVICE_H_
+#define SRC_PCIE_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/cxl/host_adapter.h"
+#include "src/cxl/params.h"
+#include "src/sim/bandwidth.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::pcie {
+
+struct PcieTiming {
+  // Posted MMIO write: the device observes the register change after
+  // mmio_write; the issuing CPU only pays mmio_post_cpu (write buffer).
+  Nanos mmio_write = 300;
+  Nanos mmio_post_cpu = 60;
+  // Non-posted MMIO read (round trip).
+  Nanos mmio_read = 900;
+  // Fixed per-DMA-operation overhead (request issue, root complex, device
+  // engine) on top of memory latency and link serialization.
+  Nanos dma_overhead = 400;
+  // Extra one-way latency per hop through a hardware PCIe switch (the
+  // baseline fabric this paper argues against on cost, not performance).
+  Nanos switch_hop = 150;
+};
+
+// Interposer a fabric (e.g. the PCIe switch baseline) installs between a
+// device and its bound host to charge extra hop latency and shared fabric
+// bandwidth. The device itself stays unmodified — the fabric is
+// transparent, exactly like a real switch.
+class FabricInterposer {
+ public:
+  virtual ~FabricInterposer() = default;
+  // Charges `bytes` of fabric bandwidth starting at `now`; returns the
+  // fabric completion time (the device waits for max(memory, link, fabric)).
+  virtual Nanos ChargeDma(Nanos now, uint64_t bytes) = 0;
+  // Extra one-way latency added to each DMA operation.
+  virtual Nanos DmaExtraLatency() const = 0;
+  // Extra latency added to each MMIO operation (round trip for reads).
+  virtual Nanos MmioExtraLatency(bool is_read) const = 0;
+};
+
+class PcieDevice {
+ public:
+  PcieDevice(PcieDeviceId id, std::string name, sim::EventLoop& loop,
+             cxl::LinkSpec link, PcieTiming timing);
+  virtual ~PcieDevice() = default;
+  PcieDevice(const PcieDevice&) = delete;
+  PcieDevice& operator=(const PcieDevice&) = delete;
+
+  PcieDeviceId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  sim::EventLoop& loop() { return loop_; }
+  const PcieTiming& timing() const { return timing_; }
+
+  // --- Attachment ---
+  // Binds the device to `host`'s root complex. Subclasses may spawn their
+  // engines from OnAttach.
+  void AttachTo(cxl::HostAdapter* host);
+  void Detach();
+  cxl::HostAdapter* attached_host() { return host_; }
+  bool attached() const { return host_ != nullptr; }
+
+  // --- Failure injection ---
+  bool failed() const { return failed_; }
+  void InjectFailure();
+  void Repair();
+
+  // --- MMIO (from the attached host's CPU) ---
+  sim::Task<Status> MmioWrite(uint64_t reg, uint64_t value);
+  sim::Task<Result<uint64_t>> MmioRead(uint64_t reg);
+
+  // Device generation counter: bumped on attach/detach/failure; lets
+  // drivers detect they are talking to a re-bound device.
+  uint64_t generation() const { return generation_; }
+
+  // Installed by a switch fabric while the device is bound through it;
+  // nullptr for directly attached devices.
+  void set_interposer(FabricInterposer* interposer) { interposer_ = interposer; }
+  FabricInterposer* interposer() { return interposer_; }
+
+ protected:
+  // Device logic hooks (untimed; timing charged by the MMIO wrappers).
+  virtual void OnMmioWrite(uint64_t reg, uint64_t value) = 0;
+  virtual uint64_t OnMmioRead(uint64_t reg) = 0;
+  virtual void OnAttach() {}
+  virtual void OnDetach() {}
+  virtual void OnFailure() {}
+
+  // --- DMA helpers for subclasses (timed) ---
+  // Charge = device-link serialization + dma_overhead + memory-side cost
+  // (local DRAM or CXL pool via the attached host's adapter).
+  sim::Task<Status> DmaRead(uint64_t addr, std::span<std::byte> out);
+  sim::Task<Status> DmaWrite(uint64_t addr, std::span<const std::byte> in);
+
+  struct DmaStats {
+    uint64_t reads = 0;
+    uint64_t read_bytes = 0;
+    uint64_t writes = 0;
+    uint64_t write_bytes = 0;
+  };
+  const DmaStats& dma_stats() const { return dma_stats_; }
+
+ private:
+  PcieDeviceId id_;
+  std::string name_;
+  sim::EventLoop& loop_;
+  cxl::LinkSpec link_;
+  PcieTiming timing_;
+  cxl::HostAdapter* host_ = nullptr;
+  FabricInterposer* interposer_ = nullptr;
+  bool failed_ = false;
+  uint64_t generation_ = 0;
+  sim::BandwidthQueue to_host_;    // DMA writes / read completions
+  sim::BandwidthQueue from_host_;  // DMA read data fetch direction
+  DmaStats dma_stats_;
+};
+
+}  // namespace cxlpool::pcie
+
+#endif  // SRC_PCIE_DEVICE_H_

@@ -1,0 +1,109 @@
+#include "src/pcie/switch_fabric.h"
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace cxlpool::pcie {
+
+PcieSwitchFabric::PcieSwitchFabric(sim::EventLoop& loop,
+                                   const PcieSwitchConfig& config)
+    : loop_(loop), config_(config) {}
+
+PcieSwitchFabric::~PcieSwitchFabric() {
+  for (auto& [id, slot] : devices_) {
+    if (slot.device != nullptr && slot.device->interposer() == slot.interposer.get()) {
+      slot.device->set_interposer(nullptr);
+    }
+  }
+}
+
+Status PcieSwitchFabric::AttachHost(cxl::HostAdapter* host) {
+  CXLPOOL_CHECK(host != nullptr);
+  if (static_cast<int>(hosts_.size()) >= config_.host_ports) {
+    return ResourceExhausted("switch out of host ports");
+  }
+  for (cxl::HostAdapter* h : hosts_) {
+    if (h->id() == host->id()) {
+      return AlreadyExists("host already attached");
+    }
+  }
+  hosts_.push_back(host);
+  return OkStatus();
+}
+
+Status PcieSwitchFabric::AttachDevice(PcieDevice* device, DeviceClass device_class) {
+  CXLPOOL_CHECK(device != nullptr);
+  if (static_cast<int>(devices_.size()) >= config_.device_ports) {
+    return ResourceExhausted("switch out of device ports");
+  }
+  if (config_.supported != DeviceClass::kAny && config_.supported != device_class) {
+    // The vendor-constraint problem (paper §1): this appliance does not
+    // pool this kind of device at all.
+    return FailedPrecondition("switch does not support this device class");
+  }
+  if (devices_.contains(device->id())) {
+    return AlreadyExists("device already attached");
+  }
+  if (device->attached()) {
+    return FailedPrecondition("device is directly attached to a host");
+  }
+  DeviceSlot slot;
+  slot.device = device;
+  slot.device_class = device_class;
+  slot.interposer = std::make_unique<PortInterposer>(
+      config_.port_link.BytesPerNanos(), config_.hop_latency);
+  devices_.emplace(device->id(), std::move(slot));
+  return OkStatus();
+}
+
+Status PcieSwitchFabric::Bind(PcieDeviceId device, HostId host) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return NotFound("device not on this switch");
+  }
+  cxl::HostAdapter* target = nullptr;
+  for (cxl::HostAdapter* h : hosts_) {
+    if (h->id() == host) {
+      target = h;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return NotFound("host not on this switch");
+  }
+  DeviceSlot& slot = it->second;
+  if (slot.device->attached()) {
+    slot.device->Detach();
+    ++rebinds_;
+  }
+  slot.device->set_interposer(slot.interposer.get());
+  slot.device->AttachTo(target);
+  slot.bound_host = host;
+  return OkStatus();
+}
+
+Status PcieSwitchFabric::Unbind(PcieDeviceId device) {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return NotFound("device not on this switch");
+  }
+  DeviceSlot& slot = it->second;
+  if (!slot.device->attached()) {
+    return FailedPrecondition("device not bound");
+  }
+  slot.device->Detach();
+  slot.device->set_interposer(nullptr);
+  slot.bound_host = HostId::Invalid();
+  return OkStatus();
+}
+
+HostId PcieSwitchFabric::BoundHost(PcieDeviceId device) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end()) {
+    return HostId::Invalid();
+  }
+  return it->second.bound_host;
+}
+
+}  // namespace cxlpool::pcie

@@ -1,0 +1,100 @@
+// Hardware PCIe switch baseline (the incumbent the paper argues against).
+//
+// A routable PCIe switch decouples devices from hosts in hardware: hosts
+// and devices plug into switch ports, and the management plane binds any
+// device to any host. Performance-wise the switch is excellent — only
+// ~150 ns extra latency per hop and full crossbar bandwidth — its problems
+// are cost (≈$80k per rack with HA pairs, adapters, cabling, licenses;
+// paper §1) and inflexibility (port counts, vendor-specific device-type
+// constraints; §1). Both are modeled: hop latency + per-port bandwidth
+// here, dollars in src/tco/, constraints via DeviceClass port typing.
+#ifndef SRC_PCIE_SWITCH_FABRIC_H_
+#define SRC_PCIE_SWITCH_FABRIC_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/cxl/host_adapter.h"
+#include "src/pcie/device.h"
+#include "src/sim/bandwidth.h"
+
+namespace cxlpool::pcie {
+
+// Vendor product lines restrict which device classes a pooling appliance
+// supports (e.g. GPU-only SmartStack, separate storage vs accelerator
+// appliances). kAny models a hypothetical unrestricted switch.
+enum class DeviceClass : uint8_t {
+  kAny = 0,
+  kNic,
+  kStorage,
+  kAccelerator,
+};
+
+struct PcieSwitchConfig {
+  int host_ports = 8;
+  int device_ports = 16;
+  cxl::LinkSpec port_link;        // default x8 gen5
+  Nanos hop_latency = 150;        // one traversal (ingress->egress)
+  DeviceClass supported = DeviceClass::kAny;
+};
+
+class PcieSwitchFabric {
+ public:
+  PcieSwitchFabric(sim::EventLoop& loop, const PcieSwitchConfig& config);
+  ~PcieSwitchFabric();
+  PcieSwitchFabric(const PcieSwitchFabric&) = delete;
+  PcieSwitchFabric& operator=(const PcieSwitchFabric&) = delete;
+
+  const PcieSwitchConfig& config() const { return config_; }
+
+  // Plugs a host / device into a free port.
+  Status AttachHost(cxl::HostAdapter* host);
+  Status AttachDevice(PcieDevice* device, DeviceClass device_class);
+
+  // Routes `device` to `host`: the device now DMAs into that host's memory
+  // space and the host can MMIO it, all through the switch. Rebinding an
+  // already-bound device detaches it first (this is the switch's key
+  // capability — and what the CXL-pool design replicates in software).
+  Status Bind(PcieDeviceId device, HostId host);
+  Status Unbind(PcieDeviceId device);
+
+  // The host currently bound to `device` (invalid HostId if none).
+  HostId BoundHost(PcieDeviceId device) const;
+
+  uint64_t rebinds() const { return rebinds_; }
+
+ private:
+  struct PortInterposer : public FabricInterposer {
+    PortInterposer(double bytes_per_ns, Nanos hop)
+        : bw(bytes_per_ns), hop_latency(hop) {}
+    Nanos ChargeDma(Nanos now, uint64_t bytes) override {
+      return bw.Acquire(now, bytes);
+    }
+    Nanos DmaExtraLatency() const override { return 2 * hop_latency; }
+    Nanos MmioExtraLatency(bool is_read) const override {
+      return is_read ? 2 * hop_latency : hop_latency;
+    }
+    sim::BandwidthQueue bw;
+    Nanos hop_latency;
+  };
+
+  struct DeviceSlot {
+    PcieDevice* device = nullptr;
+    DeviceClass device_class = DeviceClass::kAny;
+    HostId bound_host;
+    std::unique_ptr<PortInterposer> interposer;
+  };
+
+  sim::EventLoop& loop_;
+  PcieSwitchConfig config_;
+  std::vector<cxl::HostAdapter*> hosts_;
+  std::map<PcieDeviceId, DeviceSlot> devices_;
+  uint64_t rebinds_ = 0;
+};
+
+}  // namespace cxlpool::pcie
+
+#endif  // SRC_PCIE_SWITCH_FABRIC_H_

@@ -1,0 +1,43 @@
+#include "src/sim/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace cxlpool::sim {
+
+BandwidthQueue::BandwidthQueue(double bytes_per_ns) : bytes_per_ns_(bytes_per_ns) {
+  CXLPOOL_CHECK(bytes_per_ns > 0);
+}
+
+Nanos BandwidthQueue::Acquire(Nanos now, uint64_t bytes) {
+  Nanos start = std::max(now, next_free_);
+  Nanos duration =
+      static_cast<Nanos>(std::ceil(static_cast<double>(bytes) / bytes_per_ns_));
+  next_free_ = start + duration;
+  busy_ += duration;
+  total_bytes_ += bytes;
+  return next_free_;
+}
+
+Nanos BandwidthQueue::Peek(Nanos now, uint64_t bytes) const {
+  Nanos start = std::max(now, next_free_);
+  Nanos duration =
+      static_cast<Nanos>(std::ceil(static_cast<double>(bytes) / bytes_per_ns_));
+  return start + duration;
+}
+
+void BandwidthQueue::set_bytes_per_ns(double rate) {
+  CXLPOOL_CHECK(rate > 0);
+  bytes_per_ns_ = rate;
+}
+
+double BandwidthQueue::Utilization(Nanos now) const {
+  if (now <= 0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(busy_) / static_cast<double>(now));
+}
+
+}  // namespace cxlpool::sim

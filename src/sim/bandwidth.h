@@ -1,0 +1,60 @@
+// Link-serialization (bandwidth) model.
+//
+// A BandwidthQueue represents a full-duplex-direction of a link with a fixed
+// byte rate and an unbounded FIFO: a transfer of B bytes issued at time t
+// completes at max(t, next_free) + B/rate. Under light load latency is just
+// the serialization delay; under overload the backlog grows and the caller
+// observes queueing delay — this is what produces the saturation knee in the
+// latency-throughput curves (Figure 3).
+#ifndef SRC_SIM_BANDWIDTH_H_
+#define SRC_SIM_BANDWIDTH_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace cxlpool::sim {
+
+class BandwidthQueue {
+ public:
+  // rate is in bytes per nanosecond (numerically GB/s).
+  explicit BandwidthQueue(double bytes_per_ns);
+
+  // Reserves link time for `bytes` starting no earlier than `now`; returns
+  // the completion time. Monotone in call order (FIFO).
+  Nanos Acquire(Nanos now, uint64_t bytes);
+
+  // Completion time if `bytes` were issued at `now`, without reserving.
+  Nanos Peek(Nanos now, uint64_t bytes) const;
+
+  // Earliest time a new transfer could start.
+  Nanos next_free() const { return next_free_; }
+
+  // Current backlog in ns relative to `now` (0 when idle).
+  Nanos Backlog(Nanos now) const { return next_free_ > now ? next_free_ - now : 0; }
+
+  double bytes_per_ns() const { return bytes_per_ns_; }
+
+  // Changing the rate models link degradation / failover to a narrower
+  // path. Applies to transfers issued after the call.
+  void set_bytes_per_ns(double rate);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  // Fraction of [0, now] the link spent busy.
+  double Utilization(Nanos now) const;
+
+  // Total busy time accumulated; callers can compute windowed rates from
+  // deltas.
+  Nanos busy_total() const { return busy_; }
+
+ private:
+  double bytes_per_ns_;
+  Nanos next_free_ = 0;
+  Nanos busy_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace cxlpool::sim
+
+#endif  // SRC_SIM_BANDWIDTH_H_

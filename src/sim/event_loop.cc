@@ -1,0 +1,44 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace cxlpool::sim {
+
+void EventLoop::ScheduleAt(Nanos when, Callback cb) {
+  CXLPOOL_DCHECK(cb != nullptr);
+  if (when < now_) {
+    when = now_;  // never travel back in time
+  }
+  heap_.push(Item{when, next_seq_++, std::move(cb)});
+}
+
+void EventLoop::RunOne() {
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop() so re-entrant scheduling from inside the callback is safe.
+  Item item = std::move(const_cast<Item&>(heap_.top()));
+  heap_.pop();
+  now_ = item.when;
+  ++executed_;
+  item.cb();
+}
+
+void EventLoop::Run() {
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_) {
+    RunOne();
+  }
+}
+
+void EventLoop::RunUntil(Nanos deadline) {
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_ && heap_.top().when <= deadline) {
+    RunOne();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace cxlpool::sim

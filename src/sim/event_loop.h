@@ -1,0 +1,83 @@
+// Discrete-event simulation core: a binary-heap calendar of callbacks keyed
+// by simulated time (nanoseconds). Single-threaded by design — determinism
+// is a feature; concurrency in the simulated system is expressed with
+// coroutines (src/sim/task.h), not OS threads.
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cxlpool::sim {
+
+using Callback = std::function<void()>;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current simulated time. Starts at 0.
+  Nanos now() const { return now_; }
+
+  // Runs `cb` at absolute simulated time `when` (clamped to now()).
+  // Events scheduled for the same instant run in scheduling order.
+  void ScheduleAt(Nanos when, Callback cb);
+
+  // Runs `cb` after `delay` nanoseconds of simulated time.
+  void Schedule(Nanos delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Processes events until the calendar is empty or Stop() is called.
+  void Run();
+
+  // Processes events with time <= `deadline`; afterwards now() == deadline
+  // (unless Stop() was called earlier). Events beyond the deadline stay
+  // queued.
+  void RunUntil(Nanos deadline);
+
+  // RunUntil(now() + duration).
+  void RunFor(Nanos duration) { RunUntil(now_ + duration); }
+
+  // Makes Run()/RunUntil() return after the current callback completes.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  // Total number of callbacks executed since construction. Useful for
+  // detecting runaway simulations and for the DES micro-benchmarks.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Item {
+    Nanos when;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the earliest event. Precondition: !empty().
+  void RunOne();
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace cxlpool::sim
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,53 @@
+#include "src/sim/logger.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/sim/event_loop.h"
+
+namespace cxlpool::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+const EventLoop* g_clock = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogClock(const EventLoop* loop) { g_clock = loop; }
+
+namespace log_internal {
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%s t=%lldns %s:%d] %s\n", LevelName(level),
+                 static_cast<long long>(g_clock->now()), Basename(file), line,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+                 msg.c_str());
+  }
+}
+}  // namespace log_internal
+
+}  // namespace cxlpool::sim

@@ -1,0 +1,50 @@
+// Polling helpers. Busy-poll loops dominate event counts in a DES; the
+// standard remedy is exponential backoff while idle (which real kernel-
+// bypass stacks also do to save cores). PollBackoff centralizes that
+// policy: call Reset() on activity, NextDelay() before each idle re-poll.
+#ifndef SRC_SIM_POLL_H_
+#define SRC_SIM_POLL_H_
+
+#include "src/common/units.h"
+
+namespace cxlpool::sim {
+
+class PollBackoff {
+ public:
+  // Polls every `min_delay` while busy, decaying to `max_delay` when idle.
+  PollBackoff(Nanos min_delay, Nanos max_delay)
+      : min_(min_delay), max_(max_delay), current_(min_delay) {}
+
+  Nanos NextDelay() {
+    Nanos d = current_;
+    current_ = std::min(current_ * 2, max_);
+    return d;
+  }
+
+  void Reset() { current_ = min_; }
+
+  Nanos current() const { return current_; }
+  Nanos min_delay() const { return min_; }
+  Nanos max_delay() const { return max_; }
+
+ private:
+  Nanos min_;
+  Nanos max_;
+  Nanos current_;
+};
+
+// Cooperative shutdown flag shared by long-running actors (pollers, agents,
+// device engines). Actors check `stopped()` in their loops; harnesses call
+// Stop() before draining the event loop.
+class StopToken {
+ public:
+  bool stopped() const { return stopped_; }
+  void Stop() { stopped_ = true; }
+
+ private:
+  bool stopped_ = false;
+};
+
+}  // namespace cxlpool::sim
+
+#endif  // SRC_SIM_POLL_H_

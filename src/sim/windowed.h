@@ -1,0 +1,46 @@
+// WindowedUtilization: converts a monotonically accumulating busy-time
+// counter into a recent-window utilization figure. Orchestrator policy
+// must react to *current* load; a cumulative average would make a
+// just-repaired device look idle forever and a once-hot device look busy
+// forever (lease ping-pong).
+#ifndef SRC_SIM_WINDOWED_H_
+#define SRC_SIM_WINDOWED_H_
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace cxlpool::sim {
+
+class WindowedUtilization {
+ public:
+  explicit WindowedUtilization(Nanos window = 200 * kMicrosecond)
+      : window_(window) {}
+
+  // `busy_total` is the accumulated busy time (possibly x capacity units);
+  // `capacity` scales the denominator (e.g. engine count).
+  double Update(Nanos now, Nanos busy_total, double capacity) {
+    if (now - window_start_ >= window_) {
+      Nanos elapsed = now - window_start_;
+      Nanos busy = busy_total - busy_at_start_;
+      last_ = std::clamp(
+          static_cast<double>(busy) / (static_cast<double>(elapsed) * capacity),
+          0.0, 1.0);
+      window_start_ = now;
+      busy_at_start_ = busy_total;
+    }
+    return last_;
+  }
+
+  double last() const { return last_; }
+
+ private:
+  Nanos window_;
+  Nanos window_start_ = 0;
+  Nanos busy_at_start_ = 0;
+  double last_ = 0.0;
+};
+
+}  // namespace cxlpool::sim
+
+#endif  // SRC_SIM_WINDOWED_H_

@@ -1,0 +1,97 @@
+#include "src/stack/loadgen.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/msg/wire.h"
+
+namespace cxlpool::stack {
+
+namespace {
+
+struct SharedState {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  int senders_done = 0;
+};
+
+sim::Task<> Sender(UdpSocket* sock, netsim::MacAddr dst, uint16_t port,
+                   const LoadGenConfig& config, sim::EventLoop& loop,
+                   SharedState& state, LoadGenReport& report, int my_index) {
+  sim::Rng rng(config.seed + static_cast<uint64_t>(my_index) * 6151);
+  // Each sender carries an equal share of the offered rate; thinning a
+  // Poisson process yields a Poisson process.
+  double mean_gap = 1e9 * config.senders / config.offered_pps;
+  std::vector<std::byte> payload(std::max<uint32_t>(config.payload_bytes, 16),
+                                 std::byte{0xcd});
+  Nanos end = loop.now() + config.duration;
+  while (loop.now() < end) {
+    co_await sim::Delay(loop, std::max<Nanos>(1, static_cast<Nanos>(
+                                                     rng.Exponential(mean_gap))));
+    if (state.sent - state.received >= config.max_outstanding) {
+      ++report.overload_skipped;
+      continue;
+    }
+    msg::wire::PutU64(payload.data(), state.sent);
+    msg::wire::PutU64(payload.data() + 8, static_cast<uint64_t>(loop.now()));
+    Status st = co_await sock->SendTo(dst, port, payload);
+    if (!st.ok()) {
+      ++report.overload_skipped;  // out of buffers == overloaded
+      continue;
+    }
+    ++state.sent;
+  }
+  ++state.senders_done;
+}
+
+}  // namespace
+
+sim::Task<LoadGenReport> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
+                                    uint16_t dst_port, LoadGenConfig config) {
+  CXLPOOL_CHECK(config.payload_bytes >= 16);
+  sim::EventLoop& loop = sock->Loop();
+  LoadGenReport report;
+  SharedState state;
+  Nanos start = loop.now();
+  Nanos measure_from = start + config.warmup;
+  Nanos measure_until = start + config.duration;
+
+  for (int s = 0; s < config.senders; ++s) {
+    sim::Spawn(Sender(sock, dst_mac, dst_port, config, loop, state, report, s));
+  }
+
+  uint64_t measured_responses = 0;
+  uint64_t measured_bytes = 0;
+  Nanos grace = 2 * kMillisecond;
+  while (!(state.senders_done == config.senders && state.received >= state.sent) &&
+         loop.now() < measure_until + grace) {
+    auto d = co_await sock->Recv(loop.now() + 200 * kMicrosecond);
+    if (!d.ok()) {
+      continue;
+    }
+    ++state.received;
+    if (d->payload.size() < 16) {
+      continue;
+    }
+    Nanos sent_at =
+        static_cast<Nanos>(msg::wire::GetU64(d->payload.data() + 8));
+    Nanos now = loop.now();
+    if (sent_at >= measure_from && now <= measure_until) {
+      report.rtt.Add(now - sent_at);
+      ++measured_responses;
+      measured_bytes += d->payload.size();
+    }
+  }
+
+  report.sent = state.sent;
+  report.received = state.received;
+  double window = static_cast<double>(measure_until - measure_from);
+  if (window > 0) {
+    report.achieved_pps = 1e9 * static_cast<double>(measured_responses) / window;
+    report.achieved_gbps =
+        8.0 * static_cast<double>(measured_bytes) / window;  // bits per ns == Gbit/s
+  }
+  co_return report;
+}
+
+}  // namespace cxlpool::stack

@@ -1,0 +1,44 @@
+// Open-loop UDP load generator and latency collector — the measurement
+// client of the Figure 3 experiment. Requests arrive Poisson at the
+// offered rate; every datagram carries a sequence number and send
+// timestamp so the receiver side computes RTTs without shared state.
+#ifndef SRC_STACK_LOADGEN_H_
+#define SRC_STACK_LOADGEN_H_
+
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/stack/udp.h"
+
+namespace cxlpool::stack {
+
+struct LoadGenConfig {
+  double offered_pps = 100000;     // Poisson arrival rate
+  uint32_t payload_bytes = 512;    // >= 16 (seq + timestamp header)
+  Nanos duration = 20 * kMillisecond;
+  Nanos warmup = 4 * kMillisecond;  // samples before this are discarded
+  uint64_t seed = 99;
+  // Arrivals are skipped (counted as overload_skipped) while more than
+  // this many requests are outstanding, bounding buffer usage open-loop.
+  uint64_t max_outstanding = 512;
+  // Concurrent sender coroutines (each carries offered_pps / senders); a
+  // single sender cannot exceed ~1/(SendTo cost) packets per second.
+  int senders = 8;
+};
+
+struct LoadGenReport {
+  sim::Histogram rtt;  // ns, post-warmup
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t overload_skipped = 0;
+  double achieved_pps = 0;   // response rate over the measured window
+  double achieved_gbps = 0;  // response goodput (payload bits)
+};
+
+// Drives an echo service at (dst_mac, dst_port) from `sock`. Returns when
+// `duration` has elapsed plus a small drain grace period.
+sim::Task<LoadGenReport> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
+                                    uint16_t dst_port, LoadGenConfig config);
+
+}  // namespace cxlpool::stack
+
+#endif  // SRC_STACK_LOADGEN_H_

@@ -1,0 +1,129 @@
+#include "src/stranding/binpack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace cxlpool::strand {
+
+namespace {
+
+struct HostState {
+  ResourceVector remaining;  // pooled dims zeroed (tracked in the pod)
+  std::unique_ptr<VmArrivalGenerator> stream;
+  int fail_streak = 0;
+  bool active = true;
+};
+
+struct PodState {
+  ResourceVector remaining;  // only pooled dims meaningful
+};
+
+}  // namespace
+
+StrandingResult PackCluster(const ClusterConfig& config,
+                            const std::vector<VmType>& catalog, uint64_t seed) {
+  CXLPOOL_CHECK(config.num_hosts > 0);
+  CXLPOOL_CHECK(config.pod_size > 0);
+  CXLPOOL_CHECK(config.num_hosts % config.pod_size == 0);
+
+  const ResourceVector& cap = config.host.capacity;
+  int num_pods = config.num_hosts / config.pod_size;
+
+  std::vector<HostState> hosts(config.num_hosts);
+  std::vector<PodState> pods(num_pods);
+  for (int h = 0; h < config.num_hosts; ++h) {
+    for (int r = 0; r < kResourceCount; ++r) {
+      hosts[h].remaining[r] = config.pooled[r] ? 0.0 : cap[r];
+    }
+    hosts[h].stream = std::make_unique<VmArrivalGenerator>(
+        catalog, seed * 1000003 + static_cast<uint64_t>(h));
+    if (config.per_host_sigma > 0) {
+      hosts[h].stream->PerturbWeights(config.per_host_sigma);
+    }
+  }
+  for (int p = 0; p < num_pods; ++p) {
+    for (int r = 0; r < kResourceCount; ++r) {
+      pods[p].remaining[r] = config.pooled[r] ? cap[r] * config.pod_size : 0.0;
+    }
+  }
+
+  StrandingResult result;
+  // Round-robin across hosts so pod budgets are shared fairly instead of
+  // being drained by whichever host fills first.
+  int active = config.num_hosts;
+  while (active > 0) {
+    for (int h = 0; h < config.num_hosts; ++h) {
+      HostState& host = hosts[h];
+      if (!host.active) {
+        continue;
+      }
+      PodState& pod = pods[h / config.pod_size];
+      const VmType& vm = host.stream->Next();
+      bool fits = true;
+      for (int r = 0; r < kResourceCount; ++r) {
+        double avail = config.pooled[r] ? pod.remaining[r] : host.remaining[r];
+        if (vm.demand[r] > avail + 1e-9) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) {
+        if (++host.fail_streak >= config.fail_streak_to_stop) {
+          host.active = false;
+          --active;
+        }
+        continue;
+      }
+      host.fail_streak = 0;
+      ++result.vms_placed;
+      for (int r = 0; r < kResourceCount; ++r) {
+        if (config.pooled[r]) {
+          pod.remaining[r] -= vm.demand[r];
+        } else {
+          host.remaining[r] -= vm.demand[r];
+        }
+      }
+    }
+  }
+
+  for (int r = 0; r < kResourceCount; ++r) {
+    double total = cap[r] * config.num_hosts;
+    if (total <= 0) {
+      continue;
+    }
+    double left = 0;
+    if (config.pooled[r]) {
+      for (const PodState& p : pods) {
+        left += p.remaining[r];
+      }
+    } else {
+      for (const HostState& h : hosts) {
+        left += h.remaining[r];
+      }
+    }
+    result.stranded[r] = left / total;
+  }
+  return result;
+}
+
+ClusterConfig PooledSsdNicConfig(int num_hosts, int pod_size) {
+  ClusterConfig c;
+  c.num_hosts = num_hosts;
+  c.host = DefaultHostShape();
+  c.pod_size = pod_size;
+  if (pod_size > 1) {
+    c.pooled[kSsd] = true;
+    c.pooled[kNic] = true;
+  }
+  return c;
+}
+
+double SqrtNEstimate(double baseline_stranding, int pod_size) {
+  CXLPOOL_CHECK(pod_size >= 1);
+  return baseline_stranding / std::sqrt(static_cast<double>(pod_size));
+}
+
+}  // namespace cxlpool::strand

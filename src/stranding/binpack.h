@@ -1,0 +1,58 @@
+// Multi-dimensional bin packing of VM demands onto hosts, with optional
+// pod-level pooling of selected dimensions (§2.1: pooling across N servers
+// makes the effective bin shape flexible and cuts stranding ~1/sqrt(N)).
+//
+// Stranding in production is dominated by *variance*: placement
+// constraints (zones, anti-affinity, tenant grouping) skew each host's
+// workload mix, so hosts bind on different dimensions and strand the
+// rest. The model captures this by giving every host its own perturbed
+// arrival stream; hosts fill round-robin, drawing pooled dimensions
+// (SSD/NIC under CXL pooling) from their pod's shared budget — which is
+// precisely how pooling cancels cross-host variance.
+#ifndef SRC_STRANDING_BINPACK_H_
+#define SRC_STRANDING_BINPACK_H_
+
+#include <array>
+#include <vector>
+
+#include "src/stranding/workload.h"
+
+namespace cxlpool::strand {
+
+struct ClusterConfig {
+  int num_hosts = 96;
+  HostShape host;
+  // Per-host workload skew: lognormal sigma applied independently to each
+  // host's VM-type weights. 0 = every host sees the identical global mix.
+  double per_host_sigma = 1.1;
+  // A host stops accepting once this many consecutive arrivals from its
+  // stream fail to fit.
+  int fail_streak_to_stop = 24;
+  // Hosts are grouped into pods of this size; dimensions flagged in
+  // `pooled` are provided at pod granularity (CXL-pooled SSD/NIC).
+  // pod_size 1 == today's per-host provisioning.
+  int pod_size = 1;
+  std::array<bool, kResourceCount> pooled = {false, false, false, false};
+};
+
+struct StrandingResult {
+  // Fraction of total capacity left unusable per resource at cluster-full.
+  std::array<double, kResourceCount> stranded{};
+  int vms_placed = 0;
+};
+
+// Fills every host from its own perturbed stream (round-robin so pod
+// budgets are shared fairly) and returns the stranding snapshot.
+StrandingResult PackCluster(const ClusterConfig& config,
+                            const std::vector<VmType>& catalog, uint64_t seed);
+
+// Convenience: pooled SSD+NIC configuration used throughout the paper.
+ClusterConfig PooledSsdNicConfig(int num_hosts, int pod_size);
+
+// The paper's back-of-envelope model: stranding falls with sqrt(N) when
+// demands are independent (§2.1, citing square-root staffing).
+double SqrtNEstimate(double baseline_stranding, int pod_size);
+
+}  // namespace cxlpool::strand
+
+#endif  // SRC_STRANDING_BINPACK_H_

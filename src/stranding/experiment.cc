@@ -1,0 +1,41 @@
+#include "src/stranding/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace cxlpool::strand {
+
+double TrialSeries::Percentile(Resource r, double p) const {
+  std::vector<double> sorted = samples[r];
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  double idx = std::clamp(p, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+TrialSeries RunTrials(const ExperimentConfig& config) {
+  CXLPOOL_CHECK(config.trials > 0);
+  TrialSeries series;
+  double placed = 0;
+  std::vector<VmType> catalog = DefaultVmCatalog();
+  for (int t = 0; t < config.trials; ++t) {
+    StrandingResult result =
+        PackCluster(config.cluster, catalog, config.seed + static_cast<uint64_t>(t));
+    for (int r = 0; r < kResourceCount; ++r) {
+      series.stranded[r].Add(result.stranded[r]);
+      series.samples[r].push_back(result.stranded[r]);
+    }
+    placed += result.vms_placed;
+  }
+  series.mean_vms_placed = placed / config.trials;
+  return series;
+}
+
+}  // namespace cxlpool::strand

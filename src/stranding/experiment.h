@@ -1,0 +1,34 @@
+// Multi-trial stranding experiment driver: each trial perturbs the VM mix
+// (cluster-to-cluster workload variation) and packs a fresh cluster,
+// producing the stranding distribution Figure 2 plots.
+#ifndef SRC_STRANDING_EXPERIMENT_H_
+#define SRC_STRANDING_EXPERIMENT_H_
+
+#include <array>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/stranding/binpack.h"
+
+namespace cxlpool::strand {
+
+struct TrialSeries {
+  std::array<sim::Summary, kResourceCount> stranded;
+  std::array<std::vector<double>, kResourceCount> samples;
+  double mean_vms_placed = 0;
+
+  // Percentile over the per-trial samples (p in [0,1]).
+  double Percentile(Resource r, double p) const;
+};
+
+struct ExperimentConfig {
+  ClusterConfig cluster;  // per-host skew comes from cluster.per_host_sigma
+  int trials = 30;
+  uint64_t seed = 42;
+};
+
+TrialSeries RunTrials(const ExperimentConfig& config);
+
+}  // namespace cxlpool::strand
+
+#endif  // SRC_STRANDING_EXPERIMENT_H_

@@ -1,0 +1,103 @@
+#include "src/stranding/staffing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace cxlpool::strand {
+
+namespace {
+
+// Inverse standard normal CDF (Acklam's rational approximation; adequate
+// for quantiles in [0.5, 0.9999]).
+double InverseNormalCdf(double p) {
+  CXLPOOL_CHECK(p > 0 && p < 1);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  double q = p - 0.5;
+  double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+StaffingConfig CalibrateStaffing(double stranded_frac, double target_quantile,
+                                 int draws, uint64_t seed) {
+  CXLPOOL_CHECK(stranded_frac > 0 && stranded_frac < 1);
+  // With C_1 normalized to 1: stranded = (1 - mu) => mu = 1 - stranded,
+  // and 1 = mu + z*sigma => sigma = stranded / z.
+  double z = InverseNormalCdf(target_quantile);
+  StaffingConfig config;
+  config.mean_demand = 1.0 - stranded_frac;
+  config.demand_sigma = stranded_frac / z;
+  config.target_quantile = target_quantile;
+  config.draws = draws;
+  config.seed = seed;
+  return config;
+}
+
+StaffingPoint SimulateStaffing(const StaffingConfig& config, int pod_size) {
+  CXLPOOL_CHECK(pod_size >= 1);
+  CXLPOOL_CHECK(config.draws > 1);
+  sim::Rng rng(config.seed + static_cast<uint64_t>(pod_size) * 10007);
+
+  std::vector<double> pod_demand(config.draws);
+  double total = 0;
+  for (int d = 0; d < config.draws; ++d) {
+    double sum = 0;
+    for (int h = 0; h < pod_size; ++h) {
+      sum += std::max(0.0, rng.Normal(config.mean_demand, config.demand_sigma));
+    }
+    pod_demand[d] = sum;
+    total += sum;
+  }
+  std::sort(pod_demand.begin(), pod_demand.end());
+  size_t idx = static_cast<size_t>(config.target_quantile *
+                                   static_cast<double>(config.draws - 1));
+  double provisioned = pod_demand[idx];
+  double mean = total / config.draws;
+
+  StaffingPoint p;
+  p.pod_size = pod_size;
+  p.provisioned_per_host = provisioned / pod_size;
+  p.stranded = provisioned > 0 ? 1.0 - mean / provisioned : 0.0;
+  p.fleet_fraction = p.provisioned_per_host;
+  return p;
+}
+
+StaffingPoint AnalyticStaffing(const StaffingConfig& config, int pod_size) {
+  double z = InverseNormalCdf(config.target_quantile);
+  double n = pod_size;
+  double provisioned = n * config.mean_demand +
+                       z * config.demand_sigma * std::sqrt(n);
+  StaffingPoint p;
+  p.pod_size = pod_size;
+  p.provisioned_per_host = provisioned / n;
+  p.stranded = 1.0 - n * config.mean_demand / provisioned;
+  p.fleet_fraction = p.provisioned_per_host;
+  return p;
+}
+
+}  // namespace cxlpool::strand

@@ -1,0 +1,99 @@
+#include "src/stranding/workload.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace cxlpool::strand {
+
+std::string_view ResourceName(Resource r) {
+  switch (r) {
+    case kCores:
+      return "cores";
+    case kMemory:
+      return "memory";
+    case kSsd:
+      return "ssd";
+    case kNic:
+      return "nic";
+    default:
+      return "?";
+  }
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  for (int i = 0; i < kResourceCount; ++i) {
+    v[i] += o.v[i];
+  }
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  for (int i = 0; i < kResourceCount; ++i) {
+    v[i] -= o.v[i];
+  }
+  return *this;
+}
+
+bool ResourceVector::Fits(const ResourceVector& o) const {
+  for (int i = 0; i < kResourceCount; ++i) {
+    if (o.v[i] > v[i] + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+VmType Make(std::string name, double cores, double mem, double ssd, double nic,
+            double weight) {
+  VmType t;
+  t.name = std::move(name);
+  t.demand.v = {cores, mem, ssd, nic};
+  t.weight = weight;
+  return t;
+}
+}  // namespace
+
+std::vector<VmType> DefaultVmCatalog() {
+  // Calibrated (see tests/stranding_test.cc and bench/fig2_stranding) so
+  // that per-host packing strands ~54% SSD / ~29% NIC on average, with
+  // memory the binding dimension — the Figure 2 shape.
+  return {
+      Make("gp-small", 2, 8, 32, 1.8, 30),
+      Make("gp-medium", 4, 16, 72, 3.0, 25),
+      Make("gp-large", 8, 32, 176, 5.5, 15),
+      Make("compute-opt", 16, 32, 64, 6.0, 8),
+      Make("mem-opt-m", 4, 32, 72, 3.0, 10),
+      Make("mem-opt-l", 8, 64, 192, 5.5, 6),
+      Make("storage-opt", 8, 64, 1152, 10.0, 4),
+      Make("net-heavy", 8, 32, 64, 32.0, 3),
+  };
+}
+
+HostShape DefaultHostShape() {
+  HostShape h;
+  h.capacity.v = {96, 384, 4096, 100};  // cores, GiB, GiB, Gbit/s
+  return h;
+}
+
+VmArrivalGenerator::VmArrivalGenerator(std::vector<VmType> catalog, uint64_t seed)
+    : catalog_(std::move(catalog)), rng_(seed) {
+  CXLPOOL_CHECK(!catalog_.empty());
+  weights_.reserve(catalog_.size());
+  for (const VmType& t : catalog_) {
+    weights_.push_back(t.weight);
+  }
+}
+
+const VmType& VmArrivalGenerator::Next() {
+  return catalog_[rng_.Categorical(weights_)];
+}
+
+void VmArrivalGenerator::PerturbWeights(double sigma) {
+  for (double& w : weights_) {
+    w *= rng_.LogNormal(-sigma * sigma / 2, sigma);
+  }
+}
+
+}  // namespace cxlpool::strand

@@ -1,0 +1,49 @@
+#include "src/tco/tco.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace cxlpool::tco {
+
+TcoReport ComputeTco(const CostInputs& in, double ssd_strand_base,
+                     double ssd_strand_pooled, double nic_strand_base,
+                     double nic_strand_pooled) {
+  CXLPOOL_CHECK(ssd_strand_base < 1.0 && ssd_strand_pooled < 1.0);
+  CXLPOOL_CHECK(nic_strand_base < 1.0 && nic_strand_pooled < 1.0);
+
+  TcoReport out;
+  out.pcie_switch_infra =
+      in.switch_unit_cost * in.num_switches + in.fabric_software +
+      (in.adapter_per_host + in.cabling_per_host) * in.hosts;
+  out.cxl_infra = in.cxl_cost_per_host * in.hosts;
+  out.cxl_infra_net_of_memory_savings =
+      out.cxl_infra - in.memory_pooling_savings_per_host * in.hosts;
+
+  // Capacity provisioned for usable demand U scales as 1/(1-s); pooling
+  // shrinks the fleet by 1 - (1-s_base)/(1-s_pooled).
+  auto fleet_reduction = [](double s_base, double s_pooled) {
+    return std::max(0.0, 1.0 - (1.0 - s_base) / (1.0 - s_pooled));
+  };
+  double ssd_fleet = in.ssds_per_host * in.hosts * in.ssd_unit_cost;
+  double nic_fleet = in.nics_per_host * in.hosts * in.nic_unit_cost;
+  out.ssd_capex_avoided =
+      ssd_fleet * fleet_reduction(ssd_strand_base, ssd_strand_pooled);
+  out.nic_capex_avoided =
+      nic_fleet * fleet_reduction(nic_strand_base, nic_strand_pooled);
+
+  // Redundancy: per-host spares collapse into per-pod spares.
+  double pods = static_cast<double>(in.hosts) / in.pod_size;
+  double baseline_spares = in.redundant_nics_per_host * in.hosts;
+  double pooled_spares = in.spare_nics_per_pod * pods;
+  out.redundancy_capex_avoided =
+      std::max(0.0, (baseline_spares - pooled_spares) * in.nic_unit_cost);
+
+  out.total_benefit = out.ssd_capex_avoided + out.nic_capex_avoided +
+                      out.redundancy_capex_avoided;
+  out.pcie_switch_net = out.total_benefit - out.pcie_switch_infra;
+  out.cxl_net = out.total_benefit - out.cxl_infra_net_of_memory_savings;
+  return out;
+}
+
+}  // namespace cxlpool::tco

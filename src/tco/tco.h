@@ -1,0 +1,73 @@
+// Rack-level TCO model comparing the two ways to pool PCIe devices:
+// hardware PCIe switches vs software pooling over a CXL memory pod.
+//
+// Inputs follow the paper's cited figures: a realistic switch deployment
+// (HA switch pair + host adapters + cabling + fabric software) "easily
+// reaches $80,000" per rack [GigaIO, §1], while switchless MHD-based CXL
+// pods cost ≈$600/host [Octopus, §1/§3] and already pay for themselves
+// through memory pooling — so PCIe pooling arrives at effectively zero
+// incremental infrastructure cost.
+//
+// Benefits counted on both sides (they deliver the same pooling function):
+//  - device capex avoided by reduced stranding (fewer SSDs/NICs provisioned
+//    for the same usable capacity): C = U / (1 - s)
+//  - redundancy sharing (§2.2): spare NICs per pod instead of per host.
+#ifndef SRC_TCO_TCO_H_
+#define SRC_TCO_TCO_H_
+
+namespace cxlpool::tco {
+
+struct CostInputs {
+  int hosts = 16;
+
+  // Device fleet per host.
+  double ssds_per_host = 8;
+  double ssd_unit_cost = 800;   // 4 TiB datacenter NVMe
+  double nics_per_host = 1;
+  double nic_unit_cost = 1800;  // 100 GbE
+  // Availability provisioning: one redundant NIC per host today vs a small
+  // number of shared spares per pod with pooling.
+  double redundant_nics_per_host = 1.0;
+  double spare_nics_per_pod = 2.0;
+  int pod_size = 8;
+
+  // PCIe switch solution (per rack).
+  double switch_unit_cost = 15000;
+  int num_switches = 2;  // HA pair
+  double adapter_per_host = 500;
+  double cabling_per_host = 200;
+  double fabric_software = 39000;
+
+  // CXL pod solution.
+  double cxl_cost_per_host = 600;  // switchless MHD pod, Octopus-class
+  // DRAM capex the memory pool saves per host (the reason the pod is
+  // already deployed; paper: positive ROI for memory pooling alone).
+  double memory_pooling_savings_per_host = 800;
+};
+
+struct TcoReport {
+  // Infrastructure capex.
+  double pcie_switch_infra = 0;
+  double cxl_infra = 0;
+  double cxl_infra_net_of_memory_savings = 0;  // can be negative
+
+  // Pooling benefits (identical for both fabrics — both pool devices).
+  double ssd_capex_avoided = 0;
+  double nic_capex_avoided = 0;
+  double redundancy_capex_avoided = 0;
+  double total_benefit = 0;
+
+  // Net position per rack: benefit minus infrastructure.
+  double pcie_switch_net = 0;
+  double cxl_net = 0;
+};
+
+// `s*_base` / `s*_pooled` are stranded fractions from the stranding
+// simulation (e.g. SSD 0.54 -> 0.19 at pod size 8).
+TcoReport ComputeTco(const CostInputs& in, double ssd_strand_base,
+                     double ssd_strand_pooled, double nic_strand_base,
+                     double nic_strand_pooled);
+
+}  // namespace cxlpool::tco
+
+#endif  // SRC_TCO_TCO_H_

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace cxlpool {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("no such device");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such device");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such device");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  std::unordered_set<int> codes;
+  for (Status s : {InvalidArgument(""), NotFound(""), AlreadyExists(""),
+                   OutOfRange(""), ResourceExhausted(""), FailedPrecondition(""),
+                   Unavailable(""), Internal(""), Unimplemented(""), Aborted(""),
+                   DeadlineExceeded("")}) {
+    EXPECT_FALSE(s.ok());
+    codes.insert(static_cast<int>(s.code()));
+  }
+  EXPECT_EQ(codes.size(), 11u);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Unavailable("link down");
+  EXPECT_EQ(os.str(), "UNAVAILABLE: link down");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  ASSIGN_OR_RETURN(int h, Half(x));
+  ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> bad = Quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return OutOfRange("negative");
+  }
+  return OkStatus();
+}
+
+Status Chain(int x) {
+  RETURN_IF_ERROR(FailIfNegative(x));
+  RETURN_IF_ERROR(FailIfNegative(x - 10));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfError) {
+  EXPECT_TRUE(Chain(15).ok());
+  EXPECT_EQ(Chain(5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(IdsTest, InvalidByDefault) {
+  HostId h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(h, HostId::Invalid());
+}
+
+TEST(IdsTest, DistinctTypesDoNotCompare) {
+  HostId h(3);
+  MhdId m(3);
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(h.value(), m.value());  // values equal, types distinct
+  static_assert(!std::is_same_v<HostId, MhdId>);
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_set<HostId> set;
+  set.insert(HostId(1));
+  set.insert(HostId(2));
+  set.insert(HostId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IdsTest, Ordering) {
+  EXPECT_LT(HostId(1), HostId(2));
+  EXPECT_FALSE(HostId(2) < HostId(1));
+}
+
+TEST(UnitsTest, CachelineMath) {
+  EXPECT_EQ(CachelineFloor(0), 0u);
+  EXPECT_EQ(CachelineFloor(63), 0u);
+  EXPECT_EQ(CachelineFloor(64), 64u);
+  EXPECT_EQ(CachelineCeil(1), 64u);
+  EXPECT_EQ(CachelineCeil(64), 64u);
+  EXPECT_EQ(CachelineCeil(65), 128u);
+}
+
+TEST(UnitsTest, CachelinesTouched) {
+  EXPECT_EQ(CachelinesTouched(0, 0), 0u);
+  EXPECT_EQ(CachelinesTouched(0, 1), 1u);
+  EXPECT_EQ(CachelinesTouched(0, 64), 1u);
+  EXPECT_EQ(CachelinesTouched(0, 65), 2u);
+  EXPECT_EQ(CachelinesTouched(63, 2), 2u);    // straddles a boundary
+  EXPECT_EQ(CachelinesTouched(60, 200), 5u);  // 60..260 -> lines 0..4
+}
+
+TEST(UnitsTest, RateConversions) {
+  EXPECT_DOUBLE_EQ(GbPerSecToBytesPerNanos(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(GbitPerSecToBytesPerNanos(100.0), 12.5);
+}
+
+}  // namespace
+}  // namespace cxlpool

@@ -1,0 +1,556 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/cxl/host_adapter.h"
+#include "src/cxl/pod.h"
+#include "src/cxl/pool.h"
+#include "src/cxl/replication.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::cxl {
+namespace {
+
+using sim::RunBlocking;
+using sim::Task;
+
+std::vector<std::byte> Bytes(std::initializer_list<uint8_t> vals) {
+  std::vector<std::byte> out;
+  for (uint8_t v : vals) {
+    out.push_back(std::byte{v});
+  }
+  return out;
+}
+
+std::vector<std::byte> Fill(size_t n, uint8_t v) {
+  return std::vector<std::byte>(n, std::byte{v});
+}
+
+class CxlPodTest : public ::testing::Test {
+ protected:
+  CxlPodTest() : pod_(loop_, MakeConfig()) {}
+
+  static CxlPodConfig MakeConfig() {
+    CxlPodConfig c;
+    c.num_hosts = 3;
+    c.num_mhds = 2;
+    c.mhd_capacity = 8 * kMiB;
+    c.dram_per_host = 8 * kMiB;
+    return c;
+  }
+
+  sim::EventLoop loop_;
+  CxlPod pod_;
+};
+
+// --- Pool allocation & routing ---
+
+TEST_F(CxlPodTest, AllocateBalancesAcrossMhds) {
+  auto s1 = pod_.pool().Allocate(1 * kMiB);
+  ASSERT_TRUE(s1.ok());
+  auto s2 = pod_.pool().Allocate(1 * kMiB);
+  ASSERT_TRUE(s2.ok());
+  // Least-utilized policy: second segment lands on the other MHD.
+  EXPECT_NE(s1->mhds[0], s2->mhds[0]);
+}
+
+TEST_F(CxlPodTest, AllocatePreferredMhd) {
+  auto s = pod_.pool().Allocate(4096, MhdId(1));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->mhds[0], MhdId(1));
+  EXPECT_EQ(*pod_.pool().RouteAddress(s->base), MhdId(1));
+  EXPECT_EQ(*pod_.pool().RouteAddress(s->base + s->size - 1), MhdId(1));
+}
+
+TEST_F(CxlPodTest, AllocateRejectsOversized) {
+  auto s = pod_.pool().Allocate(100 * kMiB);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(CxlPodTest, AllocateOnFailedMhdRejected) {
+  pod_.FailMhd(MhdId(0));
+  auto s = pod_.pool().Allocate(4096, MhdId(0));
+  EXPECT_EQ(s.status().code(), StatusCode::kUnavailable);
+  // Unpreferred allocation still succeeds on the healthy MHD.
+  auto s2 = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->mhds[0], MhdId(1));
+}
+
+TEST_F(CxlPodTest, FreeReturnsCapacity) {
+  auto s = pod_.pool().Allocate(1 * kMiB, MhdId(0));
+  ASSERT_TRUE(s.ok());
+  uint64_t used = pod_.pool().used_bytes(MhdId(0));
+  EXPECT_GE(used, 1 * kMiB);
+  ASSERT_TRUE(pod_.pool().Free(*s).ok());
+  EXPECT_EQ(pod_.pool().used_bytes(MhdId(0)), used - s->size);
+  EXPECT_EQ(pod_.pool().Free(*s).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CxlPodTest, InterleavedRoutingAlternatesPerGranule) {
+  auto s = pod_.pool().AllocateInterleaved(64 * kKiB, {MhdId(0), MhdId(1)});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->interleaved());
+  EXPECT_EQ(*pod_.pool().RouteAddress(s->base), MhdId(0));
+  EXPECT_EQ(*pod_.pool().RouteAddress(s->base + kInterleaveGranule), MhdId(1));
+  EXPECT_EQ(*pod_.pool().RouteAddress(s->base + 2 * kInterleaveGranule), MhdId(0));
+}
+
+TEST_F(CxlPodTest, RouteUnknownAddressFails) {
+  EXPECT_FALSE(pod_.pool().RouteAddress(0xdeadbeef).ok());
+}
+
+// --- Host adapter: local DRAM ---
+
+TEST_F(CxlPodTest, DramRoundTripAndTiming) {
+  HostAdapter& h = pod_.host(0);
+  auto addr = h.AllocateDram(4096);
+  ASSERT_TRUE(addr.ok());
+  auto in = Fill(256, 0x5a);
+  auto out = Fill(256, 0);
+
+  auto t = [](HostAdapter& host, uint64_t a, std::span<const std::byte> wr,
+              std::span<std::byte> rd) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await host.Store(a, wr));
+    CXLPOOL_CHECK_OK(co_await host.Load(a, rd));
+  };
+  RunBlocking(loop_, t(h, *addr, in, out));
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+  // Store ~dram_store, load ~dram_load + serialization; both well under 1 us.
+  EXPECT_GT(loop_.now(), h.timing().dram_load);
+  EXPECT_LT(loop_.now(), 1000);
+}
+
+TEST_F(CxlPodTest, CannotTouchAnotherHostsDram) {
+  auto addr = pod_.host(1).AllocateDram(4096);
+  ASSERT_TRUE(addr.ok());
+  auto buf = Fill(64, 0);
+  auto t = [](HostAdapter& host, uint64_t a, std::span<std::byte> b) -> Task<Status> {
+    co_return co_await host.Load(a, b);
+  };
+  Status st = RunBlocking(loop_, t(pod_.host(0), *addr, buf));
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Host adapter: CXL pool semantics ---
+
+TEST_F(CxlPodTest, CxlLoadIsSlowerThanDram) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto buf = Fill(64, 0);
+  auto t = [](HostAdapter& host, uint64_t a, std::span<std::byte> b) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await host.Load(a, b));
+  };
+  RunBlocking(loop_, t(pod_.host(0), seg->base, buf));
+  Nanos cxl_time = loop_.now();
+  EXPECT_GE(cxl_time, pod_.host(0).timing().cxl_read * 7 / 10);  // jittered
+  // Paper §3: ~2-3x local DRAM.
+  double ratio = static_cast<double>(cxl_time) /
+                 static_cast<double>(pod_.host(0).timing().dram_load);
+  EXPECT_GE(ratio, 2.0);
+  EXPECT_LE(ratio, 3.5);
+}
+
+TEST_F(CxlPodTest, SecondLoadHitsCache) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto buf = Fill(64, 0);
+  HostAdapter& h = pod_.host(0);
+
+  auto t = [](HostAdapter& host, uint64_t a, std::span<std::byte> b) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await host.Load(a, b));
+  };
+  RunBlocking(loop_, t(h, seg->base, buf));
+  Nanos first = loop_.now();
+  RunBlocking(loop_, t(h, seg->base, buf));
+  Nanos second = loop_.now() - first;
+  EXPECT_LT(second, first / 10);  // cache hit is far cheaper
+  EXPECT_GE(h.cache().stats().hits, 1u);
+}
+
+// The central hazard: cached stores are invisible to other hosts, and
+// cached loads go stale — until the software coherence protocol is used.
+TEST_F(CxlPodTest, CachedStoreInvisibleToOtherHostWithoutFlush) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  uint64_t a = seg->base;
+  auto payload = Bytes({1, 2, 3, 4});
+
+  auto t = [](HostAdapter& writer, HostAdapter& reader, uint64_t addr,
+              std::span<const std::byte> data) -> Task<int> {
+    CXLPOOL_CHECK_OK(co_await writer.Store(addr, data));  // cached, dirty
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  int seen = RunBlocking(loop_, t(pod_.host(0), pod_.host(1), a, payload));
+  EXPECT_EQ(seen, 0);  // stale: the store never reached the pool
+}
+
+TEST_F(CxlPodTest, FlushMakesCachedStoreVisible) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  uint64_t a = seg->base;
+  auto payload = Bytes({1, 2, 3, 4});
+
+  auto t = [](HostAdapter& writer, HostAdapter& reader, uint64_t addr,
+              std::span<const std::byte> data) -> Task<int> {
+    CXLPOOL_CHECK_OK(co_await writer.Store(addr, data));
+    CXLPOOL_CHECK_OK(co_await writer.Flush(addr, data.size()));
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(0), pod_.host(1), a, payload)), 1);
+}
+
+TEST_F(CxlPodTest, NtStoreImmediatelyVisible) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  uint64_t a = seg->base;
+  auto payload = Bytes({9, 9, 9, 9});
+
+  auto t = [](HostAdapter& writer, HostAdapter& reader, uint64_t addr,
+              std::span<const std::byte> data) -> Task<int> {
+    CXLPOOL_CHECK_OK(co_await writer.StoreNt(addr, data));
+    // Posted write: visible after the media-commit latency, no flush needed.
+    co_await sim::Delay(writer.loop(), kMicrosecond);
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(0), pod_.host(1), a, payload)), 9);
+}
+
+TEST_F(CxlPodTest, StaleCachedLoadNeedsInvalidate) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  uint64_t a = seg->base;
+
+  // Reader caches the old value; writer publishes with nt-store; reader
+  // still sees the stale copy until it self-invalidates.
+  auto t = [](HostAdapter& writer, HostAdapter& reader, uint64_t addr)
+      -> Task<std::pair<int, int>> {
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));  // caches zeros
+    auto payload = Bytes({7, 7, 7, 7});
+    CXLPOOL_CHECK_OK(co_await writer.StoreNt(addr, payload));
+    co_await sim::Delay(writer.loop(), kMicrosecond);  // media commit
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));
+    int stale = static_cast<int>(seen[0]);
+    CXLPOOL_CHECK_OK(co_await reader.Invalidate(addr, 4));
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));
+    int fresh = static_cast<int>(seen[0]);
+    co_return std::make_pair(stale, fresh);
+  };
+  auto [stale, fresh] = RunBlocking(loop_, t(pod_.host(0), pod_.host(1), seg->base));
+  EXPECT_EQ(stale, 0);  // the bug the paper's protocol exists to avoid
+  EXPECT_EQ(fresh, 7);
+  (void)a;
+}
+
+TEST_F(CxlPodTest, SameHostSeesOwnCachedStore) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](HostAdapter& h, uint64_t addr) -> Task<int> {
+    auto payload = Bytes({5, 5, 5, 5});
+    CXLPOOL_CHECK_OK(co_await h.Store(addr, payload));
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await h.Load(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(0), seg->base)), 5);
+}
+
+// --- DMA semantics ---
+
+TEST_F(CxlPodTest, DmaWriteVisibleToRemoteHostAfterInvalidate) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](HostAdapter& dma_host, HostAdapter& reader, uint64_t addr) -> Task<int> {
+    auto payload = Bytes({3, 3, 3, 3});
+    CXLPOOL_CHECK_OK(co_await dma_host.DmaWrite(addr, payload));
+    co_await sim::Delay(dma_host.loop(), kMicrosecond);  // posted-write commit
+    CXLPOOL_CHECK_OK(co_await reader.Invalidate(addr, 4));
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await reader.Load(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(0), pod_.host(1), seg->base)), 3);
+}
+
+TEST_F(CxlPodTest, DmaReadSnoopsOwnHostDirtyCache) {
+  // The device's own host wrote through its cache (dirty, not flushed).
+  // Inbound DMA on the same host snoops the cache and sees the data.
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](HostAdapter& h, uint64_t addr) -> Task<int> {
+    auto payload = Bytes({8, 8, 8, 8});
+    CXLPOOL_CHECK_OK(co_await h.Store(addr, payload));  // dirty in cache
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await h.DmaRead(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(0), seg->base)), 8);
+}
+
+TEST_F(CxlPodTest, DmaReadDoesNotSnoopRemoteHostCache) {
+  // Host 1 wrote through its cache without flushing; a device on host 0
+  // DMA-reads the pool and must NOT see host 1's dirty data.
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](HostAdapter& writer, HostAdapter& dma_host, uint64_t addr) -> Task<int> {
+    auto payload = Bytes({6, 6, 6, 6});
+    CXLPOOL_CHECK_OK(co_await writer.Store(addr, payload));
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await dma_host.DmaRead(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(1), pod_.host(0), seg->base)), 0);
+}
+
+// --- Failure handling ---
+
+TEST_F(CxlPodTest, AccessFailsWhenMhdDown) {
+  auto seg = pod_.pool().Allocate(4096, MhdId(0));
+  ASSERT_TRUE(seg.ok());
+  pod_.FailMhd(MhdId(0));
+  auto buf = Fill(64, 0);
+  auto t = [](HostAdapter& h, uint64_t a, std::span<std::byte> b) -> Task<Status> {
+    co_return co_await h.Load(a, b);
+  };
+  Status st = RunBlocking(loop_, t(pod_.host(0), seg->base, buf));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+
+  pod_.RepairMhd(MhdId(0));
+  st = RunBlocking(loop_, t(pod_.host(0), seg->base, buf));
+  EXPECT_TRUE(st.ok());
+}
+
+TEST_F(CxlPodTest, AccessFailsWhenLinkDown) {
+  auto seg = pod_.pool().Allocate(4096, MhdId(0));
+  ASSERT_TRUE(seg.ok());
+  pod_.FailLink(HostId(0), MhdId(0));
+  auto buf = Fill(64, 0);
+  auto t = [](HostAdapter& h, uint64_t a, std::span<std::byte> b) -> Task<Status> {
+    co_return co_await h.Load(a, b);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_.host(0), seg->base, buf)).code(),
+            StatusCode::kUnavailable);
+  // Another host with a healthy link still reaches the segment.
+  EXPECT_TRUE(RunBlocking(loop_, t(pod_.host(1), seg->base, buf)).ok());
+}
+
+TEST_F(CxlPodTest, HealthyPathsReflectFailures) {
+  EXPECT_EQ(pod_.HealthyPaths(HostId(0)), 2);
+  pod_.FailLink(HostId(0), MhdId(1));
+  EXPECT_EQ(pod_.HealthyPaths(HostId(0)), 1);
+  pod_.FailMhd(MhdId(0));
+  EXPECT_EQ(pod_.HealthyPaths(HostId(0)), 0);
+  EXPECT_EQ(pod_.HealthyPaths(HostId(1)), 1);  // link to MHD 1 still up
+}
+
+// --- Bandwidth / interleaving ---
+
+TEST_F(CxlPodTest, InterleavingAggregatesLinkBandwidth) {
+  // Stream 4 MiB via one MHD vs striped across both; the striped copy
+  // should take roughly half as long (two x8 links instead of one).
+  auto single = pod_.pool().Allocate(4 * kMiB, MhdId(0));
+  ASSERT_TRUE(single.ok());
+  auto striped = pod_.pool().AllocateInterleaved(4 * kMiB, {MhdId(0), MhdId(1)});
+  ASSERT_TRUE(striped.ok());
+
+  auto stream = [](HostAdapter& h, uint64_t base, uint64_t total) -> Task<> {
+    std::vector<std::byte> chunk(64 * kKiB, std::byte{0xab});
+    for (uint64_t off = 0; off < total; off += chunk.size()) {
+      CXLPOOL_CHECK_OK(co_await h.StoreNt(base + off, chunk));
+    }
+  };
+
+  sim::EventLoop loop1;
+  CxlPod pod1(loop1, MakeConfig());
+  auto s1 = pod1.pool().Allocate(4 * kMiB, MhdId(0));
+  RunBlocking(loop1, stream(pod1.host(0), s1->base, 4 * kMiB));
+  Nanos t_single = loop1.now();
+
+  sim::EventLoop loop2;
+  CxlPod pod2(loop2, MakeConfig());
+  auto s2 = pod2.pool().AllocateInterleaved(4 * kMiB, {MhdId(0), MhdId(1)});
+  RunBlocking(loop2, stream(pod2.host(0), s2->base, 4 * kMiB));
+  Nanos t_striped = loop2.now();
+
+  double speedup = static_cast<double>(t_single) / static_cast<double>(t_striped);
+  EXPECT_GT(speedup, 1.6);
+  EXPECT_LT(speedup, 2.4);
+}
+
+TEST_F(CxlPodTest, StatsAccumulate) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  HostAdapter& h = pod_.host(2);
+  auto t = [](HostAdapter& host, uint64_t a) -> Task<> {
+    auto payload = Bytes({1});
+    CXLPOOL_CHECK_OK(co_await host.StoreNt(a, payload));
+    std::array<std::byte, 1> b{};
+    CXLPOOL_CHECK_OK(co_await host.Load(a, b));
+    CXLPOOL_CHECK_OK(co_await host.Flush(a, 1));
+  };
+  RunBlocking(loop_, t(h, seg->base));
+  EXPECT_EQ(h.stats().nt_stores, 1u);
+  EXPECT_EQ(h.stats().loads, 1u);
+  EXPECT_EQ(h.stats().flushes, 1u);
+  EXPECT_EQ(h.stats().lost_dirty_lines, 0u);
+}
+
+
+// --- Replicated regions (Sec. 5 "highly-available CXL pods") ---
+
+TEST_F(CxlPodTest, ReplicationRequiresEnoughHealthyMhds) {
+  EXPECT_FALSE(ReplicatedRegion::Create(pod_.pool(), 4096, 3).ok());  // only 2 MHDs
+  pod_.FailMhd(MhdId(1));
+  EXPECT_FALSE(ReplicatedRegion::Create(pod_.pool(), 4096, 2).ok());
+  pod_.RepairMhd(MhdId(1));
+  auto region = ReplicatedRegion::Create(pod_.pool(), 4096, 2);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->replicas(), 2);
+  // Replicas land on DISTINCT MHDs.
+  EXPECT_NE(region->segment(0).mhds[0], region->segment(1).mhds[0]);
+}
+
+TEST_F(CxlPodTest, ReplicatedReadSurvivesMhdFailure) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 4096, 2);
+  ASSERT_TRUE(region.ok());
+
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<std::pair<int, int>> {
+    auto payload = Bytes({42, 42, 42, 42});
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, payload));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await r.ReadFresh(pod.host(1), 0, seen));
+    int before = static_cast<int>(seen[0]);
+
+    // Kill the primary replica's MHD; reads transparently fail over.
+    pod.FailMhd(r.segment(0).mhds[0]);
+    seen.fill(std::byte{0});
+    CXLPOOL_CHECK_OK(co_await r.ReadFresh(pod.host(1), 0, seen));
+    int after = static_cast<int>(seen[0]);
+    co_return std::make_pair(before, after);
+  };
+  auto [before, after] = RunBlocking(loop_, t(*region, pod_));
+  EXPECT_EQ(before, 42);
+  EXPECT_EQ(after, 42);
+  EXPECT_EQ(region->stats().failover_reads, 1u);
+}
+
+TEST_F(CxlPodTest, ReplicatedWriteDegradesGracefully) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 4096, 2);
+  ASSERT_TRUE(region.ok());
+  pod_.FailMhd(region->segment(1).mhds[0]);  // secondary down
+
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<Status> {
+    auto payload = Bytes({7, 7, 7, 7});
+    co_return co_await r.Publish(pod.host(0), 0, payload);
+  };
+  EXPECT_TRUE(RunBlocking(loop_, t(*region, pod_)).ok());
+  EXPECT_EQ(region->stats().degraded_writes, 1u);
+
+  // Both replicas down -> the write finally fails.
+  pod_.FailMhd(region->segment(0).mhds[0]);
+  EXPECT_FALSE(RunBlocking(loop_, t(*region, pod_)).ok());
+}
+
+TEST_F(CxlPodTest, ReplicatedRegionBoundsChecked) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 128, 2);
+  ASSERT_TRUE(region.ok());
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<Status> {
+    std::array<std::byte, 64> buf{};
+    co_return co_await r.Publish(pod.host(0), 100, buf);  // 100+64 > 128
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(*region, pod_)).code(), StatusCode::kOutOfRange);
+}
+
+
+// --- CXL 3.0 Back-Invalidate emulation (Sec. 3 ablation) ---
+
+TEST_F(CxlPodTest, BackInvalidateMakesCachedPollsFresh) {
+  pod_.pool().set_back_invalidate(true);
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+
+  auto t = [](CxlPod& pod, uint64_t addr) -> Task<std::pair<int, int>> {
+    std::array<std::byte, 4> seen{};
+    // Reader caches the line (snoop filter learns about it).
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, seen));
+    int before = static_cast<int>(seen[0]);
+    // Writer publishes; hardware BI drops the reader's copy.
+    auto payload = Bytes({9, 9, 9, 9});
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(addr, payload));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    // PLAIN load — no software invalidate — still sees the new value.
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, seen));
+    co_return std::make_pair(before, static_cast<int>(seen[0]));
+  };
+  auto [before, after] = RunBlocking(loop_, t(pod_, seg->base));
+  EXPECT_EQ(before, 0);
+  EXPECT_EQ(after, 9);
+}
+
+TEST_F(CxlPodTest, WithoutBackInvalidateCachedPollsGoStale) {
+  // Control: identical sequence with BI off (today's hardware) is stale.
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](CxlPod& pod, uint64_t addr) -> Task<int> {
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, seen));
+    auto payload = Bytes({9, 9, 9, 9});
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(addr, payload));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(pod_, seg->base)), 0);
+}
+
+TEST_F(CxlPodTest, BackInvalidateChargesSnoopLatency) {
+  pod_.pool().set_back_invalidate(true);
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+
+  auto t = [](CxlPod& pod, uint64_t addr, bool warm_reader) -> Task<Nanos> {
+    if (warm_reader) {
+      std::array<std::byte, 4> b{};
+      CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, b));
+    }
+    auto payload = Bytes({1, 1, 1, 1});
+    Nanos start = pod.loop().now();
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(addr, payload));
+    co_return pod.loop().now() - start;
+  };
+  Nanos no_sharers = RunBlocking(loop_, t(pod_, seg->base + 2048, false));
+  Nanos with_sharer = RunBlocking(loop_, t(pod_, seg->base, true));
+  EXPECT_GE(with_sharer, no_sharers + pod_.host(0).timing().bi_snoop);
+}
+
+TEST_F(CxlPodTest, BackInvalidateOnlyHitsActualSharers) {
+  pod_.pool().set_back_invalidate(true);
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](CxlPod& pod, uint64_t addr) -> Task<> {
+    std::array<std::byte, 4> b{};
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Load(addr, b));        // sharer
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Load(addr + 512, b));  // other line
+    auto payload = Bytes({5});
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(addr, payload));
+  };
+  RunBlocking(loop_, t(pod_, seg->base));
+  // Host 1's copy of the written line was snooped away...
+  EXPECT_EQ(pod_.host(1).cache().Peek(CachelineFloor(seg->base)), nullptr);
+  // ...host 2's copy of an unrelated line survived.
+  EXPECT_NE(pod_.host(2).cache().Peek(CachelineFloor(seg->base + 512)), nullptr);
+}
+
+}  // namespace
+}  // namespace cxlpool::cxl

@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/cxl/pod.h"
+#include "src/msg/channel.h"
+#include "src/msg/doorbell.h"
+#include "src/msg/ring.h"
+#include "src/msg/rpc.h"
+#include "src/msg/wire.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::msg {
+namespace {
+
+using sim::RunBlocking;
+using sim::Spawn;
+using sim::Task;
+
+std::vector<std::byte> Msg(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string AsString(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+class MsgTest : public ::testing::Test {
+ protected:
+  MsgTest() : pod_(loop_, Config()) {}
+
+  static cxl::CxlPodConfig Config() {
+    cxl::CxlPodConfig c;
+    c.num_hosts = 2;
+    c.num_mhds = 1;
+    c.mhd_capacity = 16 * kMiB;
+    c.dram_per_host = 1 * kMiB;
+    // Figure 4 setup: PCIe-5.0 x16 links to the pool.
+    c.link.lanes = 16;
+    return c;
+  }
+
+  RingConfig MakeRing(uint32_t slots = 64) {
+    auto seg = pod_.pool().Allocate(RingFootprint(slots));
+    CXLPOOL_CHECK_OK(seg.status());
+    RingConfig rc;
+    rc.base = seg->base;
+    rc.slots = slots;
+    return rc;
+  }
+
+  sim::EventLoop loop_;
+  cxl::CxlPod pod_;
+};
+
+// --- Wire helpers ---
+
+TEST(WireTest, RoundTripIntegers) {
+  std::vector<std::byte> buf;
+  wire::Writer w(&buf);
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  wire::Reader r(buf);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireTest, BytesAndRest) {
+  std::vector<std::byte> buf;
+  wire::Writer w(&buf);
+  w.U16(7);
+  w.Bytes(Msg("hello"));
+  wire::Reader r(buf);
+  EXPECT_EQ(r.U16(), 7);
+  EXPECT_EQ(AsString(r.Rest()), "hello");
+}
+
+// --- Ring ---
+
+TEST_F(MsgTest, SingleSlotMessageRoundTrip) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+
+  auto t = [](RingSender& s, RingReceiver& r, sim::EventLoop& loop) -> Task<std::string> {
+    CXLPOOL_CHECK_OK(co_await s.Send(Msg("ping")));
+    std::vector<std::byte> got;
+    CXLPOOL_CHECK_OK(co_await r.Recv(&got, loop.now() + kMillisecond));
+    co_return AsString(got);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(tx, rx, loop_)), "ping");
+}
+
+TEST_F(MsgTest, SubMicrosecondDelivery) {
+  // Paper Figure 4: message passing over the CXL ring is sub-us (~600 ns
+  // median, slightly above one CXL write + one CXL read).
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+
+  auto t = [](RingSender& s, RingReceiver& r, sim::EventLoop& loop) -> Task<Nanos> {
+    Nanos start = loop.now();
+    CXLPOOL_CHECK_OK(co_await s.Send(Msg("x")));
+    std::vector<std::byte> got;
+    CXLPOOL_CHECK_OK(co_await r.Recv(&got, loop.now() + kMillisecond));
+    co_return loop.now() - start;
+  };
+  Nanos latency = RunBlocking(loop_, t(tx, rx, loop_));
+  const auto& timing = pod_.host(0).timing();
+  EXPECT_GE(latency, (timing.cxl_write + timing.cxl_read) * 7 / 10);  // jittered floor
+  EXPECT_LT(latency, kMicrosecond);
+}
+
+TEST_F(MsgTest, ManyMessagesInOrder) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+  constexpr int kCount = 500;  // > slots: exercises wrap + flow control
+
+  auto producer = [](RingSender& s) -> Task<> {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<std::byte> m;
+      wire::Writer w(&m);
+      w.U32(static_cast<uint32_t>(i));
+      CXLPOOL_CHECK_OK(co_await s.Send(m));
+    }
+  };
+  auto consumer = [](RingReceiver& r, sim::EventLoop& loop,
+                     std::vector<uint32_t>& out) -> Task<> {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<std::byte> m;
+      CXLPOOL_CHECK_OK(co_await r.Recv(&m, loop.now() + 10 * kMillisecond));
+      wire::Reader rd(m);
+      out.push_back(rd.U32());
+    }
+  };
+
+  std::vector<uint32_t> got;
+  Spawn(producer(tx));
+  Spawn(consumer(rx, loop_, got));
+  loop_.Run();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(got[i], static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(rx.messages_received(), static_cast<uint64_t>(kCount));
+}
+
+TEST_F(MsgTest, MultiSlotMessage) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+
+  std::vector<std::byte> big(1000);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = std::byte{static_cast<uint8_t>(i * 7)};
+  }
+  auto t = [](RingSender& s, RingReceiver& r, sim::EventLoop& loop,
+              std::span<const std::byte> data) -> Task<std::vector<std::byte>> {
+    CXLPOOL_CHECK_OK(co_await s.Send(data));
+    std::vector<std::byte> got;
+    CXLPOOL_CHECK_OK(co_await r.Recv(&got, loop.now() + kMillisecond));
+    co_return got;
+  };
+  auto got = RunBlocking(loop_, t(tx, rx, loop_, big));
+  ASSERT_EQ(got.size(), big.size());
+  EXPECT_EQ(std::memcmp(got.data(), big.data(), big.size()), 0);
+}
+
+TEST_F(MsgTest, EmptyMessage) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+  auto t = [](RingSender& s, RingReceiver& r, sim::EventLoop& loop) -> Task<size_t> {
+    CXLPOOL_CHECK_OK(co_await s.Send({}));
+    std::vector<std::byte> got;
+    CXLPOOL_CHECK_OK(co_await r.Recv(&got, loop.now() + kMillisecond));
+    co_return got.size();
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(tx, rx, loop_)), 0u);
+}
+
+TEST_F(MsgTest, OversizedMessageRejected) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  std::vector<std::byte> huge(kMaxMessageSize + 1);
+  auto t = [](RingSender& s, std::span<const std::byte> m) -> Task<Status> {
+    co_return co_await s.Send(m);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(tx, huge)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MsgTest, RecvDeadlineExpires) {
+  RingConfig rc = MakeRing();
+  RingReceiver rx(pod_.host(1), rc);
+  auto t = [](RingReceiver& r, sim::EventLoop& loop) -> Task<Status> {
+    std::vector<std::byte> got;
+    co_return co_await r.Recv(&got, loop.now() + 10 * kMicrosecond);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(rx, loop_)).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(loop_.now(), 10 * kMicrosecond);
+}
+
+TEST_F(MsgTest, TryRecvNonBlocking) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+  auto t = [](RingSender& s, RingReceiver& r, sim::EventLoop& loop)
+      -> Task<std::pair<Status, Status>> {
+    std::vector<std::byte> got;
+    Status empty = co_await r.TryRecv(&got);
+    CXLPOOL_CHECK_OK(co_await s.Send(Msg("a")));
+    co_await sim::Delay(loop, kMicrosecond);  // posted-write media commit
+    Status full = co_await r.TryRecv(&got);
+    co_return std::make_pair(empty, full);
+  };
+  auto [empty, full] = RunBlocking(loop_, t(tx, rx, loop_));
+  EXPECT_EQ(empty.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(full.ok());
+}
+
+TEST_F(MsgTest, SenderBlocksWhenRingFullThenDrains) {
+  RingConfig rc = MakeRing(8);  // tiny ring
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+  constexpr int kCount = 64;
+
+  int sent = 0;
+  auto producer = [](RingSender& s, int& count) -> Task<> {
+    std::vector<std::byte> m(4);
+    for (int i = 0; i < kCount; ++i) {
+      CXLPOOL_CHECK_OK(co_await s.Send(m));
+      ++count;
+    }
+  };
+  Spawn(producer(tx, sent));
+  loop_.RunFor(kMillisecond);
+  EXPECT_LT(sent, kCount);  // stuck on flow control
+
+  int received = 0;
+  auto consumer = [](RingReceiver& r, sim::EventLoop& loop, int& count) -> Task<> {
+    std::vector<std::byte> m;
+    while (count < kCount) {
+      m.clear();
+      CXLPOOL_CHECK_OK(co_await r.Recv(&m, loop.now() + 100 * kMillisecond));
+      ++count;
+    }
+  };
+  Spawn(consumer(rx, loop_, received));
+  loop_.Run();
+  EXPECT_EQ(sent, kCount);
+  EXPECT_EQ(received, kCount);
+}
+
+TEST_F(MsgTest, RingFailsWhenMhdDies) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  pod_.FailMhd(MhdId(0));
+  auto t = [](RingSender& s) -> Task<Status> { co_return co_await s.Send(Msg("x")); };
+  EXPECT_EQ(RunBlocking(loop_, t(tx)).code(), StatusCode::kUnavailable);
+}
+
+// --- Channel ---
+
+TEST_F(MsgTest, ChannelBidirectional) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  auto t = [](Channel& c, sim::EventLoop& loop) -> Task<std::pair<std::string, std::string>> {
+    CXLPOOL_CHECK_OK(co_await c.end_a().Send(Msg("from-a")));
+    std::vector<std::byte> at_b;
+    CXLPOOL_CHECK_OK(co_await c.end_b().Recv(&at_b, loop.now() + kMillisecond));
+    CXLPOOL_CHECK_OK(co_await c.end_b().Send(Msg("from-b")));
+    std::vector<std::byte> at_a;
+    CXLPOOL_CHECK_OK(co_await c.end_a().Recv(&at_a, loop.now() + kMillisecond));
+    co_return std::make_pair(AsString(at_b), AsString(at_a));
+  };
+  auto [at_b, at_a] = RunBlocking(loop_, t(**ch, loop_));
+  EXPECT_EQ(at_b, "from-a");
+  EXPECT_EQ(at_a, "from-b");
+}
+
+TEST_F(MsgTest, PingPongLatencyMatchesFigure4Band) {
+  // Median ping-pong one-way latency should be in the 500-800 ns band with
+  // a median around 600 ns (paper Figure 4).
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+
+  sim::Histogram latencies;
+  sim::StopToken stop;
+
+  auto pong = [](Channel& chan, sim::EventLoop& loop, sim::StopToken& st) -> Task<> {
+    while (!st.stopped()) {
+      std::vector<std::byte> m;
+      Status s = co_await chan.end_b().Recv(&m, loop.now() + 10 * kMicrosecond);
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        continue;
+      }
+      CXLPOOL_CHECK_OK(s);
+      CXLPOOL_CHECK_OK(co_await chan.end_b().Send(m));
+    }
+  };
+  auto ping = [](Channel& chan, sim::EventLoop& loop, sim::Histogram& hist,
+                 sim::StopToken& st) -> Task<> {
+    std::vector<std::byte> payload = Msg("0123456789abcdef");  // 16 B
+    for (int i = 0; i < 200; ++i) {
+      Nanos start = loop.now();
+      CXLPOOL_CHECK_OK(co_await chan.end_a().Send(payload));
+      std::vector<std::byte> echo;
+      CXLPOOL_CHECK_OK(co_await chan.end_a().Recv(&echo, loop.now() + kMillisecond));
+      hist.Add((loop.now() - start) / 2);  // one-way
+    }
+    st.Stop();
+  };
+  Spawn(pong(c, loop_, stop));
+  Spawn(ping(c, loop_, latencies, stop));
+  loop_.Run();
+
+  int64_t p50 = latencies.Percentile(0.5);
+  EXPECT_GE(p50, 500);
+  EXPECT_LE(p50, 800);
+  EXPECT_LT(latencies.Percentile(0.99), 2 * kMicrosecond);
+}
+
+// --- RPC ---
+
+TEST_F(MsgTest, RpcEcho) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+
+  sim::StopToken stop;
+  RpcServer server(c.end_b(), [](uint16_t method, std::span<const std::byte> req)
+                                   -> Task<Result<std::vector<std::byte>>> {
+    if (method == 99) {
+      co_return NotFound("no such method");
+    }
+    std::vector<std::byte> resp(req.begin(), req.end());
+    resp.push_back(std::byte{static_cast<uint8_t>(method)});
+    co_return resp;
+  });
+  Spawn(server.Serve(stop));
+
+  RpcClient client(c.end_a());
+  auto t = [](RpcClient& cl, sim::EventLoop& loop, sim::StopToken& st)
+      -> Task<std::pair<std::string, StatusCode>> {
+    auto ok = co_await cl.Call(7, Msg("hi"), loop.now() + kMillisecond);
+    CXLPOOL_CHECK(ok.ok());
+    std::string body = AsString(*ok);
+    auto err = co_await cl.Call(99, Msg(""), loop.now() + kMillisecond);
+    st.Stop();
+    co_return std::make_pair(body, err.ok() ? StatusCode::kOk : err.status().code());
+  };
+  auto [body, err_code] = RunBlocking(loop_, t(client, loop_, stop));
+  EXPECT_EQ(body, std::string("hi") + char(7));
+  EXPECT_EQ(err_code, StatusCode::kNotFound);
+  EXPECT_EQ(server.calls_served(), 2u);
+}
+
+TEST_F(MsgTest, RpcRoundTripIsFewMicroseconds) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient client(c.end_a());
+  auto t = [](RpcClient& cl, sim::EventLoop& loop, sim::StopToken& st) -> Task<Nanos> {
+    // Warm up once (server parked in long poll), then measure.
+    (void)co_await cl.Call(1, Msg("w"), loop.now() + kMillisecond);
+    Nanos start = loop.now();
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + kMillisecond);
+    CXLPOOL_CHECK(r.ok());
+    st.Stop();
+    co_return loop.now() - start;
+  };
+  Nanos rtt = RunBlocking(loop_, t(client, loop_, stop));
+  EXPECT_LT(rtt, 5 * kMicrosecond);  // two ring traversals + handler
+  EXPECT_GT(rtt, 1 * kMicrosecond);
+}
+
+// --- Doorbell ---
+
+TEST_F(MsgTest, DoorbellWaitsAndWakes) {
+  auto seg = pod_.pool().Allocate(kCachelineSize);
+  ASSERT_TRUE(seg.ok());
+  DoorbellSender bell(pod_.host(0), seg->base);
+  DoorbellWatcher watch(pod_.host(1), seg->base);
+
+  auto ringer = [](DoorbellSender& b, sim::EventLoop& loop) -> Task<> {
+    co_await sim::Delay(loop, 5 * kMicrosecond);
+    CXLPOOL_CHECK_OK(co_await b.Ring(1));
+  };
+  auto waiter = [](DoorbellWatcher& w, sim::EventLoop& loop) -> Task<uint64_t> {
+    auto v = co_await w.WaitBeyond(0, loop.now() + kMillisecond);
+    CXLPOOL_CHECK(v.ok());
+    co_return *v;
+  };
+  Spawn(ringer(bell, loop_));
+  uint64_t v = RunBlocking(loop_, waiter(watch, loop_));
+  EXPECT_EQ(v, 1u);
+  EXPECT_GE(loop_.now(), 5 * kMicrosecond);
+}
+
+TEST_F(MsgTest, DoorbellDeadline) {
+  auto seg = pod_.pool().Allocate(kCachelineSize);
+  ASSERT_TRUE(seg.ok());
+  DoorbellWatcher watch(pod_.host(1), seg->base);
+  auto t = [](DoorbellWatcher& w, sim::EventLoop& loop) -> Task<Status> {
+    auto v = co_await w.WaitBeyond(0, loop.now() + 5 * kMicrosecond);
+    co_return v.ok() ? OkStatus() : v.status();
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(watch, loop_)).code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace cxlpool::msg

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/bandwidth.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::sim {
+namespace {
+
+// --- EventLoop ---
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+  EXPECT_EQ(loop.executed(), 3u);
+}
+
+TEST(EventLoopTest, SameTimeIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, ReentrantScheduling) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(5, [&] {
+    ++fired;
+    loop.Schedule(5, [&] { ++fired; });
+  });
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoopTest, RunUntilLeavesFutureEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(10, [&] { ++fired; });
+  loop.Schedule(100, [&] { ++fired; });
+  loop.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 50);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  Nanos seen = -1;
+  loop.Schedule(100, [&] {
+    loop.ScheduleAt(5, [&] { seen = loop.now(); });  // 5 < now=100
+  });
+  loop.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventLoopTest, StopInterruptsRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(1, [&] {
+    ++fired;
+    loop.Stop();
+  });
+  loop.Schedule(2, [&] { ++fired; });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+// --- Task / coroutines ---
+
+Task<int> Immediate() { co_return 7; }
+
+TEST(TaskTest, ImmediateResult) {
+  EventLoop loop;
+  EXPECT_EQ(RunBlocking(loop, Immediate()), 7);
+}
+
+Task<int> DelayedValue(EventLoop& loop, Nanos d, int v) {
+  co_await Delay(loop, d);
+  co_return v;
+}
+
+TEST(TaskTest, DelayAdvancesTime) {
+  EventLoop loop;
+  int v = RunBlocking(loop, DelayedValue(loop, 250, 9));
+  EXPECT_EQ(v, 9);
+  EXPECT_EQ(loop.now(), 250);
+}
+
+Task<int> Nested(EventLoop& loop) {
+  int a = co_await DelayedValue(loop, 100, 1);
+  int b = co_await DelayedValue(loop, 50, 2);
+  co_return a + b;
+}
+
+TEST(TaskTest, NestedAwaitsAccumulateTime) {
+  EventLoop loop;
+  EXPECT_EQ(RunBlocking(loop, Nested(loop)), 3);
+  EXPECT_EQ(loop.now(), 150);
+}
+
+TEST(TaskTest, ZeroDelayDoesNotSuspend) {
+  EventLoop loop;
+  bool done = false;
+  auto t = [](EventLoop& l, bool& flag) -> Task<> {
+    co_await Delay(l, 0);
+    co_await Delay(l, -5);
+    flag = true;
+  };
+  Spawn(t(loop, done));
+  // Spawn runs eagerly until first real suspension; zero delays are ready.
+  EXPECT_TRUE(done);
+  EXPECT_EQ(loop.now(), 0);
+}
+
+TEST(TaskTest, SpawnRunsConcurrently) {
+  EventLoop loop;
+  std::vector<int> order;
+  auto actor = [](EventLoop& l, std::vector<int>& log, Nanos d, int tag) -> Task<> {
+    co_await Delay(l, d);
+    log.push_back(tag);
+  };
+  Spawn(actor(loop, order, 30, 3));
+  Spawn(actor(loop, order, 10, 1));
+  Spawn(actor(loop, order, 20, 2));
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// --- Sync primitives ---
+
+TEST(SyncTest, EventWakesWaiters) {
+  EventLoop loop;
+  Event e(loop);
+  int woken = 0;
+  auto waiter = [](Event& ev, int& count) -> Task<> {
+    co_await ev.Wait();
+    ++count;
+  };
+  Spawn(waiter(e, woken));
+  Spawn(waiter(e, woken));
+  loop.Run();
+  EXPECT_EQ(woken, 0);  // nothing set yet
+  e.Set();
+  loop.Run();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(SyncTest, SetEventDoesNotBlock) {
+  EventLoop loop;
+  Event e(loop);
+  e.Set();
+  bool done = false;
+  auto waiter = [](Event& ev, bool& flag) -> Task<> {
+    co_await ev.Wait();
+    flag = true;
+  };
+  Spawn(waiter(e, done));
+  EXPECT_TRUE(done);  // ready immediately, no suspension
+}
+
+TEST(SyncTest, SemaphoreLimitsConcurrency) {
+  EventLoop loop;
+  Semaphore sem(loop, 2);
+  int active = 0;
+  int max_active = 0;
+  auto worker = [](EventLoop& l, Semaphore& s, int& act, int& peak) -> Task<> {
+    co_await s.Acquire();
+    ++act;
+    peak = std::max(peak, act);
+    co_await Delay(l, 100);
+    --act;
+    s.Release();
+  };
+  for (int i = 0; i < 6; ++i) {
+    Spawn(worker(loop, sem, active, max_active));
+  }
+  loop.Run();
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(loop.now(), 300);  // 6 workers, 2 at a time, 100 ns each
+}
+
+TEST(SyncTest, SemaphoreTryAcquire) {
+  EventLoop loop;
+  Semaphore sem(loop, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(SyncTest, QueueDeliversInOrder) {
+  EventLoop loop;
+  Queue<int> q(loop);
+  std::vector<int> got;
+  auto consumer = [](Queue<int>& queue, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(co_await queue.Pop());
+    }
+  };
+  Spawn(consumer(q, got));
+  q.Push(1);
+  q.Push(2);
+  loop.Run();
+  q.Push(3);
+  loop.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SyncTest, QueueTryPop) {
+  EventLoop loop;
+  Queue<int> q(loop);
+  int v = 0;
+  EXPECT_FALSE(q.TryPop(&v));
+  q.Push(5);
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 5);
+}
+
+// --- Random ---
+
+TEST(RandomTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    uint64_t k = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(k, 10u);
+    int64_t j = rng.UniformInt(int64_t{-5}, int64_t{5});
+    EXPECT_GE(j, -5);
+    EXPECT_LE(j, 5);
+  }
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Rng rng(11);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) {
+    s.Add(rng.Exponential(100.0));
+  }
+  EXPECT_NEAR(s.mean(), 100.0, 3.0);
+}
+
+TEST(RandomTest, NormalMoments) {
+  Rng rng(13);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) {
+    s.Add(rng.Normal(50.0, 10.0));
+  }
+  EXPECT_NEAR(s.mean(), 50.0, 0.5);
+  EXPECT_NEAR(s.stddev(), 10.0, 0.5);
+}
+
+TEST(RandomTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  double w[] = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.Categorical(w)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RandomTest, ZipfIsSkewed) {
+  Rng rng(19);
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[9] * 5);   // rank 0 ~10x rank 9 at s=1
+  EXPECT_GT(counts[0], counts[99] * 30);
+}
+
+// --- Stats ---
+
+TEST(StatsTest, SummaryBasics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(StatsTest, HistogramExactSmallValues) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 9);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 9);
+}
+
+TEST(StatsTest, HistogramPercentileAccuracy) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) {
+    h.Add(v);
+  }
+  // Relative error bound from sub-bucketing: 2^-6 ~ 1.6%.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.50)), 50000.0, 50000.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 99000.0, 99000.0 * 0.02);
+  EXPECT_EQ(h.Percentile(1.0), 100000);
+}
+
+TEST(StatsTest, HistogramMerge) {
+  Histogram a;
+  Histogram b;
+  a.Add(100);
+  b.Add(300);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 300);
+}
+
+TEST(StatsTest, HistogramNegativeClampsToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(StatsTest, CounterDelta) {
+  Counter c;
+  c.Add(5);
+  c.Add(3);
+  EXPECT_EQ(c.total(), 8u);
+  EXPECT_EQ(c.TakeDelta(), 8u);
+  c.Add(2);
+  EXPECT_EQ(c.TakeDelta(), 2u);
+  EXPECT_EQ(c.TakeDelta(), 0u);
+}
+
+// --- Bandwidth ---
+
+TEST(BandwidthTest, IdleLinkIsSerializationOnly) {
+  BandwidthQueue q(10.0);  // 10 B/ns
+  EXPECT_EQ(q.Acquire(0, 1000), 100);
+  EXPECT_EQ(q.next_free(), 100);
+}
+
+TEST(BandwidthTest, BackToBackTransfersQueue) {
+  BandwidthQueue q(10.0);
+  EXPECT_EQ(q.Acquire(0, 1000), 100);
+  EXPECT_EQ(q.Acquire(0, 1000), 200);  // queues behind the first
+  EXPECT_EQ(q.Acquire(500, 1000), 600);  // link idle again by t=500
+}
+
+TEST(BandwidthTest, PeekDoesNotReserve) {
+  BandwidthQueue q(10.0);
+  EXPECT_EQ(q.Peek(0, 1000), 100);
+  EXPECT_EQ(q.Peek(0, 1000), 100);  // unchanged
+  EXPECT_EQ(q.next_free(), 0);
+}
+
+TEST(BandwidthTest, UtilizationTracksBusyFraction) {
+  BandwidthQueue q(10.0);
+  q.Acquire(0, 1000);  // busy 0..100
+  EXPECT_NEAR(q.Utilization(200), 0.5, 1e-9);
+  EXPECT_NEAR(q.Utilization(100), 1.0, 1e-9);
+}
+
+TEST(BandwidthTest, RateChangeAffectsLaterTransfers) {
+  BandwidthQueue q(10.0);
+  EXPECT_EQ(q.Acquire(0, 100), 10);
+  q.set_bytes_per_ns(1.0);  // degraded link
+  EXPECT_EQ(q.Acquire(10, 100), 110);
+}
+
+TEST(BandwidthTest, BacklogVisible) {
+  BandwidthQueue q(1.0);
+  q.Acquire(0, 500);
+  EXPECT_EQ(q.Backlog(100), 400);
+  EXPECT_EQ(q.Backlog(600), 0);
+}
+
+}  // namespace
+}  // namespace cxlpool::sim

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/stranding/binpack.h"
+#include "src/stranding/experiment.h"
+#include "src/stranding/staffing.h"
+#include "src/stranding/workload.h"
+
+namespace cxlpool::strand {
+namespace {
+
+TEST(ResourceVectorTest, Arithmetic) {
+  ResourceVector a;
+  a.v = {4, 16, 64, 2};
+  ResourceVector b;
+  b.v = {2, 8, 32, 1};
+  a -= b;
+  EXPECT_DOUBLE_EQ(a[kCores], 2);
+  EXPECT_DOUBLE_EQ(a[kMemory], 8);
+  a += b;
+  EXPECT_DOUBLE_EQ(a[kSsd], 64);
+}
+
+TEST(ResourceVectorTest, Fits) {
+  ResourceVector cap;
+  cap.v = {4, 16, 64, 2};
+  ResourceVector small;
+  small.v = {4, 16, 64, 2};
+  EXPECT_TRUE(cap.Fits(small));
+  small.v[kNic] = 2.1;
+  EXPECT_FALSE(cap.Fits(small));
+}
+
+TEST(WorkloadTest, CatalogSane) {
+  auto catalog = DefaultVmCatalog();
+  ASSERT_GE(catalog.size(), 6u);
+  HostShape host = DefaultHostShape();
+  for (const VmType& t : catalog) {
+    EXPECT_GT(t.weight, 0) << t.name;
+    // Every type must fit an empty host in every dimension.
+    EXPECT_TRUE(host.capacity.Fits(t.demand)) << t.name;
+  }
+}
+
+TEST(WorkloadTest, GeneratorRespectsWeights) {
+  auto catalog = DefaultVmCatalog();
+  VmArrivalGenerator gen(catalog, 7);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[std::string(gen.Next().name)]++;
+  }
+  // gp-small (weight 30) must be drawn far more often than storage-opt
+  // (weight 4).
+  EXPECT_GT(counts["gp-small"], counts["storage-opt"] * 3);
+}
+
+TEST(WorkloadTest, PerturbationChangesMix) {
+  auto catalog = DefaultVmCatalog();
+  VmArrivalGenerator a(catalog, 11);
+  VmArrivalGenerator b(catalog, 11);
+  b.PerturbWeights(1.5);
+  int same = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.Next().name == b.Next().name) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 450);  // distributions diverged
+}
+
+TEST(BinPackTest, FillsHostsUntilSomethingBinds) {
+  ClusterConfig config = PooledSsdNicConfig(8, 1);
+  StrandingResult r = PackCluster(config, DefaultVmCatalog(), 3);
+  EXPECT_GT(r.vms_placed, 50);
+  // At least one dimension should be nearly exhausted on average...
+  double min_stranded = 1.0;
+  for (int res = 0; res < kResourceCount; ++res) {
+    min_stranded = std::min(min_stranded, r.stranded[res]);
+    EXPECT_GE(r.stranded[res], 0.0);
+    EXPECT_LE(r.stranded[res], 1.0);
+  }
+  EXPECT_LT(min_stranded, 0.25);
+}
+
+TEST(BinPackTest, DeterministicForSeed) {
+  ClusterConfig config = PooledSsdNicConfig(8, 1);
+  StrandingResult a = PackCluster(config, DefaultVmCatalog(), 5);
+  StrandingResult b = PackCluster(config, DefaultVmCatalog(), 5);
+  EXPECT_EQ(a.vms_placed, b.vms_placed);
+  for (int r = 0; r < kResourceCount; ++r) {
+    EXPECT_DOUBLE_EQ(a.stranded[r], b.stranded[r]);
+  }
+}
+
+TEST(BinPackTest, Figure2Calibration) {
+  // The headline reproduction: SSD ~54% and NIC ~29% stranded, SSD > NIC
+  // >> cores > memory.
+  ExperimentConfig config;
+  config.cluster = PooledSsdNicConfig(96, 1);
+  config.trials = 10;
+  TrialSeries s = RunTrials(config);
+  EXPECT_NEAR(s.stranded[kSsd].mean(), 0.54, 0.06);
+  EXPECT_NEAR(s.stranded[kNic].mean(), 0.29, 0.06);
+  EXPECT_GT(s.stranded[kSsd].mean(), s.stranded[kNic].mean());
+  EXPECT_GT(s.stranded[kNic].mean(), s.stranded[kCores].mean());
+  EXPECT_GT(s.stranded[kCores].mean(), s.stranded[kMemory].mean());
+}
+
+TEST(BinPackTest, PoolingNeverIncreasesPooledStranding) {
+  for (int pod : {2, 8}) {
+    ExperimentConfig base;
+    base.cluster = PooledSsdNicConfig(32, 1);
+    base.trials = 5;
+    ExperimentConfig pooled = base;
+    pooled.cluster = PooledSsdNicConfig(32, pod);
+    TrialSeries a = RunTrials(base);
+    TrialSeries b = RunTrials(pooled);
+    EXPECT_LE(b.stranded[kSsd].mean(), a.stranded[kSsd].mean() + 0.02) << pod;
+    EXPECT_LE(b.stranded[kNic].mean(), a.stranded[kNic].mean() + 0.02) << pod;
+  }
+}
+
+TEST(BinPackTest, PodSizeMustDivideHosts) {
+  ClusterConfig config = PooledSsdNicConfig(8, 3);
+  EXPECT_DEATH(PackCluster(config, DefaultVmCatalog(), 1), "CHECK");
+}
+
+TEST(ExperimentTest, PercentilesOrdered) {
+  ExperimentConfig config;
+  config.cluster = PooledSsdNicConfig(16, 1);
+  config.trials = 8;
+  TrialSeries s = RunTrials(config);
+  EXPECT_LE(s.Percentile(kSsd, 0.1), s.Percentile(kSsd, 0.5));
+  EXPECT_LE(s.Percentile(kSsd, 0.5), s.Percentile(kSsd, 0.9));
+}
+
+// --- Square-root staffing ---
+
+TEST(StaffingTest, CalibrationReproducesBaseline) {
+  StaffingConfig cfg = CalibrateStaffing(0.54);
+  StaffingPoint p1 = SimulateStaffing(cfg, 1);
+  EXPECT_NEAR(p1.stranded, 0.54, 0.03);
+  EXPECT_NEAR(p1.provisioned_per_host, 1.0, 0.05);
+}
+
+TEST(StaffingTest, StrandingFallsMonotonically) {
+  StaffingConfig cfg = CalibrateStaffing(0.54);
+  double prev = 1.0;
+  for (int n : {1, 2, 4, 8, 16}) {
+    StaffingPoint p = SimulateStaffing(cfg, n);
+    EXPECT_LT(p.stranded, prev + 1e-9) << n;
+    prev = p.stranded;
+  }
+}
+
+TEST(StaffingTest, MatchesAnalyticApproximation) {
+  StaffingConfig cfg = CalibrateStaffing(0.29);
+  for (int n : {1, 4, 16}) {
+    StaffingPoint sim = SimulateStaffing(cfg, n);
+    StaffingPoint ana = AnalyticStaffing(cfg, n);
+    EXPECT_NEAR(sim.stranded, ana.stranded, 0.03) << n;
+  }
+}
+
+TEST(StaffingTest, FleetShrinksWithPodSize) {
+  StaffingConfig cfg = CalibrateStaffing(0.54);
+  StaffingPoint p8 = SimulateStaffing(cfg, 8);
+  // The pod buys meaningfully less hardware per host than 1:1 provisioning.
+  EXPECT_LT(p8.fleet_fraction, 0.75);
+  EXPECT_GT(p8.fleet_fraction, 0.45);
+}
+
+TEST(StaffingTest, SqrtRuleAnchors) {
+  // The paper's worked numbers: 54% -> ~19% and 29% -> ~10% at N=8.
+  EXPECT_NEAR(SqrtNEstimate(0.54, 8), 0.19, 0.01);
+  EXPECT_NEAR(SqrtNEstimate(0.29, 8), 0.10, 0.01);
+  EXPECT_DOUBLE_EQ(SqrtNEstimate(0.54, 1), 0.54);
+}
+
+}  // namespace
+}  // namespace cxlpool::strand

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "src/tco/tco.h"
+
+namespace cxlpool::tco {
+namespace {
+
+TEST(TcoTest, DefaultInputsMatchPaperAnchors) {
+  // The paper's cost anchors: ~$80k for a switch deployment, ~$600/host
+  // for the CXL pod.
+  CostInputs in;
+  TcoReport r = ComputeTco(in, 0.54, 0.19, 0.29, 0.10);
+  EXPECT_NEAR(r.pcie_switch_infra, 80000, 2500);
+  EXPECT_DOUBLE_EQ(r.cxl_infra, 600.0 * in.hosts);
+}
+
+TEST(TcoTest, MemoryPoolingMakesCxlInfraFreeOrBetter) {
+  CostInputs in;
+  TcoReport r = ComputeTco(in, 0.54, 0.19, 0.29, 0.10);
+  EXPECT_LE(r.cxl_infra_net_of_memory_savings, 0.0);
+}
+
+TEST(TcoTest, CxlNetBeatsSwitchNet) {
+  CostInputs in;
+  TcoReport r = ComputeTco(in, 0.54, 0.19, 0.29, 0.10);
+  EXPECT_GT(r.cxl_net, r.pcie_switch_net);
+  // The gap is roughly the infra delta.
+  EXPECT_NEAR(r.cxl_net - r.pcie_switch_net,
+              r.pcie_switch_infra - r.cxl_infra_net_of_memory_savings, 1.0);
+}
+
+TEST(TcoTest, NoStrandingReductionNoDeviceSavings) {
+  CostInputs in;
+  TcoReport r = ComputeTco(in, 0.54, 0.54, 0.29, 0.29);
+  EXPECT_DOUBLE_EQ(r.ssd_capex_avoided, 0.0);
+  EXPECT_DOUBLE_EQ(r.nic_capex_avoided, 0.0);
+  // Redundancy sharing still counts.
+  EXPECT_GT(r.redundancy_capex_avoided, 0.0);
+}
+
+TEST(TcoTest, SavingsGrowWithStrandingReduction) {
+  CostInputs in;
+  TcoReport small = ComputeTco(in, 0.54, 0.45, 0.29, 0.25);
+  TcoReport large = ComputeTco(in, 0.54, 0.19, 0.29, 0.10);
+  EXPECT_GT(large.ssd_capex_avoided, small.ssd_capex_avoided);
+  EXPECT_GT(large.nic_capex_avoided, small.nic_capex_avoided);
+}
+
+TEST(TcoTest, WorseStrandingNeverYieldsNegativeSavings) {
+  CostInputs in;
+  TcoReport r = ComputeTco(in, 0.20, 0.50, 0.10, 0.40);  // pooling "hurt"
+  EXPECT_DOUBLE_EQ(r.ssd_capex_avoided, 0.0);
+  EXPECT_DOUBLE_EQ(r.nic_capex_avoided, 0.0);
+}
+
+TEST(TcoTest, RedundancySharingScalesWithPods) {
+  CostInputs in;
+  in.hosts = 32;
+  in.pod_size = 8;  // 4 pods -> 8 spares vs 32 per-host spares
+  TcoReport r = ComputeTco(in, 0.54, 0.19, 0.29, 0.10);
+  EXPECT_DOUBLE_EQ(r.redundancy_capex_avoided, (32 - 8) * in.nic_unit_cost);
+}
+
+TEST(TcoTest, FleetMathMatchesFormula) {
+  CostInputs in;
+  in.hosts = 10;
+  in.ssds_per_host = 4;
+  in.ssd_unit_cost = 1000;
+  TcoReport r = ComputeTco(in, 0.5, 0.2, 0.29, 0.29);
+  // reduction = 1 - (1-0.5)/(1-0.2) = 0.375 of a $40k fleet.
+  EXPECT_NEAR(r.ssd_capex_avoided, 0.375 * 40000, 1.0);
+}
+
+}  // namespace
+}  // namespace cxlpool::tco
