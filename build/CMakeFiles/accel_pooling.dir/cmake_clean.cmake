@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_pooling.dir/bench/accel_pooling.cc.o"
+  "CMakeFiles/accel_pooling.dir/bench/accel_pooling.cc.o.d"
+  "bench/accel_pooling"
+  "bench/accel_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

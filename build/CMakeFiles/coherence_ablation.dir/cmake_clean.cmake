@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_ablation.dir/bench/coherence_ablation.cc.o"
+  "CMakeFiles/coherence_ablation.dir/bench/coherence_ablation.cc.o.d"
+  "bench/coherence_ablation"
+  "bench/coherence_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover.dir/bench/failover.cc.o"
+  "CMakeFiles/failover.dir/bench/failover.cc.o.d"
+  "bench/failover"
+  "bench/failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stranding.dir/bench/fig2_stranding.cc.o"
+  "CMakeFiles/fig2_stranding.dir/bench/fig2_stranding.cc.o.d"
+  "bench/fig2_stranding"
+  "bench/fig2_stranding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stranding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

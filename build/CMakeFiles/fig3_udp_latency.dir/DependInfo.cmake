@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_udp_latency.cc" "CMakeFiles/fig3_udp_latency.dir/bench/fig3_udp_latency.cc.o" "gcc" "CMakeFiles/fig3_udp_latency.dir/bench/fig3_udp_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cxlpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlpool_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlpool_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/cxlpool_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cxlpool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/cxlpool_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/cxlpool_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/cxlpool_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cxlpool_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_udp_latency.dir/bench/fig3_udp_latency.cc.o"
+  "CMakeFiles/fig3_udp_latency.dir/bench/fig3_udp_latency.cc.o.d"
+  "bench/fig3_udp_latency"
+  "bench/fig3_udp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_udp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_msg_latency.dir/bench/fig4_msg_latency.cc.o"
+  "CMakeFiles/fig4_msg_latency.dir/bench/fig4_msg_latency.cc.o.d"
+  "bench/fig4_msg_latency"
+  "bench/fig4_msg_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_msg_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/interleave_bw.cc" "CMakeFiles/interleave_bw.dir/bench/interleave_bw.cc.o" "gcc" "CMakeFiles/interleave_bw.dir/bench/interleave_bw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cxlpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlpool_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlpool_cxl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleave_bw.dir/bench/interleave_bw.cc.o"
+  "CMakeFiles/interleave_bw.dir/bench/interleave_bw.cc.o.d"
+  "bench/interleave_bw"
+  "bench/interleave_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleave_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmio_forwarding.dir/bench/mmio_forwarding.cc.o"
+  "CMakeFiles/mmio_forwarding.dir/bench/mmio_forwarding.cc.o.d"
+  "bench/mmio_forwarding"
+  "bench/mmio_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmio_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_switch_baseline.dir/bench/pcie_switch_baseline.cc.o"
+  "CMakeFiles/pcie_switch_baseline.dir/bench/pcie_switch_baseline.cc.o.d"
+  "bench/pcie_switch_baseline"
+  "bench/pcie_switch_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_switch_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

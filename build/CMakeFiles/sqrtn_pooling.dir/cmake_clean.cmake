@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqrtn_pooling.dir/bench/sqrtn_pooling.cc.o"
+  "CMakeFiles/sqrtn_pooling.dir/bench/sqrtn_pooling.cc.o.d"
+  "bench/sqrtn_pooling"
+  "bench/sqrtn_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqrtn_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_disagg.dir/accel_disagg.cpp.o"
+  "CMakeFiles/accel_disagg.dir/accel_disagg.cpp.o.d"
+  "accel_disagg"
+  "accel_disagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_failover.dir/nic_failover.cpp.o"
+  "CMakeFiles/nic_failover.dir/nic_failover.cpp.o.d"
+  "nic_failover"
+  "nic_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

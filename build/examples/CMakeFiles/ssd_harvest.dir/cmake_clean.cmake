@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_harvest.dir/ssd_harvest.cpp.o"
+  "CMakeFiles/ssd_harvest.dir/ssd_harvest.cpp.o.d"
+  "ssd_harvest"
+  "ssd_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torless_rack.dir/torless_rack.cpp.o"
+  "CMakeFiles/torless_rack.dir/torless_rack.cpp.o.d"
+  "torless_rack"
+  "torless_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torless_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("cxl")
+subdirs("msg")
+subdirs("pcie")
+subdirs("netsim")
+subdirs("devices")
+subdirs("core")
+subdirs("stack")
+subdirs("stranding")
+subdirs("tco")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_common.dir/status.cc.o"
+  "CMakeFiles/cxlpool_common.dir/status.cc.o.d"
+  "libcxlpool_common.a"
+  "libcxlpool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

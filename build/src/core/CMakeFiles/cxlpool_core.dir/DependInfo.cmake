@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cc" "src/core/CMakeFiles/cxlpool_core.dir/agent.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/agent.cc.o.d"
+  "/root/repo/src/core/mmio_path.cc" "src/core/CMakeFiles/cxlpool_core.dir/mmio_path.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/mmio_path.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/cxlpool_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/queue_pair.cc" "src/core/CMakeFiles/cxlpool_core.dir/queue_pair.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/queue_pair.cc.o.d"
+  "/root/repo/src/core/rack.cc" "src/core/CMakeFiles/cxlpool_core.dir/rack.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/rack.cc.o.d"
+  "/root/repo/src/core/virtual_accel.cc" "src/core/CMakeFiles/cxlpool_core.dir/virtual_accel.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/virtual_accel.cc.o.d"
+  "/root/repo/src/core/virtual_nic.cc" "src/core/CMakeFiles/cxlpool_core.dir/virtual_nic.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/virtual_nic.cc.o.d"
+  "/root/repo/src/core/virtual_ssd.cc" "src/core/CMakeFiles/cxlpool_core.dir/virtual_ssd.cc.o" "gcc" "src/core/CMakeFiles/cxlpool_core.dir/virtual_ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/cxlpool_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/cxlpool_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/cxlpool_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cxlpool_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlpool_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlpool_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cxlpool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

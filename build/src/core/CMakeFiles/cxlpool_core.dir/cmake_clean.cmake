@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_core.dir/agent.cc.o"
+  "CMakeFiles/cxlpool_core.dir/agent.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/mmio_path.cc.o"
+  "CMakeFiles/cxlpool_core.dir/mmio_path.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/orchestrator.cc.o"
+  "CMakeFiles/cxlpool_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/queue_pair.cc.o"
+  "CMakeFiles/cxlpool_core.dir/queue_pair.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/rack.cc.o"
+  "CMakeFiles/cxlpool_core.dir/rack.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/virtual_accel.cc.o"
+  "CMakeFiles/cxlpool_core.dir/virtual_accel.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/virtual_nic.cc.o"
+  "CMakeFiles/cxlpool_core.dir/virtual_nic.cc.o.d"
+  "CMakeFiles/cxlpool_core.dir/virtual_ssd.cc.o"
+  "CMakeFiles/cxlpool_core.dir/virtual_ssd.cc.o.d"
+  "libcxlpool_core.a"
+  "libcxlpool_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

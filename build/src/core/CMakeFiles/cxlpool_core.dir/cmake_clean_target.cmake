@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcxlpool_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/host_adapter.cc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/host_adapter.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/host_adapter.cc.o.d"
+  "/root/repo/src/cxl/pod.cc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/pod.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/pod.cc.o.d"
+  "/root/repo/src/cxl/pool.cc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/pool.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/pool.cc.o.d"
+  "/root/repo/src/cxl/replication.cc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/replication.cc.o" "gcc" "src/cxl/CMakeFiles/cxlpool_cxl.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cxlpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlpool_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

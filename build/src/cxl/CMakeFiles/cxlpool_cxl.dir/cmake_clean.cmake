@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_cxl.dir/host_adapter.cc.o"
+  "CMakeFiles/cxlpool_cxl.dir/host_adapter.cc.o.d"
+  "CMakeFiles/cxlpool_cxl.dir/pod.cc.o"
+  "CMakeFiles/cxlpool_cxl.dir/pod.cc.o.d"
+  "CMakeFiles/cxlpool_cxl.dir/pool.cc.o"
+  "CMakeFiles/cxlpool_cxl.dir/pool.cc.o.d"
+  "CMakeFiles/cxlpool_cxl.dir/replication.cc.o"
+  "CMakeFiles/cxlpool_cxl.dir/replication.cc.o.d"
+  "libcxlpool_cxl.a"
+  "libcxlpool_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_devices.dir/accel.cc.o"
+  "CMakeFiles/cxlpool_devices.dir/accel.cc.o.d"
+  "CMakeFiles/cxlpool_devices.dir/nic.cc.o"
+  "CMakeFiles/cxlpool_devices.dir/nic.cc.o.d"
+  "CMakeFiles/cxlpool_devices.dir/ssd.cc.o"
+  "CMakeFiles/cxlpool_devices.dir/ssd.cc.o.d"
+  "libcxlpool_devices.a"
+  "libcxlpool_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

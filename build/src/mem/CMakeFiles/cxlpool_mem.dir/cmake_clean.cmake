@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_mem.dir/address_map.cc.o"
+  "CMakeFiles/cxlpool_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/cxlpool_mem.dir/backend.cc.o"
+  "CMakeFiles/cxlpool_mem.dir/backend.cc.o.d"
+  "CMakeFiles/cxlpool_mem.dir/cache.cc.o"
+  "CMakeFiles/cxlpool_mem.dir/cache.cc.o.d"
+  "libcxlpool_mem.a"
+  "libcxlpool_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/channel.cc" "src/msg/CMakeFiles/cxlpool_msg.dir/channel.cc.o" "gcc" "src/msg/CMakeFiles/cxlpool_msg.dir/channel.cc.o.d"
+  "/root/repo/src/msg/ring.cc" "src/msg/CMakeFiles/cxlpool_msg.dir/ring.cc.o" "gcc" "src/msg/CMakeFiles/cxlpool_msg.dir/ring.cc.o.d"
+  "/root/repo/src/msg/rpc.cc" "src/msg/CMakeFiles/cxlpool_msg.dir/rpc.cc.o" "gcc" "src/msg/CMakeFiles/cxlpool_msg.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cxlpool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlpool_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlpool_cxl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_msg.dir/channel.cc.o"
+  "CMakeFiles/cxlpool_msg.dir/channel.cc.o.d"
+  "CMakeFiles/cxlpool_msg.dir/ring.cc.o"
+  "CMakeFiles/cxlpool_msg.dir/ring.cc.o.d"
+  "CMakeFiles/cxlpool_msg.dir/rpc.cc.o"
+  "CMakeFiles/cxlpool_msg.dir/rpc.cc.o.d"
+  "libcxlpool_msg.a"
+  "libcxlpool_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_netsim.dir/network.cc.o"
+  "CMakeFiles/cxlpool_netsim.dir/network.cc.o.d"
+  "libcxlpool_netsim.a"
+  "libcxlpool_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_pcie.dir/device.cc.o"
+  "CMakeFiles/cxlpool_pcie.dir/device.cc.o.d"
+  "CMakeFiles/cxlpool_pcie.dir/switch_fabric.cc.o"
+  "CMakeFiles/cxlpool_pcie.dir/switch_fabric.cc.o.d"
+  "libcxlpool_pcie.a"
+  "libcxlpool_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_sim.dir/bandwidth.cc.o"
+  "CMakeFiles/cxlpool_sim.dir/bandwidth.cc.o.d"
+  "CMakeFiles/cxlpool_sim.dir/event_loop.cc.o"
+  "CMakeFiles/cxlpool_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/cxlpool_sim.dir/logger.cc.o"
+  "CMakeFiles/cxlpool_sim.dir/logger.cc.o.d"
+  "CMakeFiles/cxlpool_sim.dir/random.cc.o"
+  "CMakeFiles/cxlpool_sim.dir/random.cc.o.d"
+  "CMakeFiles/cxlpool_sim.dir/stats.cc.o"
+  "CMakeFiles/cxlpool_sim.dir/stats.cc.o.d"
+  "libcxlpool_sim.a"
+  "libcxlpool_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

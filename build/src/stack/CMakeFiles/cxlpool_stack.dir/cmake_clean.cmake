@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_stack.dir/buffer_pool.cc.o"
+  "CMakeFiles/cxlpool_stack.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/cxlpool_stack.dir/loadgen.cc.o"
+  "CMakeFiles/cxlpool_stack.dir/loadgen.cc.o.d"
+  "CMakeFiles/cxlpool_stack.dir/udp.cc.o"
+  "CMakeFiles/cxlpool_stack.dir/udp.cc.o.d"
+  "libcxlpool_stack.a"
+  "libcxlpool_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_stranding.dir/binpack.cc.o"
+  "CMakeFiles/cxlpool_stranding.dir/binpack.cc.o.d"
+  "CMakeFiles/cxlpool_stranding.dir/experiment.cc.o"
+  "CMakeFiles/cxlpool_stranding.dir/experiment.cc.o.d"
+  "CMakeFiles/cxlpool_stranding.dir/staffing.cc.o"
+  "CMakeFiles/cxlpool_stranding.dir/staffing.cc.o.d"
+  "CMakeFiles/cxlpool_stranding.dir/workload.cc.o"
+  "CMakeFiles/cxlpool_stranding.dir/workload.cc.o.d"
+  "libcxlpool_stranding.a"
+  "libcxlpool_stranding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_stranding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

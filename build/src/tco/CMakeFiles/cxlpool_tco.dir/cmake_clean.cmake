@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlpool_tco.dir/tco.cc.o"
+  "CMakeFiles/cxlpool_tco.dir/tco.cc.o.d"
+  "libcxlpool_tco.a"
+  "libcxlpool_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlpool_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

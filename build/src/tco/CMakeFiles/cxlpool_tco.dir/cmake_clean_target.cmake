@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcxlpool_tco.a"
+)

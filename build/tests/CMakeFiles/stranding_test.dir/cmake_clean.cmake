@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stranding_test.dir/stranding_test.cc.o"
+  "CMakeFiles/stranding_test.dir/stranding_test.cc.o.d"
+  "stranding_test"
+  "stranding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stranding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
