@@ -27,7 +27,7 @@ namespace check_internal {
 
 #define CXLPOOL_CHECK_OK(status_expr)                                   \
   do {                                                                  \
-    const ::cxlpool::Status& _s = (status_expr);                        \
+    const ::cxlpool::Status _s = (status_expr);                         \
     if (!_s.ok()) {                                                     \
       std::fprintf(stderr, "FATAL %s:%d: status not OK: %s\n", __FILE__, \
                    __LINE__, _s.ToString().c_str());                    \

@@ -76,6 +76,29 @@ Result<Decoded> Decode(std::span<const std::byte> payload) {
 
 }  // namespace migrate_wire
 
+namespace epoch_wire {
+
+std::vector<std::byte> Encode(PcieDeviceId device, uint64_t epoch) {
+  std::vector<std::byte> out;
+  msg::wire::Writer w(&out);
+  w.U32(device.value());
+  w.U64(epoch);
+  return out;
+}
+
+Result<Decoded> Decode(std::span<const std::byte> payload) {
+  if (payload.size() < 12) {
+    return InvalidArgument("short epoch frame");
+  }
+  msg::wire::Reader r(payload);
+  Decoded d;
+  d.device = PcieDeviceId(r.U32());
+  d.epoch = r.U64();
+  return d;
+}
+
+}  // namespace epoch_wire
+
 void Agent::RegisterDevice(pcie::PcieDevice* device, DeviceType type,
                            UtilProbe util_probe, HealthProbe health_probe) {
   CXLPOOL_CHECK(device != nullptr);
@@ -92,6 +115,11 @@ pcie::PcieDevice* Agent::FindDevice(PcieDeviceId id) {
   return it == devices_.end() ? nullptr : it->second.device;
 }
 
+uint64_t Agent::device_epoch(PcieDeviceId id) const {
+  auto it = devices_.find(id);
+  return it == devices_.end() ? 0 : it->second.epoch;
+}
+
 sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
     uint16_t method, std::span<const std::byte> payload) {
   bool is_write = method == kMethodMmioWrite;
@@ -102,10 +130,15 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
   if (!decoded.ok()) {
     co_return decoded.status();
   }
-  pcie::PcieDevice* device = FindDevice(decoded->device);
-  if (device == nullptr) {
+  auto it = devices_.find(decoded->device);
+  if (it == devices_.end()) {
     co_return NotFound("device not on this host");
   }
+  if (decoded->epoch != it->second.epoch) {
+    ++stats_.stale_epoch_rejects;
+    co_return Aborted("stale lease epoch");
+  }
+  pcie::PcieDevice* device = it->second.device;
   if (is_write) {
     ++stats_.forwarded_writes;
     Status st = co_await device->MmioWrite(decoded->reg, decoded->value);
@@ -126,6 +159,19 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
 
 sim::Task<Result<std::vector<std::byte>>> Agent::HandleControl(
     uint16_t method, std::span<const std::byte> payload) {
+  if (method == kMethodEpoch) {
+    auto decoded = epoch_wire::Decode(payload);
+    if (!decoded.ok()) {
+      co_return decoded.status();
+    }
+    auto it = devices_.find(decoded->device);
+    if (it == devices_.end()) {
+      co_return NotFound("device not on this host");
+    }
+    it->second.epoch = decoded->epoch;
+    ++stats_.epoch_updates;
+    co_return std::vector<std::byte>{};
+  }
   if (method != kMethodMigrate) {
     co_return Unimplemented("unknown control method");
   }
@@ -146,7 +192,7 @@ void Agent::ServeForwarding(msg::Endpoint& endpoint, sim::StopToken& stop) {
       endpoint, [this](uint16_t m, std::span<const std::byte> p) {
         return HandleForwarding(m, p);
       });
-  sim::Spawn(server->Serve(stop));
+  sim::Spawn(server->ServeSupervised(stop));
   servers_.push_back(std::move(server));
 }
 
@@ -155,7 +201,7 @@ void Agent::ServeControl(msg::Endpoint& endpoint, sim::StopToken& stop) {
       endpoint, [this](uint16_t m, std::span<const std::byte> p) {
         return HandleControl(m, p);
       });
-  sim::Spawn(server->Serve(stop));
+  sim::Spawn(server->ServeSupervised(stop));
   servers_.push_back(std::move(server));
 }
 
@@ -187,14 +233,19 @@ sim::Task<std::vector<DeviceStatus>> Agent::ProbeDevices() {
 sim::Task<> Agent::ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& stop) {
   msg::RpcClient client(to_orchestrator);
   while (!stop.stopped()) {
+    // A crashed host's agent goes dormant: no probes, no reports. Its
+    // silence is what the orchestrator's liveness sweep detects.
+    if (host_.crashed()) {
+      co_await sim::Delay(host_.loop(), config_.monitor_interval);
+      continue;
+    }
     std::vector<DeviceStatus> statuses = co_await ProbeDevices();
-    if (!statuses.empty()) {
-      auto resp = co_await client.Call(
-          kMethodReport, report_wire::Encode(host_.id(), statuses),
-          host_.loop().now() + config_.rpc_timeout);
-      if (resp.ok()) {
-        ++stats_.reports_sent;
-      }
+    // An empty report still goes out — it is the host's heartbeat.
+    auto resp = co_await client.Call(
+        kMethodReport, report_wire::Encode(host_.id(), statuses),
+        host_.loop().now() + config_.rpc_timeout);
+    if (resp.ok()) {
+      ++stats_.reports_sent;
     }
     co_await sim::Delay(host_.loop(), config_.monitor_interval);
   }

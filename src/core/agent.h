@@ -30,6 +30,7 @@ enum class DeviceType : uint8_t {
 // RPC methods beyond the MMIO pair declared in mmio_path.h.
 inline constexpr uint16_t kMethodReport = 3;   // agent -> orchestrator
 inline constexpr uint16_t kMethodMigrate = 4;  // orchestrator -> agent
+inline constexpr uint16_t kMethodEpoch = 5;    // orchestrator -> home agent
 
 // One device's status inside a report frame.
 struct DeviceStatus {
@@ -55,6 +56,18 @@ struct Decoded {
 };
 Result<Decoded> Decode(std::span<const std::byte> payload);
 }  // namespace migrate_wire
+
+// kMethodEpoch payload: the orchestrator pushes a device's current lease
+// epoch to its home agent after migrating leases off it (and when a host
+// re-registers after a crash).
+namespace epoch_wire {
+std::vector<std::byte> Encode(PcieDeviceId device, uint64_t epoch);
+struct Decoded {
+  PcieDeviceId device;
+  uint64_t epoch = 0;
+};
+Result<Decoded> Decode(std::span<const std::byte> payload);
+}  // namespace epoch_wire
 
 class Agent {
  public:
@@ -103,8 +116,13 @@ class Agent {
     uint64_t forwarded_reads = 0;
     uint64_t reports_sent = 0;
     uint64_t migrations_executed = 0;
+    uint64_t stale_epoch_rejects = 0;  // forwarded ops refused with kAborted
+    uint64_t epoch_updates = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  // The lease epoch this agent enforces for a local device (tests).
+  uint64_t device_epoch(PcieDeviceId id) const;
 
  private:
   struct LocalDevice {
@@ -112,6 +130,8 @@ class Agent {
     DeviceType type;
     UtilProbe util_probe;
     HealthProbe health_probe;
+    // Forwarded ops must carry this epoch; stale paths get kAborted.
+    uint64_t epoch = 0;
   };
 
   sim::Task<Result<std::vector<std::byte>>> HandleForwarding(

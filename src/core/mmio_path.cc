@@ -6,31 +6,36 @@ namespace cxlpool::core {
 
 namespace mmio_wire {
 
-std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t reg, uint64_t value) {
+std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t epoch,
+                                   uint64_t reg, uint64_t value) {
   std::vector<std::byte> out;
   msg::wire::Writer w(&out);
   w.U32(device.value());
+  w.U64(epoch);
   w.U64(reg);
   w.U64(value);
   return out;
 }
 
-std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t reg) {
+std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t epoch,
+                                  uint64_t reg) {
   std::vector<std::byte> out;
   msg::wire::Writer w(&out);
   w.U32(device.value());
+  w.U64(epoch);
   w.U64(reg);
   return out;
 }
 
 Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
-  size_t expect = is_write ? 20 : 12;
+  size_t expect = is_write ? 28 : 20;
   if (payload.size() < expect) {
     return InvalidArgument("short MMIO frame");
   }
   msg::wire::Reader r(payload);
   Decoded d;
   d.device = PcieDeviceId(r.U32());
+  d.epoch = r.U64();
   d.reg = r.U64();
   if (is_write) {
     d.value = r.U64();
@@ -41,9 +46,9 @@ Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
 }  // namespace mmio_wire
 
 sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value) {
-  auto resp = co_await client_->Call(kMethodMmioWrite,
-                                     mmio_wire::EncodeWrite(device_, reg, value),
-                                     loop_.now() + timeout_);
+  auto resp = co_await client_->Call(
+      kMethodMmioWrite, mmio_wire::EncodeWrite(device_, epoch_, reg, value),
+      loop_.now() + timeout_);
   if (!resp.ok()) {
     co_return resp.status();
   }
@@ -52,7 +57,7 @@ sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value) {
 
 sim::Task<Result<uint64_t>> ForwardedMmioPath::Read(uint64_t reg) {
   auto resp = co_await client_->Call(kMethodMmioRead,
-                                     mmio_wire::EncodeRead(device_, reg),
+                                     mmio_wire::EncodeRead(device_, epoch_, reg),
                                      loop_.now() + timeout_);
   if (!resp.ok()) {
     co_return resp.status();

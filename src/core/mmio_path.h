@@ -51,21 +51,33 @@ class LocalMmioPath : public MmioPath {
 
 // Forwarded path: ops travel over a shared-memory RPC channel to the agent
 // on the device's home host.
+//
+// Every forwarded frame carries the lease epoch the path was built under.
+// The orchestrator bumps a device's epoch whenever it migrates leases off
+// it, so a stale path kept across a migration gets kAborted from the home
+// agent instead of touching a device it no longer leases.
 class ForwardedMmioPath : public MmioPath {
  public:
   // `client` must outlive the path. `device` identifies the target at the
-  // remote agent. `timeout` bounds each forwarded operation.
+  // remote agent. `epoch` is the lease epoch this path is valid for.
+  // `timeout` bounds each forwarded operation.
   ForwardedMmioPath(std::shared_ptr<msg::RpcClient> client, PcieDeviceId device,
-                    Nanos timeout, sim::EventLoop& loop)
-      : client_(std::move(client)), device_(device), timeout_(timeout), loop_(loop) {}
+                    uint64_t epoch, Nanos timeout, sim::EventLoop& loop)
+      : client_(std::move(client)),
+        device_(device),
+        epoch_(epoch),
+        timeout_(timeout),
+        loop_(loop) {}
 
   sim::Task<Status> Write(uint64_t reg, uint64_t value) override;
   sim::Task<Result<uint64_t>> Read(uint64_t reg) override;
   bool is_remote() const override { return true; }
+  uint64_t epoch() const { return epoch_; }
 
  private:
   std::shared_ptr<msg::RpcClient> client_;
   PcieDeviceId device_;
+  uint64_t epoch_;
   Nanos timeout_;
   sim::EventLoop& loop_;
 };
@@ -73,10 +85,13 @@ class ForwardedMmioPath : public MmioPath {
 // Encodes/serves the forwarded-MMIO wire format; used by ForwardedMmioPath
 // and by the agent-side handler.
 namespace mmio_wire {
-std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t reg, uint64_t value);
-std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t reg);
+std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t epoch,
+                                   uint64_t reg, uint64_t value);
+std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t epoch,
+                                  uint64_t reg);
 struct Decoded {
   PcieDeviceId device;
+  uint64_t epoch = 0;
   uint64_t reg = 0;
   uint64_t value = 0;  // writes only
 };

@@ -8,7 +8,7 @@
 namespace cxlpool::core {
 
 Orchestrator::Orchestrator(cxl::CxlPod& pod, HostId home, Config config)
-    : pod_(pod), home_(home), config_(config) {}
+    : pod_(pod), home_(home), config_(config), retry_policy_(config.retry) {}
 
 Result<Agent*> Orchestrator::AddAgent(cxl::HostAdapter& host) {
   if (agents_.contains(host.id())) {
@@ -49,19 +49,25 @@ void Orchestrator::RegisterDevice(HostId home, pcie::PcieDevice* device,
 void Orchestrator::Start(sim::StopToken& stop) {
   stop_ = &stop;
   for (auto& [host_id, entry] : agents_) {
-    // Orchestrator-side report server.
+    // Orchestrator-side report server. Supervised: a channel blip (link or
+    // MHD fault) aborts the serve loop, which restarts after backoff.
     entry.report_server = std::make_unique<msg::RpcServer>(
         entry.report_channel->end_b(),
         [this](uint16_t m, std::span<const std::byte> p) {
           return HandleReport(m, p);
         });
-    sim::Spawn(entry.report_server->Serve(stop));
+    sim::Spawn(entry.report_server->ServeSupervised(stop));
     // Agent-side services.
     entry.agent->ServeControl(entry.control_channel->end_b(), stop);
     entry.agent->StartReporting(entry.report_channel->end_a(), stop);
+    // A host is innocent until its first report window elapses.
+    entry.last_report = pod_.loop().now();
   }
   if (config_.auto_rebalance) {
     sim::Spawn(RebalanceLoop(stop));
+  }
+  if (config_.liveness_timeout > 0) {
+    sim::Spawn(LivenessLoop(stop));
   }
 }
 
@@ -76,6 +82,21 @@ sim::Task<Result<std::vector<std::byte>>> Orchestrator::HandleReport(
   }
   ++stats_.reports_received;
   Nanos now = pod_.loop().now();
+  auto agent_it = agents_.find(decoded->first);
+  if (agent_it != agents_.end()) {
+    AgentEntry& entry = agent_it->second;
+    entry.last_report = now;
+    if (!entry.alive) {
+      // Clean re-registration: the crashed host is back. Its devices become
+      // eligible again as healthy statuses arrive below; resync the lease
+      // epochs its agent missed while dead.
+      entry.alive = true;
+      ++stats_.host_reregistrations;
+      CXLPOOL_LOG(Info) << "host " << decoded->first
+                        << " re-registered after crash";
+      sim::Spawn(ResyncEpochs(decoded->first));
+    }
+  }
   for (const DeviceStatus& s : decoded->second) {
     auto it = devices_.find(s.device);
     if (it == devices_.end()) {
@@ -113,8 +134,17 @@ Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
   return best;
 }
 
+bool Orchestrator::agent_alive(HostId host) const {
+  auto it = agents_.find(host);
+  return it != agents_.end() && it->second.alive;
+}
+
 Result<Orchestrator::Assignment> Orchestrator::Acquire(HostId user, DeviceType type) {
   ++stats_.acquires;
+  auto agent_it = agents_.find(user);
+  if (agent_it != agents_.end() && !agent_it->second.alive) {
+    return FailedPrecondition("requesting host is marked dead");
+  }
   // §4.2: "the orchestrator first checks if the host has a local PCIe
   // device that is below a load threshold."
   DeviceRecord* local_best = nullptr;
@@ -178,8 +208,8 @@ Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
                                                       pod_.host(rec.home)));
   home_agent->ServeForwarding(channel->end_b(), *stop_);
   auto client = std::make_shared<msg::RpcClient>(channel->end_a());
-  auto path = std::make_unique<ForwardedMmioPath>(client, device,
-                                                  config_.rpc_timeout, pod_.loop());
+  auto path = std::make_unique<ForwardedMmioPath>(
+      client, device, rec.epoch, config_.rpc_timeout, pod_.loop());
   forwarding_channels_.push_back(std::move(channel));
   forwarding_clients_.push_back(std::move(client));
   return std::unique_ptr<MmioPath>(std::move(path));
@@ -202,38 +232,111 @@ sim::Task<> Orchestrator::MigrateLeases(PcieDeviceId from, bool failover) {
   } else if (!rec.lessees.empty()) {
     to_move.push_back(rec.lessees.front());  // shed one lease per scan
   }
+  if (to_move.empty()) {
+    co_return;
+  }
+
+  // When every lease leaves the device, bump its epoch first so forwarded
+  // paths built under the old one get kAborted at the home agent instead of
+  // touching a device their holder no longer leases. Partial rebalances
+  // keep the epoch: remaining lessees' paths stay valid.
+  if (to_move.size() == rec.lessees.size()) {
+    ++rec.epoch;
+    co_await PushEpoch(rec.home, from, rec.epoch);
+  }
 
   for (HostId user : to_move) {
+    auto pos = std::find(rec.lessees.begin(), rec.lessees.end(), user);
+    if (pos == rec.lessees.end()) {
+      continue;  // released concurrently
+    }
+    auto agent_it = agents_.find(user);
+    if (agent_it == agents_.end() || !agent_it->second.alive) {
+      // The holder is dead: revoke instead of moving the lease with it.
+      rec.lessees.erase(pos);
+      ++stats_.leases_revoked;
+      continue;
+    }
     DeviceRecord* target = PickDevice(rec.type, from);
     if (target == nullptr) {
       CXLPOOL_LOG(Warning) << "no replacement device for " << from
                            << "; lease on host " << user << " stranded";
       co_return;
     }
-    auto pos = std::find(rec.lessees.begin(), rec.lessees.end(), user);
-    if (pos == rec.lessees.end()) {
-      continue;  // released concurrently
-    }
     rec.lessees.erase(pos);
     target->lessees.push_back(user);
 
-    auto agent_it = agents_.find(user);
-    if (agent_it == agents_.end()) {
-      continue;
-    }
-    auto resp = co_await agent_it->second.control_client->Call(
-        kMethodMigrate,
+    auto resp = co_await retry_policy_.Call(
+        *agent_it->second.control_client, kMethodMigrate,
         migrate_wire::Encode(from, target->device->id(), target->home),
-        pod_.loop().now() + config_.rpc_timeout);
+        config_.rpc_timeout, pod_.loop());
     if (!resp.ok()) {
+      ++stats_.abandoned_migrations;
       CXLPOOL_LOG(Warning) << "migrate RPC to host " << user
-                           << " failed: " << resp.status();
+                           << " abandoned after retries: " << resp.status();
       continue;
     }
     if (failover) {
       ++stats_.failovers;
     } else {
       ++stats_.rebalances;
+    }
+  }
+}
+
+sim::Task<> Orchestrator::LivenessLoop(sim::StopToken& stop) {
+  while (!stop.stopped()) {
+    co_await sim::Delay(pod_.loop(), config_.liveness_interval);
+    Nanos now = pod_.loop().now();
+    for (auto& [host_id, entry] : agents_) {
+      if (entry.alive && now - entry.last_report > config_.liveness_timeout) {
+        DeclareAgentDead(host_id, entry);
+      }
+    }
+  }
+}
+
+void Orchestrator::DeclareAgentDead(HostId host, AgentEntry& entry) {
+  entry.alive = false;
+  ++stats_.host_deaths;
+  CXLPOOL_LOG(Warning) << "host " << host << " declared dead ("
+                       << (pod_.loop().now() - entry.last_report)
+                       << "ns since last report)";
+  // Revoke every lease the dead host holds, pool-wide.
+  for (auto& [dev_id, rec] : devices_) {
+    size_t before = rec.lessees.size();
+    std::erase(rec.lessees, host);
+    stats_.leases_revoked += before - rec.lessees.size();
+  }
+  // Its attached devices are unreachable until repair; fail over the leases
+  // stranded on them.
+  for (auto& [dev_id, rec] : devices_) {
+    if (rec.home == host && rec.healthy) {
+      rec.healthy = false;
+      sim::Spawn(MigrateLeases(dev_id, /*failover=*/true));
+    }
+  }
+}
+
+sim::Task<> Orchestrator::PushEpoch(HostId home, PcieDeviceId device,
+                                    uint64_t epoch) {
+  auto it = agents_.find(home);
+  if (it == agents_.end() || !it->second.alive) {
+    co_return;  // resynced when the host re-registers
+  }
+  auto resp = co_await retry_policy_.Call(
+      *it->second.control_client, kMethodEpoch,
+      epoch_wire::Encode(device, epoch), config_.rpc_timeout, pod_.loop());
+  if (!resp.ok()) {
+    CXLPOOL_LOG(Warning) << "epoch push for device " << device << " to host "
+                         << home << " failed: " << resp.status();
+  }
+}
+
+sim::Task<> Orchestrator::ResyncEpochs(HostId host) {
+  for (auto& [dev_id, rec] : devices_) {
+    if (rec.home == host && rec.epoch != 0) {
+      co_await PushEpoch(host, dev_id, rec.epoch);
     }
   }
 }

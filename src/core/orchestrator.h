@@ -15,6 +15,7 @@
 #include "src/core/mmio_path.h"
 #include "src/cxl/pod.h"
 #include "src/msg/channel.h"
+#include "src/msg/retry.h"
 
 namespace cxlpool::core {
 
@@ -29,6 +30,12 @@ class Orchestrator {
     bool auto_rebalance = false;
     Nanos rebalance_interval = 200 * kMicrosecond;
     Nanos rpc_timeout = 2 * kMillisecond;
+    // An agent whose last report is staler than this is declared dead
+    // (crashed host). <= 0 disables the liveness sweep.
+    Nanos liveness_timeout = 300 * kMicrosecond;
+    Nanos liveness_interval = 100 * kMicrosecond;
+    // Retry policy for control-plane RPCs (migrate, epoch pushes).
+    msg::RetryPolicy::Options retry;
     Agent::Config agent;
   };
 
@@ -46,6 +53,9 @@ class Orchestrator {
     double utilization = 0.0;
     std::vector<HostId> lessees;
     Nanos last_report = 0;
+    // Bumped whenever leases migrate off this device; forwarded MMIO paths
+    // built under an older epoch are rejected by the home agent.
+    uint64_t epoch = 0;
   };
 
   // `home` is the host running the orchestrator container.
@@ -74,6 +84,11 @@ class Orchestrator {
   Result<std::unique_ptr<MmioPath>> MakeMmioPath(HostId user, PcieDeviceId device);
 
   const DeviceRecord* record(PcieDeviceId device) const;
+  const std::map<PcieDeviceId, DeviceRecord>& devices() const { return devices_; }
+
+  // False once the liveness sweep declared the host's agent dead; true
+  // again after it re-registers by reporting.
+  bool agent_alive(HostId host) const;
 
   struct Stats {
     uint64_t acquires = 0;
@@ -81,8 +96,15 @@ class Orchestrator {
     uint64_t failovers = 0;
     uint64_t rebalances = 0;
     uint64_t reports_received = 0;
+    uint64_t host_deaths = 0;            // liveness sweep declared an agent dead
+    uint64_t host_reregistrations = 0;   // dead agent reported again
+    uint64_t leases_revoked = 0;         // leases torn down (holder dead)
+    uint64_t abandoned_migrations = 0;   // migrate RPC failed after retries
   };
   const Stats& stats() const { return stats_; }
+  const msg::RetryPolicy::Stats& retry_stats() const {
+    return retry_policy_.stats();
+  }
 
   // Test hook: process one rebalance scan immediately.
   sim::Task<> RebalanceOnce();
@@ -94,6 +116,8 @@ class Orchestrator {
     std::unique_ptr<msg::Channel> control_channel;  // orch -> agent RPC
     std::unique_ptr<msg::RpcServer> report_server;
     std::unique_ptr<msg::RpcClient> control_client;
+    Nanos last_report = 0;
+    bool alive = true;
   };
 
   sim::Task<Result<std::vector<std::byte>>> HandleReport(
@@ -105,6 +129,15 @@ class Orchestrator {
   // failover (from is unhealthy) and rebalancing.
   sim::Task<> MigrateLeases(PcieDeviceId from, bool failover);
   sim::Task<> RebalanceLoop(sim::StopToken& stop);
+  // Periodically declares agents dead when their reports go stale.
+  sim::Task<> LivenessLoop(sim::StopToken& stop);
+  // Revokes the dead host's leases, fails its home devices, and spawns
+  // failover for the leases stranded on them.
+  void DeclareAgentDead(HostId host, AgentEntry& entry);
+  // Pushes `epoch` for `device` to its home agent (retried; best-effort).
+  sim::Task<> PushEpoch(HostId home, PcieDeviceId device, uint64_t epoch);
+  // After a host re-registers, re-sends current epochs for its devices.
+  sim::Task<> ResyncEpochs(HostId host);
 
   cxl::CxlPod& pod_;
   HostId home_;
@@ -114,6 +147,7 @@ class Orchestrator {
   std::vector<std::unique_ptr<msg::Channel>> forwarding_channels_;
   std::vector<std::shared_ptr<msg::RpcClient>> forwarding_clients_;
   sim::StopToken* stop_ = nullptr;
+  msg::RetryPolicy retry_policy_;
   Stats stats_;
 };
 

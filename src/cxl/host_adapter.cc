@@ -74,7 +74,29 @@ CxlLink* HostAdapter::LinkTo(MhdId mhd) const {
   return links_[mhd.value()];
 }
 
+void HostAdapter::SetCrashed(bool crashed) {
+  if (crashed_ == crashed) {
+    return;
+  }
+  crashed_ = crashed;
+  for (auto& [key, fn] : crash_listeners_) {
+    fn(crashed);
+  }
+}
+
+void HostAdapter::AddCrashListener(const void* key, std::function<void(bool)> fn) {
+  crash_listeners_.emplace_back(key, std::move(fn));
+}
+
+void HostAdapter::RemoveCrashListener(const void* key) {
+  std::erase_if(crash_listeners_,
+                [key](const auto& entry) { return entry.first == key; });
+}
+
 Result<const mem::Region*> HostAdapter::ResolveAccess(uint64_t addr, uint64_t len) {
+  if (crashed_) {
+    return Unavailable("host " + std::to_string(id_.value()) + " crashed");
+  }
   ASSIGN_OR_RETURN(const mem::Region* region, map_.Resolve(addr, len));
   if (region->kind == mem::MemoryKind::kLocalDram && region->dram_host != id_) {
     return Status(StatusCode::kFailedPrecondition,

@@ -16,7 +16,9 @@
 #define SRC_CXL_HOST_ADAPTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -77,6 +79,18 @@ class HostAdapter {
   void ConnectLink(CxlLink* link);
   // The link to an MHD, or nullptr if not connected.
   CxlLink* LinkTo(MhdId mhd) const;
+
+  // --- Host-crash fault model (paper §5) ---
+  // A crashed host issues no memory traffic: every CPU- and DMA-side
+  // operation fails with kUnavailable until the host is repaired. Crash
+  // listeners fire on every transition (crashed=true on failure, false on
+  // repair) in registration order — PcieDevice uses this to fail attached
+  // devices together with their host. Prefer CxlPod::FailHost/RepairHost,
+  // which also sever the host's CXL links.
+  bool crashed() const { return crashed_; }
+  void SetCrashed(bool crashed);
+  void AddCrashListener(const void* key, std::function<void(bool)> fn);
+  void RemoveCrashListener(const void* key);
 
   // --- CPU-side timed operations (coroutines; complete in simulated time).
   // Cached load; may return stale pool bytes if another agent wrote the
@@ -139,6 +153,11 @@ class HostAdapter {
   mem::WriteBackCache cache_;
 
   std::vector<CxlLink*> links_;  // indexed by MHD id; may contain nullptr
+
+  bool crashed_ = false;
+  // Insertion-ordered (NOT pointer-ordered) so notification order is
+  // deterministic across runs.
+  std::vector<std::pair<const void*, std::function<void(bool)>>> crash_listeners_;
 
   uint64_t dram_base_ = 0;
   uint64_t dram_size_ = 0;

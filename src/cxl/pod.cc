@@ -68,6 +68,34 @@ void CxlPod::RepairLink(HostId h, MhdId m) {
   l->set_up(true);
 }
 
+void CxlPod::FailHost(HostId h) {
+  HostAdapter& adapter = *hosts_.at(h.value());
+  if (adapter.crashed()) {
+    return;
+  }
+  for (int m = 0; m < config_.num_mhds; ++m) {
+    if (CxlLink* l = adapter.LinkTo(MhdId(m))) {
+      l->set_up(false);
+    }
+  }
+  adapter.SetCrashed(true);
+}
+
+void CxlPod::RepairHost(HostId h) {
+  HostAdapter& adapter = *hosts_.at(h.value());
+  if (!adapter.crashed()) {
+    return;
+  }
+  // Links come back before the devices so repaired devices find a live
+  // fabric immediately.
+  for (int m = 0; m < config_.num_mhds; ++m) {
+    if (CxlLink* l = adapter.LinkTo(MhdId(m))) {
+      l->set_up(true);
+    }
+  }
+  adapter.SetCrashed(false);
+}
+
 int CxlPod::HealthyPaths(HostId h) const {
   int paths = 0;
   const HostAdapter& adapter = *hosts_.at(h.value());

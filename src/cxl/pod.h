@@ -53,6 +53,16 @@ class CxlPod {
   void FailLink(HostId h, MhdId m);
   void RepairLink(HostId h, MhdId m);
 
+  // Host crash (§5 fault model): severs every CXL link of `h`, marks the
+  // adapter crashed (all its memory traffic fails), and fails every PCIe
+  // device attached to it (via the adapter's crash listeners). The host's
+  // agent loops go dormant and its RPC servers abort; the orchestrator's
+  // liveness sweep notices the missing heartbeats. RepairHost reverses all
+  // of it — the rebooted host re-registers through its next report.
+  void FailHost(HostId h);
+  void RepairHost(HostId h);
+  bool HostCrashed(HostId h) const { return hosts_.at(h.value())->crashed(); }
+
   // Number of healthy, distinct paths from host `h` into pool capacity
   // (healthy links to healthy MHDs) — the λ redundancy of §5.
   int HealthyPaths(HostId h) const;

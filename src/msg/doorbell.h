@@ -21,10 +21,12 @@ class DoorbellSender {
       : host_(host), addr_(line_addr) {}
 
   // Publishes `value` (callers use monotonically increasing values).
+  // Must be a coroutine: `buf` has to outlive the suspended StoreNt task,
+  // so it lives in this frame, not on a stack that unwinds immediately.
   sim::Task<Status> Ring(uint64_t value) {
     std::array<std::byte, 8> buf;
     wire::PutU64(buf.data(), value);
-    return host_.StoreNt(addr_, buf);
+    co_return co_await host_.StoreNt(addr_, buf);
   }
 
  private:

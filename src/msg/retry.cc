@@ -1,0 +1,36 @@
+#include "src/msg/retry.h"
+
+#include <algorithm>
+
+namespace cxlpool::msg {
+
+Nanos RetryPolicy::BackoffFor(int retry) {
+  double base = static_cast<double>(options_.initial_backoff);
+  for (int i = 1; i < retry; ++i) {
+    base *= options_.multiplier;
+  }
+  base = std::min(base, static_cast<double>(options_.max_backoff));
+  double factor = rng_.Uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+  return std::max<Nanos>(1, static_cast<Nanos>(base * factor));
+}
+
+sim::Task<Result<std::vector<std::byte>>> RetryPolicy::Call(
+    RpcClient& client, uint16_t method, std::span<const std::byte> request,
+    Nanos attempt_timeout, sim::EventLoop& loop) {
+  ++stats_.calls;
+  Result<std::vector<std::byte>> result = InvalidArgument("no attempts made");
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retries;
+      co_await sim::Delay(loop, BackoffFor(attempt - 1));
+    }
+    result = co_await client.Call(method, request, loop.now() + attempt_timeout);
+    if (result.ok() || !IsRetryable(result.status())) {
+      co_return result;
+    }
+  }
+  ++stats_.exhausted;
+  co_return result;
+}
+
+}  // namespace cxlpool::msg

@@ -1,0 +1,70 @@
+// RetryPolicy: exponential backoff with deterministic, seeded jitter for
+// control-plane RPCs. A single timed-out migrate or report RPC must not be
+// terminal — the fault that delayed it (link blip, restarting server, MHD
+// hiccup) usually clears within a few backoff periods. Jitter decorrelates
+// concurrent retriers (every lessee of a failed device retries at once);
+// the Rng is explicit so whole experiments still replay bit-for-bit.
+#ifndef SRC_MSG_RETRY_H_
+#define SRC_MSG_RETRY_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/msg/rpc.h"
+#include "src/sim/random.h"
+
+namespace cxlpool::msg {
+
+class RetryPolicy {
+ public:
+  struct Options {
+    int max_attempts = 4;
+    Nanos initial_backoff = 20 * kMicrosecond;
+    Nanos max_backoff = 400 * kMicrosecond;
+    double multiplier = 2.0;
+    // Each backoff is scaled by a uniform factor in [1-jitter, 1+jitter].
+    double jitter = 0.25;
+    uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  };
+
+  RetryPolicy() : RetryPolicy(Options()) {}
+  explicit RetryPolicy(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  // Transient failures worth retrying: the peer may come back (timeout) or
+  // the path may heal (unavailable). Application errors are terminal.
+  static bool IsRetryable(const Status& status) {
+    return status.code() == StatusCode::kDeadlineExceeded ||
+           status.code() == StatusCode::kUnavailable;
+  }
+
+  // Jittered backoff before retry number `retry` (1-based). Advances the
+  // internal Rng.
+  Nanos BackoffFor(int retry);
+
+  // RpcClient::Call with up to max_attempts attempts. Each attempt gets a
+  // fresh deadline of now + attempt_timeout; retryable failures back off
+  // (exponential + jitter) between attempts.
+  sim::Task<Result<std::vector<std::byte>>> Call(RpcClient& client,
+                                                 uint16_t method,
+                                                 std::span<const std::byte> request,
+                                                 Nanos attempt_timeout,
+                                                 sim::EventLoop& loop);
+
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t retries = 0;    // attempts beyond the first
+    uint64_t exhausted = 0;  // calls that failed after max_attempts
+  };
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  sim::Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace cxlpool::msg
+
+#endif  // SRC_MSG_RETRY_H_

@@ -61,7 +61,10 @@ sim::Task<Status> RingSender::Send(std::span<const std::byte> payload) {
     wire::PutU32(line.data() + kSeqOffset, static_cast<uint32_t>(head_ + 1));
     wire::PutU16(line.data() + kChunkLenOffset, static_cast<uint16_t>(chunk_len));
     wire::PutU16(line.data() + kMsgLenOffset, static_cast<uint16_t>(payload.size()));
-    std::memcpy(line.data() + kPayloadOffset, payload.data() + offset, chunk_len);
+    if (chunk_len > 0) {  // empty messages have a null payload pointer
+      std::memcpy(line.data() + kPayloadOffset, payload.data() + offset,
+                  chunk_len);
+    }
 
     uint64_t slot_addr = config_.base + (head_ % config_.slots) * kSlotSize;
     // The whole line is published with one non-temporal store: payload and

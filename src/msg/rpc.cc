@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/msg/wire.h"
+#include "src/sim/logger.h"
 
 namespace cxlpool::msg {
 
@@ -80,7 +81,12 @@ sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
       if (st.code() == StatusCode::kDeadlineExceeded) {
         continue;
       }
-      co_return;  // channel path died; supervisor restarts if desired
+      // Channel path died (MHD/link down, host crashed). A silent exit
+      // here is an invisible dead control plane — count and log it so the
+      // outage shows up even without ServeSupervised.
+      ++stats_.serve_aborts;
+      CXLPOOL_LOG(Warning) << "RPC serve loop aborted on channel death: " << st;
+      co_return;
     }
     if (frame.size() < kHeaderSize) {
       continue;
@@ -105,11 +111,30 @@ sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
       w.U64(id);
       w.U16(static_cast<uint16_t>(result.status().code()));
     }
-    ++calls_served_;
+    ++stats_.calls_served;
     Status send_st = co_await endpoint_.Send(resp);
     if (!send_st.ok()) {
+      ++stats_.serve_aborts;
+      CXLPOOL_LOG(Warning) << "RPC serve loop aborted on send failure: " << send_st;
       co_return;
     }
+  }
+}
+
+sim::Task<> RpcServer::ServeSupervised(sim::StopToken& stop,
+                                       Nanos initial_backoff, Nanos max_backoff) {
+  sim::PollBackoff backoff(initial_backoff, max_backoff);
+  while (!stop.stopped()) {
+    uint64_t served_before = stats_.calls_served;
+    co_await Serve(stop);
+    if (stop.stopped()) {
+      co_return;
+    }
+    if (stats_.calls_served > served_before) {
+      backoff.Reset();  // the last incarnation made progress
+    }
+    ++stats_.restarts;
+    co_await sim::Delay(endpoint_.loop(), backoff.NextDelay());
   }
 }
 

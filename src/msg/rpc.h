@@ -50,15 +50,31 @@ class RpcServer {
   RpcServer(Endpoint& endpoint, Handler handler)
       : endpoint_(endpoint), handler_(std::move(handler)) {}
 
-  // Serve loop; runs until `stop` fires. Spawn as a detached task.
+  // Serve loop; runs until `stop` fires. Spawn as a detached task. Exits
+  // (and counts a serve_abort) when the channel path dies — e.g. the
+  // backing MHD failed or this host crashed. Use ServeSupervised when the
+  // server must come back after transient faults.
   sim::Task<> Serve(sim::StopToken& stop);
 
-  uint64_t calls_served() const { return calls_served_; }
+  // Restart supervisor: re-enters Serve after every abort, backing off
+  // exponentially (deterministic, no jitter: one restart probe per backoff
+  // is harmless) while the channel stays dead, until `stop` fires.
+  sim::Task<> ServeSupervised(sim::StopToken& stop,
+                              Nanos initial_backoff = 10 * kMicrosecond,
+                              Nanos max_backoff = 200 * kMicrosecond);
+
+  struct Stats {
+    uint64_t calls_served = 0;
+    uint64_t serve_aborts = 0;  // Serve exited on channel death
+    uint64_t restarts = 0;      // ServeSupervised re-entered Serve
+  };
+  const Stats& stats() const { return stats_; }
+  uint64_t calls_served() const { return stats_.calls_served; }
 
  private:
   Endpoint& endpoint_;
   Handler handler_;
-  uint64_t calls_served_ = 0;
+  Stats stats_;
 };
 
 }  // namespace cxlpool::msg

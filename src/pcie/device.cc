@@ -17,11 +17,33 @@ PcieDevice::PcieDevice(PcieDeviceId id, std::string name, sim::EventLoop& loop,
       to_host_(link.BytesPerNanos()),
       from_host_(link.BytesPerNanos()) {}
 
+PcieDevice::~PcieDevice() {
+  if (destroy_listener_ != nullptr) {
+    auto listener = std::move(destroy_listener_);
+    destroy_listener_ = nullptr;
+    listener(this);
+  }
+}
+
 void PcieDevice::AttachTo(cxl::HostAdapter* host) {
   CXLPOOL_CHECK(host != nullptr);
   CXLPOOL_CHECK(host_ == nullptr);
   host_ = host;
   ++generation_;
+  // A device dies with its host (the root complex is gone) and comes back
+  // with it — unless it was already failed independently, in which case the
+  // host reboot does not magically fix it.
+  host->AddCrashListener(this, [this](bool crashed) {
+    if (crashed) {
+      if (!failed_) {
+        InjectFailure();
+        failed_by_host_crash_ = true;
+      }
+    } else if (failed_by_host_crash_) {
+      failed_by_host_crash_ = false;
+      Repair();
+    }
+  });
   OnAttach();
 }
 
@@ -30,6 +52,7 @@ void PcieDevice::Detach() {
     return;
   }
   OnDetach();
+  host_->RemoveCrashListener(this);
   host_ = nullptr;
   ++generation_;
 }

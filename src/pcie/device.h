@@ -14,6 +14,7 @@
 #define SRC_PCIE_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -61,7 +62,7 @@ class PcieDevice {
  public:
   PcieDevice(PcieDeviceId id, std::string name, sim::EventLoop& loop,
              cxl::LinkSpec link, PcieTiming timing);
-  virtual ~PcieDevice() = default;
+  virtual ~PcieDevice();
   PcieDevice(const PcieDevice&) = delete;
   PcieDevice& operator=(const PcieDevice&) = delete;
 
@@ -96,6 +97,13 @@ class PcieDevice {
   void set_interposer(FabricInterposer* interposer) { interposer_ = interposer; }
   FabricInterposer* interposer() { return interposer_; }
 
+  // Invoked from ~PcieDevice so a registrar holding a raw pointer (e.g. a
+  // switch fabric) can drop it; the registrar clears this when it is torn
+  // down first, whichever side dies first stays safe.
+  void set_destroy_listener(std::function<void(PcieDevice*)> listener) {
+    destroy_listener_ = std::move(listener);
+  }
+
  protected:
   // Device logic hooks (untimed; timing charged by the MMIO wrappers).
   virtual void OnMmioWrite(uint64_t reg, uint64_t value) = 0;
@@ -127,6 +135,8 @@ class PcieDevice {
   cxl::HostAdapter* host_ = nullptr;
   FabricInterposer* interposer_ = nullptr;
   bool failed_ = false;
+  bool failed_by_host_crash_ = false;  // host crash (not real fault) failed us
+  std::function<void(PcieDevice*)> destroy_listener_;
   uint64_t generation_ = 0;
   sim::BandwidthQueue to_host_;    // DMA writes / read completions
   sim::BandwidthQueue from_host_;  // DMA read data fetch direction

@@ -11,9 +11,14 @@ PcieSwitchFabric::PcieSwitchFabric(sim::EventLoop& loop,
     : loop_(loop), config_(config) {}
 
 PcieSwitchFabric::~PcieSwitchFabric() {
+  // Any device destroyed before the fabric already removed its own slot
+  // via the destroy listener; the remaining slots point at live devices.
   for (auto& [id, slot] : devices_) {
-    if (slot.device != nullptr && slot.device->interposer() == slot.interposer.get()) {
-      slot.device->set_interposer(nullptr);
+    if (slot.device != nullptr) {
+      slot.device->set_destroy_listener(nullptr);
+      if (slot.device->interposer() == slot.interposer.get()) {
+        slot.device->set_interposer(nullptr);
+      }
     }
   }
 }
@@ -54,6 +59,10 @@ Status PcieSwitchFabric::AttachDevice(PcieDevice* device, DeviceClass device_cla
   slot.interposer = std::make_unique<PortInterposer>(
       config_.port_link.BytesPerNanos(), config_.hop_latency);
   devices_.emplace(device->id(), std::move(slot));
+  // If the device object dies before this fabric, drop its slot so the
+  // fabric destructor never touches a destroyed device.
+  device->set_destroy_listener(
+      [this](PcieDevice* d) { devices_.erase(d->id()); });
   return OkStatus();
 }
 

@@ -1,0 +1,125 @@
+// ChaosInjector: deterministic, seed-driven fault injection for soak and
+// robustness tests. The harness registers named faults (paired fail/repair
+// callbacks — an MHD, a CXL link, a device, a whole host), liveness
+// invariants, and one end-to-end recovery probe. The injector then either
+// replays a hand-written schedule or pre-plans a randomized one from an
+// explicit seed.
+//
+// Determinism is the contract: the entire randomized schedule is drawn from
+// the Rng up front at ScheduleRandom() time, so no RNG draw ever interleaves
+// with simulation state, and the executed trace (and therefore TraceDigest())
+// is bit-for-bit identical across same-seed runs.
+#ifndef SRC_SIM_CHAOS_H_
+#define SRC_SIM_CHAOS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/poll.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::sim {
+
+class ChaosInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Randomized schedules: gap between a repair and the next failure is
+    // Exponential(mean_interval); outage length is Uniform[min, max).
+    Nanos mean_interval = 500 * kMicrosecond;
+    Nanos min_outage = 50 * kMicrosecond;
+    Nanos max_outage = 300 * kMicrosecond;
+    // Recovery probing cadence and the point at which a non-recovering
+    // system is declared a liveness violation.
+    Nanos probe_interval = 10 * kMicrosecond;
+    Nanos probe_timeout = 5 * kMillisecond;
+  };
+
+  ChaosInjector(EventLoop& loop, Options options)
+      : loop_(loop), options_(options), rng_(options.seed) {}
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  // Registers a fault the injector may fire. Both callbacks must be
+  // idempotent-safe for a single fire/repair pair.
+  void AddFault(std::string name, std::function<void()> fail,
+                std::function<void()> repair);
+  size_t fault_count() const { return faults_.size(); }
+
+  // Safety invariant, checked after every recovery: returns an empty string
+  // while it holds, else a description of the violation.
+  using Invariant = std::function<std::string()>;
+  void AddInvariant(std::string name, Invariant check);
+
+  // End-to-end liveness probe: true when the system serves requests again
+  // (e.g. an Acquire+op round trip succeeds). Recovery may happen before
+  // the fault is repaired — that is failover working as intended.
+  void SetRecoveryProbe(std::function<bool()> probe);
+
+  // Scripted injection: fail fault `fault_index` at `at`, repair it at
+  // `at + outage`. Events must be added in nondecreasing `at` order and
+  // must not overlap (at >= previous at + outage).
+  void ScheduleFail(Nanos at, size_t fault_index, Nanos outage);
+
+  // Randomized injection: plans a serialized fail/repair schedule over
+  // [from, until) from the seed. Callable after all AddFault() calls.
+  void ScheduleRandom(Nanos from, Nanos until);
+
+  // Spawns the injection task. Requires a recovery probe and a plan.
+  void Start(StopToken& stop);
+
+  struct Event {
+    Nanos at = 0;
+    size_t fault = 0;
+    Nanos outage = 0;
+  };
+  const std::vector<Event>& plan() const { return plan_; }
+
+  // --- Results ---
+  // Time from fault injection to the recovery probe turning true.
+  const Histogram& mttr() const { return mttr_; }
+  uint64_t injections() const { return injections_; }
+  uint64_t recoveries() const { return recoveries_; }
+  uint64_t violations() const { return violations_; }
+  const std::vector<std::string>& violation_log() const { return violation_log_; }
+
+  // Full executed trace (one line per fail/repair/recover/violation) and a
+  // compact fingerprint of it; same seed => same digest, bit for bit.
+  const std::string& trace() const { return trace_; }
+  std::string TraceDigest() const;
+
+ private:
+  struct Fault {
+    std::string name;
+    std::function<void()> fail;
+    std::function<void()> repair;
+  };
+
+  Task<> RunPlan(StopToken& stop);
+  void CheckInvariants();
+  void Note(const std::string& line);
+
+  EventLoop& loop_;
+  Options options_;
+  Rng rng_;
+  std::vector<Fault> faults_;
+  std::vector<std::pair<std::string, Invariant>> invariants_;
+  std::function<bool()> recovery_probe_;
+  std::vector<Event> plan_;
+  Histogram mttr_;
+  uint64_t injections_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t violations_ = 0;
+  std::vector<std::string> violation_log_;
+  std::string trace_;
+  bool started_ = false;
+};
+
+}  // namespace cxlpool::sim
+
+#endif  // SRC_SIM_CHAOS_H_

@@ -462,6 +462,50 @@ TEST_F(CxlPodTest, ReplicatedWriteDegradesGracefully) {
   EXPECT_FALSE(RunBlocking(loop_, t(*region, pod_)).ok());
 }
 
+TEST_F(CxlPodTest, ReplicatedWriteDegradesWhenWriterLinkDown) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 4096, 2);
+  ASSERT_TRUE(region.ok());
+  // Sever only the writer's link to the secondary replica's MHD. The MHD
+  // itself stays healthy — other hosts still reach both copies.
+  pod_.FailLink(HostId(0), region->segment(1).mhds[0]);
+
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<std::pair<Status, int>> {
+    auto payload = Bytes({9, 9, 9, 9});
+    Status wr = co_await r.Publish(pod.host(0), 0, payload);
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    // A reader with intact links sees the primary copy, no failover.
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await r.ReadFresh(pod.host(1), 0, seen));
+    co_return std::make_pair(wr, static_cast<int>(seen[0]));
+  };
+  auto [wr, seen] = RunBlocking(loop_, t(*region, pod_));
+  EXPECT_TRUE(wr.ok());  // one reachable replica is enough
+  EXPECT_EQ(region->stats().degraded_writes, 1u);
+  EXPECT_EQ(region->stats().failover_reads, 0u);
+  EXPECT_EQ(seen, 9);
+}
+
+TEST_F(CxlPodTest, ReplicatedReadFailsOverWhenReaderLinkDown) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 4096, 2);
+  ASSERT_TRUE(region.ok());
+
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<int> {
+    auto payload = Bytes({5, 5, 5, 5});
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, payload));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    // The reader loses its path to the PRIMARY replica only; the copy on
+    // the other MHD serves the read.
+    pod.FailLink(HostId(1), r.segment(0).mhds[0]);
+    std::array<std::byte, 4> seen{};
+    CXLPOOL_CHECK_OK(co_await r.ReadFresh(pod.host(1), 0, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(*region, pod_)), 5);
+  EXPECT_EQ(region->stats().failover_reads, 1u);
+  // The writer's links were never touched: the publish was clean.
+  EXPECT_EQ(region->stats().degraded_writes, 0u);
+}
+
 TEST_F(CxlPodTest, ReplicatedRegionBoundsChecked) {
   auto region = ReplicatedRegion::Create(pod_.pool(), 128, 2);
   ASSERT_TRUE(region.ok());

@@ -6,6 +6,7 @@
 #include "src/cxl/pod.h"
 #include "src/msg/channel.h"
 #include "src/msg/doorbell.h"
+#include "src/msg/retry.h"
 #include "src/msg/ring.h"
 #include "src/msg/rpc.h"
 #include "src/msg/wire.h"
@@ -21,7 +22,9 @@ using sim::Task;
 
 std::vector<std::byte> Msg(std::string_view s) {
   std::vector<std::byte> out(s.size());
-  std::memcpy(out.data(), s.data(), s.size());
+  if (!s.empty()) {
+    std::memcpy(out.data(), s.data(), s.size());
+  }
   return out;
 }
 
@@ -390,6 +393,168 @@ TEST_F(MsgTest, RpcRoundTripIsFewMicroseconds) {
   Nanos rtt = RunBlocking(loop_, t(client, loop_, stop));
   EXPECT_LT(rtt, 5 * kMicrosecond);  // two ring traversals + handler
   EXPECT_GT(rtt, 1 * kMicrosecond);
+}
+
+// --- RPC supervision & retry (robustness) ---
+
+TEST_F(MsgTest, ServeCountsAbortWhenChannelDies) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient client(c.end_a());
+
+  auto call = [](RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + kMillisecond);
+    co_return r.ok();
+  };
+  EXPECT_TRUE(RunBlocking(loop_, call(client, loop_)));
+  EXPECT_EQ(server.calls_served(), 1u);
+
+  // The rings live on MHD 0; killing it kills the serve loop — which must
+  // exit loudly (counted), not spin or vanish silently.
+  pod_.FailMhd(MhdId(0));
+  loop_.RunFor(300 * kMicrosecond);
+  EXPECT_GE(server.stats().serve_aborts, 1u);
+  EXPECT_EQ(server.stats().restarts, 0u);  // plain Serve never restarts
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, ServeSupervisedComesBackAfterRepair) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.ServeSupervised(stop));
+  RpcClient client(c.end_a());
+
+  auto call = [](RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + kMillisecond);
+    co_return r.ok();
+  };
+  EXPECT_TRUE(RunBlocking(loop_, call(client, loop_)));
+
+  pod_.FailMhd(MhdId(0));
+  loop_.RunFor(500 * kMicrosecond);
+  EXPECT_GE(server.stats().serve_aborts, 1u);
+
+  // After repair the supervisor re-enters Serve within its max backoff
+  // (200 µs) and calls succeed again.
+  pod_.RepairMhd(MhdId(0));
+  loop_.RunFor(500 * kMicrosecond);
+  EXPECT_TRUE(RunBlocking(loop_, call(client, loop_)));
+  EXPECT_GE(server.stats().restarts, 1u);
+  EXPECT_EQ(server.calls_served(), 2u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, RetryPolicySucceedsOnceServerAppears) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  // The server only starts 150 µs in: the first attempt must time out and
+  // a backed-off retry must land.
+  auto late_start = [](RpcServer& s, sim::EventLoop& loop,
+                       sim::StopToken& st) -> Task<> {
+    co_await sim::Delay(loop, 150 * kMicrosecond);
+    Spawn(s.Serve(st));
+  };
+  Spawn(late_start(server, loop_, stop));
+
+  RetryPolicy::Options ro;
+  ro.max_attempts = 5;
+  ro.initial_backoff = 50 * kMicrosecond;
+  RetryPolicy policy(ro);
+  RpcClient client(c.end_a());
+  auto t = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await p.Call(cl, 1, Msg("x"), 100 * kMicrosecond, loop);
+    co_return r.ok();
+  };
+  EXPECT_TRUE(RunBlocking(loop_, t(policy, client, loop_)));
+  EXPECT_EQ(policy.stats().calls, 1u);
+  EXPECT_GE(policy.stats().retries, 1u);
+  EXPECT_EQ(policy.stats().exhausted, 0u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, RetryPolicyDoesNotRetryApplicationErrors) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [](uint16_t, std::span<const std::byte>)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_return NotFound("no such method");
+                   });
+  Spawn(server.Serve(stop));
+
+  RetryPolicy policy;
+  RpcClient client(c.end_a());
+  auto t = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop,
+              sim::StopToken& st) -> Task<StatusCode> {
+    auto r = co_await p.Call(cl, 99, Msg(""), 100 * kMicrosecond, loop);
+    st.Stop();
+    co_return r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(policy, client, loop_, stop)),
+            StatusCode::kNotFound);
+  EXPECT_EQ(policy.stats().retries, 0u);  // terminal error: one attempt
+  EXPECT_EQ(policy.stats().exhausted, 0u);
+}
+
+TEST_F(MsgTest, RetryPolicyExhaustsOnDeadPath) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  // No server at all: every attempt times out.
+  RetryPolicy::Options ro;
+  ro.max_attempts = 3;
+  ro.initial_backoff = 20 * kMicrosecond;
+  RetryPolicy policy(ro);
+  RpcClient client(c.end_a());
+  auto t = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await p.Call(cl, 1, Msg("x"), 50 * kMicrosecond, loop);
+    co_return r.ok();
+  };
+  EXPECT_FALSE(RunBlocking(loop_, t(policy, client, loop_)));
+  EXPECT_EQ(policy.stats().retries, 2u);  // attempts 2 and 3
+  EXPECT_EQ(policy.stats().exhausted, 1u);
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicSeededAndBounded) {
+  RetryPolicy::Options o;
+  o.seed = 42;
+  RetryPolicy a(o);
+  RetryPolicy b(o);
+  for (int retry = 1; retry <= 6; ++retry) {
+    Nanos d = a.BackoffFor(retry);
+    EXPECT_EQ(d, b.BackoffFor(retry));  // same seed, same jitter draws
+    EXPECT_GE(d, static_cast<Nanos>(
+                     static_cast<double>(o.initial_backoff) * (1.0 - o.jitter)));
+    EXPECT_LE(d, static_cast<Nanos>(
+                     static_cast<double>(o.max_backoff) * (1.0 + o.jitter)));
+  }
 }
 
 // --- Doorbell ---

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/sim/bandwidth.h"
+#include "src/sim/chaos.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/random.h"
 #include "src/sim/stats.h"
@@ -420,6 +421,115 @@ TEST(BandwidthTest, BacklogVisible) {
   q.Acquire(0, 500);
   EXPECT_EQ(q.Backlog(100), 400);
   EXPECT_EQ(q.Backlog(600), 0);
+}
+
+// --- ChaosInjector ---
+
+TEST(ChaosInjectorTest, RandomScheduleIsDeterministicPerSeed) {
+  EventLoop loop;
+  auto make_plan = [&loop](uint64_t seed) {
+    ChaosInjector::Options o;
+    o.seed = seed;
+    ChaosInjector chaos(loop, o);
+    chaos.AddFault("a", [] {}, [] {});
+    chaos.AddFault("b", [] {}, [] {});
+    chaos.AddFault("c", [] {}, [] {});
+    chaos.ScheduleRandom(0, 10 * kMillisecond);
+    return chaos.plan();
+  };
+  auto p1 = make_plan(123);
+  auto p2 = make_plan(123);
+  auto other = make_plan(124);
+  ASSERT_EQ(p1.size(), p2.size());
+  ASSERT_GT(p1.size(), 0u);
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].at, p2[i].at);
+    EXPECT_EQ(p1[i].fault, p2[i].fault);
+    EXPECT_EQ(p1[i].outage, p2[i].outage);
+    // Events are serialized: next failure never before the prior repair.
+    if (i > 0) {
+      EXPECT_GE(p1[i].at, p1[i - 1].at + p1[i - 1].outage);
+    }
+  }
+  // A different seed produces a different storm.
+  bool differs = other.size() != p1.size();
+  for (size_t i = 0; !differs && i < p1.size(); ++i) {
+    differs = other[i].at != p1[i].at || other[i].fault != p1[i].fault;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosInjectorTest, ScriptedFaultsMeasureMttr) {
+  EventLoop loop;
+  StopToken stop;
+  bool down = false;
+  ChaosInjector::Options o;
+  o.probe_interval = kMicrosecond;
+  ChaosInjector chaos(loop, o);
+  chaos.AddFault("flag", [&down] { down = true; }, [&down] { down = false; });
+  int invariant_checks = 0;
+  chaos.AddInvariant("counted", [&invariant_checks]() -> std::string {
+    ++invariant_checks;
+    return "";
+  });
+  // Service is down exactly while the fault is active: MTTR == outage.
+  chaos.SetRecoveryProbe([&down] { return !down; });
+  chaos.ScheduleFail(10 * kMicrosecond, 0, 30 * kMicrosecond);
+  chaos.ScheduleFail(100 * kMicrosecond, 0, 20 * kMicrosecond);
+  chaos.Start(stop);
+  loop.RunFor(kMillisecond);
+
+  EXPECT_EQ(chaos.injections(), 2u);
+  EXPECT_EQ(chaos.recoveries(), 2u);
+  EXPECT_EQ(chaos.violations(), 0u);
+  EXPECT_EQ(chaos.mttr().count(), 2u);
+  EXPECT_EQ(chaos.mttr().max(), 30 * kMicrosecond);
+  EXPECT_EQ(invariant_checks, 2);  // once after each recovery
+}
+
+TEST(ChaosInjectorTest, NoRecoveryWithinTimeoutIsViolation) {
+  EventLoop loop;
+  StopToken stop;
+  ChaosInjector::Options o;
+  o.probe_interval = kMicrosecond;
+  o.probe_timeout = 50 * kMicrosecond;
+  ChaosInjector chaos(loop, o);
+  chaos.AddFault("wedge", [] {}, [] {});
+  chaos.SetRecoveryProbe([] { return false; });  // never comes back
+  chaos.ScheduleFail(10 * kMicrosecond, 0, 20 * kMicrosecond);
+  chaos.Start(stop);
+  loop.RunFor(kMillisecond);
+
+  EXPECT_EQ(chaos.injections(), 1u);
+  EXPECT_EQ(chaos.recoveries(), 0u);
+  EXPECT_EQ(chaos.violations(), 1u);
+  ASSERT_EQ(chaos.violation_log().size(), 1u);
+  EXPECT_NE(chaos.violation_log()[0].find("no recovery"), std::string::npos);
+}
+
+TEST(ChaosInjectorTest, TraceDigestReproducible) {
+  auto run = []() {
+    EventLoop loop;
+    StopToken stop;
+    bool down = false;
+    ChaosInjector::Options o;
+    o.seed = 99;
+    o.mean_interval = 100 * kMicrosecond;
+    o.min_outage = 5 * kMicrosecond;
+    o.max_outage = 40 * kMicrosecond;
+    o.probe_interval = kMicrosecond;
+    ChaosInjector chaos(loop, o);
+    chaos.AddFault("flag", [&down] { down = true; }, [&down] { down = false; });
+    chaos.SetRecoveryProbe([&down] { return !down; });
+    chaos.ScheduleRandom(0, 2 * kMillisecond);
+    chaos.Start(stop);
+    loop.RunFor(5 * kMillisecond);
+    return chaos.TraceDigest();
+  };
+  std::string d1 = run();
+  std::string d2 = run();
+  EXPECT_EQ(d1, d2);
+  EXPECT_FALSE(d1.empty());
 }
 
 }  // namespace
