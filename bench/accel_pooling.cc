@@ -105,6 +105,7 @@ RunResult RunScenario(int accels) {
   loop.RunUntil(kDuration);
   rack.Shutdown();
   loop.RunFor(kMillisecond);
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
 
   double util = 0;
   for (auto& d : devs) {

@@ -14,6 +14,7 @@
 #include <map>
 #include <string>
 
+#include "src/analysis/coherence_checker.h"
 #include "src/common/check.h"
 #include "src/core/rack.h"
 #include "src/sim/chaos.h"
@@ -93,6 +94,9 @@ struct RunResult {
   uint64_t recoveries = 0;
   uint64_t violations = 0;
   uint64_t executed = 0;
+  uint64_t coherence_violations = 0;
+  uint64_t coherence_events = 0;
+  uint64_t lost_dirty_lines = 0;
   Orchestrator::Stats orch;
   TrafficStats traffic;
 };
@@ -107,6 +111,12 @@ RunResult RunSoak(uint64_t seed, bool print) {
   rc.nics_per_host = 1;
   rc.orch.auto_rebalance = true;
   Rack rack(loop, rc);
+
+  // The coherence race detector shadows every pool line for the whole soak:
+  // a fault storm must never induce a protocol violation in the control
+  // plane's own CXL traffic (rings, doorbells, leases).
+  analysis::CoherenceChecker checker;
+  checker.AttachTo(rack.pod());
 
   // One doorbell accel per host, so failover always has somewhere to go.
   std::vector<std::unique_ptr<DoorbellDevice>> accels;
@@ -223,6 +233,9 @@ RunResult RunSoak(uint64_t seed, bool print) {
   r.recoveries = chaos.recoveries();
   r.violations = chaos.violations();
   r.executed = loop.executed();
+  r.coherence_violations = checker.violation_count();
+  r.coherence_events = checker.events_seen();
+  r.lost_dirty_lines = rack.pod().TotalLostDirtyLines();
   r.orch = orch.stats();
   r.traffic = traffic;
 
@@ -250,6 +263,12 @@ RunResult RunSoak(uint64_t seed, bool print) {
                 "migrations\n",
                 (unsigned long long)r.orch.leases_revoked,
                 (unsigned long long)r.orch.abandoned_migrations);
+    std::printf("lost dirty lines:  %llu\n",
+                (unsigned long long)r.lost_dirty_lines);
+    std::printf("coherence:         %s\n", checker.Report().c_str());
+    for (const auto& v : checker.violations()) {
+      std::printf("  COHERENCE %s\n", v.ToString().c_str());
+    }
     std::printf("trace digest:      %s\n", r.digest.c_str());
   }
   return r;
@@ -271,5 +290,12 @@ int main() {
   std::printf("reproducibility:   OK — identical trace digest and event count "
               "(%llu events)\n", (unsigned long long)first.executed);
   CXLPOOL_CHECK(first.violations == 0);
+  // The fault storm must not have tricked any host into breaking the
+  // publish/consume protocol or silently destroying unpublished bytes.
+  CXLPOOL_CHECK(first.coherence_violations == 0);
+  CXLPOOL_CHECK(second.coherence_violations == 0);
+  CXLPOOL_CHECK(first.lost_dirty_lines == 0);
+  std::printf("coherence check:   OK — zero violations over %llu line events\n",
+              (unsigned long long)first.coherence_events);
   return 0;
 }

@@ -171,6 +171,12 @@ int main() {
   RunBlocking(loop, CorrectnessDemo(pod, loop));
   RunBlocking(loop, BackInvalidatePreview(loop));
 
+  // This bench deliberately breaks the protocol exactly once: case 1 of the
+  // correctness demo leaves a dirty cached flag that the case-2 nt-store
+  // destroys. Pin the count so the hazard stays demonstrated — and stays
+  // contained to that one line.
+  CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 1);
+
   std::printf("takeaway: correctness across hosts requires exactly the paper's\n"
               "two primitives; their cost is a few hundred ns per touch, which\n"
               "the datapath hides behind DMA and doorbell latency (Fig. 3).\n"

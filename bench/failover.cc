@@ -174,5 +174,6 @@ int main() {
   std::printf("\npaper context (Sec. 2.2): without pooling, a NIC failure makes "
               "the server\nunreachable until repair — hours, not tens of "
               "microseconds.\n");
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   return 0;
 }

@@ -103,6 +103,9 @@ Point RunPoint(Placement server_buffers, uint32_t payload, double offered_pps) {
       loop, RunUdpLoad(cli_sock, server.stack->mac(), 7, lg));
   rack.Shutdown();
   loop.RunFor(500 * kMicrosecond);
+  // Latency must not come from skipped write-backs: any unpublished dirty
+  // line silently destroyed would mean the datapath cheated the protocol.
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
 
   Point p;
   p.offered_mpps = offered_pps / 1e6;

@@ -82,5 +82,6 @@ int main() {
   std::printf("\nmedian %lld ns (paper: ~600 ns, sub-us overall); max %lld ns\n",
               static_cast<long long>(hist.Percentile(0.5)),
               static_cast<long long>(hist.max()));
+  CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 0);
   return 0;
 }

@@ -45,6 +45,7 @@ double MeasureStreamWrite(int num_links, uint64_t total) {
     }
   };
   RunBlocking(loop, stream(pod.host(0), seg->base, total));
+  CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 0);
   return static_cast<double>(total) / static_cast<double>(loop.now());  // B/ns == GB/s
 }
 
@@ -77,6 +78,7 @@ double MeasureStreamRead(int num_links, uint64_t total) {
     }
   };
   RunBlocking(loop, stream(pod.host(0), seg->base, total));
+  CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 0);
   return static_cast<double>(total) / static_cast<double>(loop.now());
 }
 

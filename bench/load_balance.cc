@@ -170,5 +170,6 @@ int main() {
   }
   std::printf("\nexpected shape: leases split across both devices and job p50 "
               "drops once\nqueueing on the hot accelerator is relieved.\n");
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   return 0;
 }

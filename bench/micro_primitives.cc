@@ -100,6 +100,7 @@ void BM_RingMessageRoundTrip(benchmark::State& state) {
     };
     sim::RunBlocking(loop, once(tx, rx, loop, payload));
   }
+  CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 0);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RingMessageRoundTrip);

@@ -96,5 +96,6 @@ int main() {
 
   rack.Shutdown();
   loop.RunFor(500 * kMicrosecond);
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   return 0;
 }

@@ -91,6 +91,7 @@ int main() {
     sw_gbps = RunBlocking(loop, StreamRead(**vssd, loop, *buf));
     rack.Shutdown();
     loop.RunFor(kMillisecond);
+    CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   }
 
   // --- CXL pool path ---
@@ -122,6 +123,7 @@ int main() {
     cxl_gbps = RunBlocking(loop, StreamRead(**vssd, loop, seg->base));
     rack.Shutdown();
     loop.RunFor(kMillisecond);
+    CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   }
 
   std::printf("%-28s %14s %14s\n", "", "PCIe switch", "CXL pool");

@@ -44,6 +44,6 @@ target_link_libraries(pcie_switch_baseline PRIVATE cxlpool_core cxlpool_tco)
 cxlpool_bench(coherence_ablation coherence_ablation.cc)
 target_link_libraries(coherence_ablation PRIVATE cxlpool_cxl cxlpool_msg)
 cxlpool_bench(chaos_soak chaos_soak.cc)
-target_link_libraries(chaos_soak PRIVATE cxlpool_core)
+target_link_libraries(chaos_soak PRIVATE cxlpool_core cxlpool_analysis)
 cxlpool_gbench(micro_primitives micro_primitives.cc)
 target_link_libraries(micro_primitives PRIVATE cxlpool_msg)

@@ -87,5 +87,6 @@ int main() {
               "for the utilization and queueing study).\n");
   rack.Shutdown();
   loop.RunFor(kMillisecond);
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   return 0;
 }

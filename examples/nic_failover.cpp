@@ -124,5 +124,6 @@ int main() {
               static_cast<unsigned long long>(rack.orchestrator().stats().failovers));
   std::printf("without pooling this server would be offline until a tech "
               "replaced the NIC.\n");
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   return ok_after > 0 ? 0 : 1;
 }

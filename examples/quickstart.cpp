@@ -4,9 +4,15 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --coherence-check to run the same demo under the shadow-state race
+// detector (src/analysis/coherence_checker.h): every pool-line access is
+// checked against the publish/consume protocol, and the run fails loudly
+// if any step is missed.
 #include <cstdio>
 #include <cstring>
 
+#include "src/analysis/coherence_checker.h"
 #include "src/common/check.h"
 #include "src/cxl/pod.h"
 #include "src/msg/channel.h"
@@ -14,7 +20,11 @@
 
 using namespace cxlpool;
 
-int main() {
+int main(int argc, char** argv) {
+  bool coherence_check = false;
+  for (int i = 1; i < argc; ++i) {
+    coherence_check |= std::strcmp(argv[i], "--coherence-check") == 0;
+  }
   // A simulated rack unit: 4 hosts, each linked to 2 multi-headed CXL
   // memory devices (the pod). Simulated time is nanoseconds on `loop`.
   sim::EventLoop loop;
@@ -24,6 +34,13 @@ int main() {
   config.mhd_capacity = 64 * kMiB;
   config.dram_per_host = 16 * kMiB;
   cxl::CxlPod pod(loop, config);
+
+  analysis::CoherenceChecker checker;
+  if (coherence_check) {
+    checker.AttachTo(pod);
+    std::printf("coherence checking ON: every line access is verified against\n"
+                "the publish/consume protocol\n");
+  }
 
   // 1. Allocate shared pool memory. Every host (and every PCIe device)
   //    can address it.
@@ -73,6 +90,12 @@ int main() {
                 static_cast<long long>(loop.now() - start));
   };
   sim::RunBlocking(loop, ping_pong(**channel, loop));
+
+  if (coherence_check) {
+    std::printf("\n%s\n", checker.Report().c_str());
+    CXLPOOL_CHECK(checker.violation_count() == 0);
+  }
+  CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 0);
 
   std::printf("\nnext steps: examples/nic_failover, examples/ssd_harvest,\n"
               "examples/accel_disagg, and the bench/ binaries for every\n"

@@ -103,6 +103,7 @@ int main() {
                 num_ssds == 1 ? " " : "s", gbps);
     rack.Shutdown();
     loop.RunFor(kMillisecond);
+    CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   }
   std::printf("\nstriping across pooled SSDs scales the burst bandwidth with\n"
               "the number of harvested devices — \"adaptive storage striping\"\n"

@@ -180,5 +180,6 @@ int main() {
               static_cast<unsigned long long>(rack.orchestrator().stats().failovers));
   std::printf("\nno ToR anywhere: the rack survives a whole aggregation plane\n"
               "because its NICs are a pooled, re-routable resource (paper Sec. 5).\n");
+  CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
   return plane_b_ok > 0 ? 0 : 1;
 }

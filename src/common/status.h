@@ -35,7 +35,9 @@ enum class StatusCode : uint8_t {
 std::string_view StatusCodeName(StatusCode code);
 
 // A success-or-error value. Cheap to copy when OK (no allocation).
-class Status {
+// [[nodiscard]]: silently dropping a Status swallows an error; discard
+// explicitly with (void) where failure is genuinely tolerable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -77,7 +79,7 @@ Status DeadlineExceeded(std::string msg);
 // A value-or-error. `value()` aborts if called on an error result, so call
 // sites either check `ok()` first or use ASSIGN_OR_RETURN.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : value_(std::move(value)) {}

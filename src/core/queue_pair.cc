@@ -127,6 +127,14 @@ sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> 
   }
   if (sq_ready_ > sq_doorbell_sent_) {
     uint64_t value = sq_ready_;
+    if (mem_.sw_coherence()) {
+      // Ownership transfer: the doorbell hands the published SQ prefix to
+      // the device, which will DMA-read it from the pool. Any dirty cached
+      // command bytes at this instant would be invisible to the device.
+      host_.NoteHandoff(sq_base_,
+                        static_cast<uint64_t>(config_.entries) * config_.cmd_size,
+                        "sq-doorbell");
+    }
     CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.sq_doorbell_reg, value));
     if (value > sq_doorbell_sent_) {
       sq_doorbell_sent_ = value;

@@ -1,0 +1,37 @@
+#include "src/cxl/coherence_observer.h"
+
+namespace cxlpool::cxl {
+
+std::string_view CoherenceOpName(CoherenceOp op) {
+  switch (op) {
+    case CoherenceOp::kLoadHit:
+      return "load-hit";
+    case CoherenceOp::kLoadMiss:
+      return "load-miss";
+    case CoherenceOp::kStoreHit:
+      return "store-hit";
+    case CoherenceOp::kStoreMiss:
+      return "store-miss";
+    case CoherenceOp::kStoreNt:
+      return "nt-store";
+    case CoherenceOp::kFlushWriteback:
+      return "flush-writeback";
+    case CoherenceOp::kInvalidateDrop:
+      return "invalidate-drop";
+    case CoherenceOp::kEvictClean:
+      return "evict-clean";
+    case CoherenceOp::kEvictWriteback:
+      return "evict-writeback";
+    case CoherenceOp::kDirtyLost:
+      return "dirty-lost";
+    case CoherenceOp::kDmaReadHit:
+      return "dma-read-hit";
+    case CoherenceOp::kDmaReadMiss:
+      return "dma-read-miss";
+    case CoherenceOp::kDmaWrite:
+      return "dma-write";
+  }
+  return "unknown";
+}
+
+}  // namespace cxlpool::cxl

@@ -125,15 +125,18 @@ Result<CxlLink*> HostAdapter::RouteCxl(uint64_t addr) {
 
 void HostAdapter::WritebackEvicted(const mem::WriteBackCache::EvictedLine& ev) {
   if (!ev.dirty) {
+    EmitCoherence(CoherenceOp::kEvictClean, ev.line_addr);
     return;
   }
   auto link = RouteCxl(ev.line_addr);
   if (!link.ok()) {
     ++stats_.lost_dirty_lines;
+    EmitCoherence(CoherenceOp::kDirtyLost, ev.line_addr);
     return;
   }
   map_.WriteBytes(ev.line_addr, std::span<const std::byte>(ev.data));
   link.value()->to_device().Acquire(loop_.now(), kCachelineSize);
+  EmitCoherence(CoherenceOp::kEvictWriteback, ev.line_addr);
 }
 
 sim::Task<Status> HostAdapter::WaitForWriteHorizon(uint64_t addr, uint64_t len) {
@@ -186,6 +189,7 @@ sim::Task<Status> HostAdapter::Load(uint64_t addr, std::span<std::byte> out) {
     mem::WriteBackCache::Line* line = cache_.Find(laddr);
     if (line != nullptr) {
       ++hits;
+      EmitCoherence(CoherenceOp::kLoadHit, laddr);
       std::memcpy(out.data() + (lo - addr), line->data.data() + (lo - laddr),
                   hi - lo);
       continue;
@@ -203,6 +207,7 @@ sim::Task<Status> HostAdapter::Load(uint64_t addr, std::span<std::byte> out) {
       WritebackEvicted(*ev);
     }
     pool_.TrackCacher(laddr, id_);
+    EmitCoherence(CoherenceOp::kLoadMiss, laddr);
   }
 
   Nanos done = now;
@@ -264,6 +269,7 @@ sim::Task<Status> HostAdapter::Store(uint64_t addr, std::span<const std::byte> i
     mem::WriteBackCache::Line* line = cache_.Find(laddr);
     if (line != nullptr) {
       ++hits;
+      EmitCoherence(CoherenceOp::kStoreHit, laddr);
       std::memcpy(line->data.data() + (lo - laddr), in.data() + (lo - addr), hi - lo);
       line->dirty = true;
       continue;
@@ -281,6 +287,7 @@ sim::Task<Status> HostAdapter::Store(uint64_t addr, std::span<const std::byte> i
       WritebackEvicted(*ev);
     }
     pool_.TrackCacher(laddr, id_);
+    EmitCoherence(CoherenceOp::kStoreMiss, laddr);
   }
 
   Nanos done = now;
@@ -344,6 +351,7 @@ sim::Task<Status> HostAdapter::StoreNt(uint64_t addr, std::span<const std::byte>
     uint64_t laddr = first_line + i * kCachelineSize;
     if (auto ev = cache_.Remove(laddr); ev && ev->dirty) {
       ++stats_.lost_dirty_lines;
+      EmitCoherence(CoherenceOp::kDirtyLost, laddr);
     }
   }
 
@@ -365,6 +373,9 @@ sim::Task<Status> HostAdapter::StoreNt(uint64_t addr, std::span<const std::byte>
                    [this, addr, data = std::vector<std::byte>(in.begin(), in.end())] {
                      map_.WriteBytes(addr, data);
                    });
+  for (uint64_t i = 0; i < n_lines; ++i) {
+    EmitCoherence(CoherenceOp::kStoreNt, first_line + i * kCachelineSize);
+  }
   co_await sim::WaitUntil(loop_, serial_done + (snoops > 0 ? t.bi_snoop : 0));
   co_return OkStatus();
 }
@@ -398,13 +409,24 @@ sim::Task<Status> HostAdapter::FlushImpl(uint64_t addr, uint64_t len, bool inval
   for (uint64_t i = 0; i < n_lines; ++i) {
     uint64_t laddr = first_line + i * kCachelineSize;
     auto ev = cache_.Remove(laddr);
-    if (!ev || !ev->dirty) {
+    if (!ev) {
+      continue;
+    }
+    if (!ev->dirty) {
+      EmitCoherence(CoherenceOp::kInvalidateDrop, laddr);
       continue;
     }
     ++stats_.flushed_dirty_lines;
     auto link_or = RouteCxl(laddr);
     if (!link_or.ok()) {
+      // This line — and every dirty line already pulled out of the cache
+      // for this flush — has lost its only copy: nothing writes it back.
       ++stats_.lost_dirty_lines;
+      EmitCoherence(CoherenceOp::kDirtyLost, laddr);
+      for (const auto& dropped : writebacks) {
+        ++stats_.lost_dirty_lines;
+        EmitCoherence(CoherenceOp::kDirtyLost, dropped.line_addr);
+      }
       co_return link_or.status();
     }
     dirty_bytes[link_or.value()] += kCachelineSize;
@@ -424,6 +446,7 @@ sim::Task<Status> HostAdapter::FlushImpl(uint64_t addr, uint64_t len, bool inval
   // Dirty data becomes pool-visible when the writeback completes.
   for (const auto& ev : writebacks) {
     map_.WriteBytes(ev.line_addr, std::span<const std::byte>(ev.data));
+    EmitCoherence(CoherenceOp::kFlushWriteback, ev.line_addr);
   }
   co_return OkStatus();
 }
@@ -466,8 +489,10 @@ sim::Task<Status> HostAdapter::DmaRead(uint64_t addr, std::span<std::byte> out) 
     bytes_per_link[link_or.value()] += kCachelineSize;
     // Snoop own cache (no LRU/stat churn — this is the device, not the CPU).
     if (const mem::WriteBackCache::Line* line = cache_.Peek(laddr)) {
+      EmitCoherence(CoherenceOp::kDmaReadHit, laddr);
       std::memcpy(out.data() + (lo - addr), line->data.data() + (lo - laddr), hi - lo);
     } else {
+      EmitCoherence(CoherenceOp::kDmaReadMiss, laddr);
       std::array<std::byte, kCachelineSize> buf;
       map_.ReadBytes(laddr, buf);
       std::memcpy(out.data() + (lo - addr), buf.data() + (lo - laddr), hi - lo);
@@ -519,7 +544,12 @@ sim::Task<Status> HostAdapter::DmaWrite(uint64_t addr, std::span<const std::byte
   // Invalidate this host's cached copies (root-complex snoop). Cached
   // copies on OTHER hosts go stale — the cross-host hazard.
   for (uint64_t i = 0; i < n_lines; ++i) {
-    cache_.Remove(first_line + i * kCachelineSize);
+    uint64_t laddr = first_line + i * kCachelineSize;
+    if (auto ev = cache_.Remove(laddr)) {
+      EmitCoherence(ev->dirty ? CoherenceOp::kDirtyLost
+                              : CoherenceOp::kInvalidateDrop,
+                    laddr);
+    }
   }
 
   Nanos serial_done = now;
@@ -536,6 +566,9 @@ sim::Task<Status> HostAdapter::DmaWrite(uint64_t addr, std::span<const std::byte
                    [this, addr, data = std::vector<std::byte>(in.begin(), in.end())] {
                      map_.WriteBytes(addr, data);
                    });
+  for (uint64_t i = 0; i < n_lines; ++i) {
+    EmitCoherence(CoherenceOp::kDmaWrite, first_line + i * kCachelineSize);
+  }
   co_await sim::WaitUntil(loop_, serial_done + (snoops > 0 ? t.bi_snoop : 0));
   co_return OkStatus();
 }

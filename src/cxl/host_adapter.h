@@ -24,6 +24,7 @@
 #include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/cxl/coherence_observer.h"
 #include "src/cxl/link.h"
 #include "src/cxl/params.h"
 #include "src/cxl/pool.h"
@@ -121,6 +122,21 @@ class HostAdapter {
   mem::AddressMap& address_map() { return map_; }
   CxlPool& cxl_pool() { return pool_; }
 
+  // --- Coherence-protocol instrumentation (src/analysis) ---
+  // When set, pool-line accesses emit CoherenceEvents; nullptr (default)
+  // disables instrumentation at the cost of one branch per line.
+  void set_coherence_observer(CoherenceObserver* obs) { coherence_observer_ = obs; }
+  CoherenceObserver* coherence_observer() const { return coherence_observer_; }
+
+  // Announces a software handoff of [addr, addr+len) — called by
+  // messaging/driver layers at the moment a doorbell/RPC/ownership
+  // transfer references the region. No-op without an observer.
+  void NoteHandoff(uint64_t addr, uint64_t len, std::string_view what) {
+    if (coherence_observer_ != nullptr) {
+      coherence_observer_->OnHandoff(id_, addr, len, what, loop_.now());
+    }
+  }
+
  private:
   // Resolves + validates a CPU or DMA access. Local DRAM must belong to
   // this host (a CPU cannot load another host's DRAM; a device cannot DMA
@@ -145,6 +161,13 @@ class HostAdapter {
   // the evicting operation). Drops the data if the path is unhealthy.
   void WritebackEvicted(const mem::WriteBackCache::EvictedLine& ev);
 
+  // Emits a CoherenceEvent for one pool line if an observer is attached.
+  void EmitCoherence(CoherenceOp op, uint64_t line_addr) {
+    if (coherence_observer_ != nullptr) {
+      coherence_observer_->OnLineEvent({id_, op, line_addr, loop_.now()});
+    }
+  }
+
   HostId id_;
   sim::EventLoop& loop_;
   mem::AddressMap& map_;
@@ -158,6 +181,8 @@ class HostAdapter {
   // Insertion-ordered (NOT pointer-ordered) so notification order is
   // deterministic across runs.
   std::vector<std::pair<const void*, std::function<void(bool)>>> crash_listeners_;
+
+  CoherenceObserver* coherence_observer_ = nullptr;
 
   uint64_t dram_base_ = 0;
   uint64_t dram_size_ = 0;

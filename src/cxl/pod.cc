@@ -96,6 +96,20 @@ void CxlPod::RepairHost(HostId h) {
   adapter.SetCrashed(false);
 }
 
+void CxlPod::SetCoherenceObserver(CoherenceObserver* obs) {
+  for (auto& host : hosts_) {
+    host->set_coherence_observer(obs);
+  }
+}
+
+uint64_t CxlPod::TotalLostDirtyLines() const {
+  uint64_t total = 0;
+  for (const auto& host : hosts_) {
+    total += host->stats().lost_dirty_lines;
+  }
+  return total;
+}
+
 int CxlPod::HealthyPaths(HostId h) const {
   int paths = 0;
   const HostAdapter& adapter = *hosts_.at(h.value());

@@ -67,6 +67,16 @@ class CxlPod {
   // (healthy links to healthy MHDs) — the λ redundancy of §5.
   int HealthyPaths(HostId h) const;
 
+  // --- Coherence-protocol checking (opt-in; see analysis::CoherenceChecker) ---
+  // Attaches `obs` to every host adapter (nullptr detaches). With no
+  // observer the instrumentation costs one branch per touched line.
+  void SetCoherenceObserver(CoherenceObserver* obs);
+
+  // Dirty pool lines destroyed without a writeback, summed over all hosts.
+  // Nonzero on a fault-free run means the code under test broke the
+  // software coherence protocol — benches and examples assert zero.
+  uint64_t TotalLostDirtyLines() const;
+
  private:
   sim::EventLoop& loop_;
   CxlPodConfig config_;

@@ -20,10 +20,22 @@ class DoorbellSender {
   DoorbellSender(cxl::HostAdapter& host, uint64_t line_addr)
       : host_(host), addr_(line_addr) {}
 
+  // Declares the data region this doorbell publishes progress over. When
+  // set, every Ring is a coherence handoff point: the region must hold no
+  // unpublished (dirty cached) lines of the ringing host at that moment
+  // (checked by analysis::CoherenceChecker when one is attached).
+  void SetAnnouncedRegion(uint64_t base, uint64_t len) {
+    region_base_ = base;
+    region_len_ = len;
+  }
+
   // Publishes `value` (callers use monotonically increasing values).
   // Must be a coroutine: `buf` has to outlive the suspended StoreNt task,
   // so it lives in this frame, not on a stack that unwinds immediately.
   sim::Task<Status> Ring(uint64_t value) {
+    if (region_len_ != 0) {
+      host_.NoteHandoff(region_base_, region_len_, "doorbell-ring");
+    }
     std::array<std::byte, 8> buf;
     wire::PutU64(buf.data(), value);
     co_return co_await host_.StoreNt(addr_, buf);
@@ -32,6 +44,8 @@ class DoorbellSender {
  private:
   cxl::HostAdapter& host_;
   uint64_t addr_;
+  uint64_t region_base_ = 0;
+  uint64_t region_len_ = 0;
 };
 
 class DoorbellWatcher {

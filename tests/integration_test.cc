@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "src/analysis/coherence_checker.h"
 #include "src/common/check.h"
 #include "src/core/rack.h"
 #include "src/sim/task.h"
@@ -70,11 +71,21 @@ RackConfig MidRack(int hosts) {
 
 class IntegrationTest : public ::testing::Test {
  protected:
+  // Every scenario runs under the coherence race detector: the whole-rack
+  // stories must never break the publish/consume protocol, even across
+  // failover and device faults.
+  void Watch(Rack& rack) { checker_.AttachTo(rack.pod()); }
   void Drain(Rack& rack) {
     rack.Shutdown();
     loop_.RunFor(500 * kMicrosecond);
+    EXPECT_EQ(checker_.violation_count(), 0u) << checker_.Report();
+    EXPECT_EQ(rack.pod().TotalLostDirtyLines(), 0u);
+    // The rack is a test-body local and dies before the fixture; detach now
+    // so the checker's destructor does not reach into a destroyed pod.
+    checker_.Detach();
   }
   sim::EventLoop loop_;
+  analysis::CoherenceChecker checker_;
 };
 
 // A NIC-less host borrows a neighbour's NIC end-to-end: UDP echo through
@@ -83,6 +94,7 @@ TEST_F(IntegrationTest, NiclessHostRunsUdpThroughPooledNic) {
   RackConfig rc = MidRack(3);
   rc.nics_per_host = 0;  // nobody has a NIC...
   Rack rack(loop_, rc);
+  Watch(rack);
   // ... except hosts 0 and 1, attached manually.
   devices::Nic nic0(PcieDeviceId(100), "nic0", loop_, devices::NicConfig{});
   devices::Nic nic1(PcieDeviceId(101), "nic1", loop_, devices::NicConfig{});
@@ -155,6 +167,7 @@ TEST_F(IntegrationTest, NiclessHostRunsUdpThroughPooledNic) {
 // Failover under live traffic: echoes resume on the replacement NIC.
 TEST_F(IntegrationTest, FailoverRestoresTrafficWithinAMillisecond) {
   Rack rack(loop_, MidRack(3));
+  Watch(rack);
   rack.Start();
   Node server;
   Node client;
@@ -207,6 +220,7 @@ TEST_F(IntegrationTest, MixedDeviceWorkloadsCoexist) {
   rc.ssds_per_host = 1;
   rc.accels = 1;
   Rack rack(loop_, rc);
+  Watch(rack);
   rack.Start();
 
   Node server;
@@ -272,6 +286,7 @@ TEST_F(IntegrationTest, MixedDeviceWorkloadsCoexist) {
 // out, the rest of the pool keeps working, and repair restores access.
 TEST_F(IntegrationTest, MhdFailureIsContainedAndRecoverable) {
   Rack rack(loop_, MidRack(2));
+  Watch(rack);
   rack.Start();
   auto seg0 = rack.pod().pool().Allocate(4096, MhdId(0));
   auto seg1 = rack.pod().pool().Allocate(4096, MhdId(1));
@@ -298,6 +313,7 @@ TEST_F(IntegrationTest, MhdFailureIsContainedAndRecoverable) {
 // Moderate load through the full stack does not lose datagrams.
 TEST_F(IntegrationTest, LoadedEchoConservesPackets) {
   Rack rack(loop_, MidRack(2));
+  Watch(rack);
   rack.Start();
   Node server;
   Node client;

@@ -243,6 +243,101 @@ TEST(CacheTest, PeekDoesNotBumpLru) {
   EXPECT_EQ(ev->line_addr, 0u);  // 0 still LRU: Peek had no effect
 }
 
+// Find vs Peek contrast on the same cache: Find's LRU bump protects a
+// line from eviction, Peek's lack of one does not, and Peek never touches
+// the hit/miss counters (it is the observer path — e.g. DMA snooping).
+TEST(CacheTest, FindBumpsLruPeekDoesNotAndPeekIsStatFree) {
+  WriteBackCache cache(2);
+  auto d = LinePattern(1);
+  cache.Install(0, d.data(), false);
+  cache.Install(64, d.data(), false);
+  WriteBackCache::Stats before = cache.stats();
+  EXPECT_NE(cache.Peek(0), nullptr);
+  EXPECT_EQ(cache.Peek(999 * kCachelineSize), nullptr);  // miss: no count
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+
+  cache.Find(0);  // bump: 64 becomes LRU
+  auto ev1 = cache.Install(128, d.data(), false);
+  ASSERT_TRUE(ev1.has_value());
+  EXPECT_EQ(ev1->line_addr, 64u);
+
+  cache.Peek(0);  // no bump: 0 stays LRU behind 128
+  auto ev2 = cache.Install(192, d.data(), false);
+  ASSERT_TRUE(ev2.has_value());
+  EXPECT_EQ(ev2->line_addr, 0u);
+}
+
+// Capacity 1 is the degenerate LRU: every distinct install evicts the
+// previous line, re-installing the resident line evicts nothing, and the
+// dirty victim's bytes ride out intact.
+TEST(CacheTest, CapacityOneEvictsEveryNewcomerButNotReinstalls) {
+  WriteBackCache cache(1);
+  auto d1 = LinePattern(0x11);
+  auto d2 = LinePattern(0x22);
+  EXPECT_FALSE(cache.Install(0, d1.data(), true).has_value());
+  EXPECT_FALSE(cache.Install(0, d2.data(), false).has_value());  // same line
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto ev = cache.Install(64, d1.data(), false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0u);
+  EXPECT_TRUE(ev->dirty);                     // sticky from the first install
+  EXPECT_EQ(ev->data[3], std::byte{0x22});    // latest content, not first
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto ev2 = cache.Install(128, d2.data(), true);
+  ASSERT_TRUE(ev2.has_value());
+  EXPECT_EQ(ev2->line_addr, 64u);
+  EXPECT_FALSE(ev2->dirty);
+  EXPECT_EQ(cache.stats().writebacks, 1u);  // only the dirty victim counted
+}
+
+// Install over an existing line replaces bytes in place: no victim, no
+// size change, dirty stays sticky, and the line is bumped to MRU.
+TEST(CacheTest, InstallOverExistingReplacesContentInPlace) {
+  WriteBackCache cache(2);
+  auto d1 = LinePattern(0x0d);
+  auto d2 = LinePattern(0x0e);
+  cache.Install(0, d1.data(), true);
+  cache.Install(64, d1.data(), false);
+
+  EXPECT_FALSE(cache.Install(0, d2.data(), false).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  const WriteBackCache::Line* line = cache.Peek(0);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->data[7], std::byte{0x0e});  // content replaced...
+  EXPECT_TRUE(line->dirty);                   // ...dirty not cleared
+
+  // The overwrite bumped line 0 to MRU, so 64 is the next victim.
+  auto ev = cache.Install(128, d1.data(), false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 64u);
+}
+
+// DropAll is the power-off path: it must NOT count write-backs or
+// invalidations for the dirty lines it destroys (those stats feed the
+// coherence accounting; a crash is not a write-back), and counters keep
+// accumulating normally afterwards.
+TEST(CacheTest, DropAllCountsNoWritebacksOrInvalidations) {
+  WriteBackCache cache(4);
+  auto d = LinePattern(5);
+  cache.Install(0, d.data(), true);
+  cache.Install(64, d.data(), true);
+  cache.Find(0);
+  WriteBackCache::Stats before = cache.stats();
+
+  cache.DropAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().writebacks, before.writebacks);
+  EXPECT_EQ(cache.stats().invalidations, before.invalidations);
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+
+  EXPECT_EQ(cache.Find(0), nullptr);  // gone, and the miss still counts
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
 // Parameterized capacity sweep: occupancy never exceeds capacity and the
 // cache stays internally consistent under a deterministic access pattern.
 class CacheCapacityTest : public ::testing::TestWithParam<size_t> {};

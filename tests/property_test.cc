@@ -7,6 +7,7 @@
 #include <cstring>
 #include <map>
 
+#include "src/analysis/coherence_checker.h"
 #include "src/common/check.h"
 #include "src/cxl/pod.h"
 #include "src/msg/ring.h"
@@ -37,6 +38,10 @@ TEST_P(CoherencePropertyTest, PublishConsumeNeverTearsOrCorrupts) {
   pc.mhd_capacity = 16 * kMiB;
   pc.dram_per_host = 1 * kMiB;
   cxl::CxlPod pod(loop, pc);
+  // Random interleavings must also be race-free under the shadow-state
+  // checker, not just untorn at the byte level.
+  analysis::CoherenceChecker checker;
+  checker.AttachTo(pod);
   auto seg = pod.pool().Allocate(64 * kKiB);
   ASSERT_TRUE(seg.ok());
 
@@ -91,6 +96,8 @@ TEST_P(CoherencePropertyTest, PublishConsumeNeverTearsOrCorrupts) {
   };
   RunBlocking(loop, drive(pod, seg->base, torn, stop, reader));
   EXPECT_FALSE(torn);
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+  EXPECT_EQ(pod.TotalLostDirtyLines(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoherencePropertyTest,
@@ -114,6 +121,8 @@ TEST_P(RingPropertyTest, RandomSizedMessagesArriveInOrderIntact) {
   pc.mhd_capacity = 16 * kMiB;
   pc.dram_per_host = 1 * kMiB;
   cxl::CxlPod pod(loop, pc);
+  analysis::CoherenceChecker checker;
+  checker.AttachTo(pod);
   RingParam param = GetParam();
 
   auto seg = pod.pool().Allocate(msg::RingFootprint(param.slots));
@@ -163,6 +172,8 @@ TEST_P(RingPropertyTest, RandomSizedMessagesArriveInOrderIntact) {
   auto drive = [&]() -> Task<> { co_await consumer(rx, loop, param.seed, ok_count); };
   RunBlocking(loop, drive());
   EXPECT_EQ(ok_count, kCount);
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.Report();
+  EXPECT_EQ(pod.TotalLostDirtyLines(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,49 @@
+// Clean counterparts to dangling_repro.cc: the patterns the lint must NOT
+// flag. Not part of the build; tools/lint_tasks.py --self-test asserts
+// zero findings here.
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/cxl/host_adapter.h"
+#include "src/msg/wire.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+class FixedDoorbellSender {
+ public:
+  FixedDoorbellSender(cxl::HostAdapter& host, uint64_t line_addr)
+      : host_(host), addr_(line_addr) {}
+
+  // The PR 1 fix: a coroutine frame owns `buf` until the task completes.
+  sim::Task<Status> Ring(uint64_t value) {
+    std::array<std::byte, 8> buf;
+    msg::wire::PutU64(buf.data(), value);
+    co_return co_await host_.StoreNt(addr_, buf);
+  }
+
+  // A parameter-only forwarder is safe without being a coroutine: the
+  // caller owns `data` and keeps it alive while awaiting the task.
+  sim::Task<Status> Publish(uint64_t addr, std::span<const std::byte> data) {
+    return host_.StoreNt(addr, data);
+  }
+
+ private:
+  cxl::HostAdapter& host_;
+  uint64_t addr_;
+};
+
+// Results consumed every legitimate way.
+inline sim::Task<Status> ConsumeProperly(cxl::HostAdapter& host,
+                                         uint64_t addr) {
+  CO_RETURN_IF_ERROR(co_await host.Flush(addr, 64));
+  Status st = co_await host.Invalidate(addr, 64);
+  if (!st.ok()) {
+    co_return st;
+  }
+  (void)co_await host.Flush(addr, 64);  // tolerated failure, explicit
+  co_return OkStatus();
+}
+
+}  // namespace cxlpool::repro

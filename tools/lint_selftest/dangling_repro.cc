@@ -1,0 +1,40 @@
+// Seeded reproductions for tools/lint_tasks.py --self-test. This file is
+// NOT part of the build: it preserves, verbatim in shape, the two bug
+// classes PR 1 fixed at runtime under ASan, so the lint provably catches
+// them. Do not "fix" these — the self-test asserts they are flagged.
+#include <array>
+#include <cstdint>
+
+#include "src/cxl/host_adapter.h"
+#include "src/msg/wire.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+class BuggyDoorbellSender {
+ public:
+  BuggyDoorbellSender(cxl::HostAdapter& host, uint64_t line_addr)
+      : host_(host), addr_(line_addr) {}
+
+  // The exact PR 1 bug: NOT a coroutine, so `buf` dies when this frame
+  // returns — but the lazy StoreNt task still holds a span over it and
+  // only reads the bytes when the caller finally awaits.
+  sim::Task<Status> Ring(uint64_t value) {
+    std::array<std::byte, 8> buf;
+    msg::wire::PutU64(buf.data(), value);
+    return host_.StoreNt(addr_, buf);
+  }
+
+ private:
+  cxl::HostAdapter& host_;
+  uint64_t addr_;
+};
+
+// The companion bug class: a Task<Status> dropped on the floor. Lazy
+// coroutines start suspended, so this Flush never executes at all — the
+// dirty lines silently stay unpublished.
+inline void ForgetToAwait(cxl::HostAdapter& host, uint64_t addr) {
+  host.Flush(addr, 64);
+}
+
+}  // namespace cxlpool::repro

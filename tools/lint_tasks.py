@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""Repo-specific static checks for coroutine lifetimes and discarded results.
+
+Two bug classes this codebase has actually paid for:
+
+(a) dangling-frame: a NON-coroutine function that returns a `sim::Task`
+    built by calling a coroutine with arguments referencing locals of the
+    returning function.  The returned task is lazy; by the time the caller
+    awaits it, the forwarding function's frame is gone and every
+    reference/span argument dangles.  PR 1 hit this twice (DoorbellSender::
+    Ring and the RPC reply path), both found only at runtime under ASan.
+    The fix is always the same: make the forwarder itself a coroutine
+    (`co_return co_await ...`) so its frame lives until the task completes.
+    Forwarding *parameters* is fine — the caller owns those — so only
+    locals declared inside the body count.
+
+(b) discarded-result: a bare statement calling a repo function that
+    returns `sim::Task`/`Status`/`Result`.  A dropped Task never runs
+    (lazy coroutines start suspended); a dropped Status swallows an error.
+    `[[nodiscard]]` on those types makes the compiler catch most of this;
+    the lint also covers macro-heavy code paths and non-compiled targets
+    (e.g. files gated out of the build) that the compiler never sees.
+
+Suppression: append `// lint-tasks: allow(<rule>)` to the offending line.
+
+Usage:
+  tools/lint_tasks.py [--root DIR] [paths...]   # lint src/ (default) or paths
+  tools/lint_tasks.py --self-test               # must flag the seeded repros
+
+Exit code 0 = clean, 1 = findings, 2 = usage/self-test failure.
+Stdlib only: the container has no libclang, so this is a pattern pass —
+conservative by construction (prefers false negatives over noise).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+TASK_RETURN_RE = re.compile(
+    r"(?:^|\n)[ \t]*(?:static[ \t]+|inline[ \t]+|virtual[ \t]+)*"
+    r"(?:sim::)?Task<[^;{}]*?>[ \t\n]+"          # return type
+    r"(?P<name>[A-Za-z_][\w:]*)[ \t\n]*\("        # function name + params
+)
+
+# Statement-initial call whose result is dropped: `Foo(...)` or
+# `obj.Foo(...)` / `ptr->Foo(...);` at the start of a statement.
+CALL_STMT_RE = re.compile(
+    r"^[ \t]*(?:[A-Za-z_]\w*(?:\.|->|::))*(?P<callee>[A-Za-z_]\w*)\(")
+
+# Declarations whose names can be captured by reference/span/pointer in a
+# returned call: `Type name;`, `Type name(...)`, `Type name = ...`,
+# `Type name{...}`. One declarator per statement covers this codebase.
+LOCAL_DECL_RE = re.compile(
+    r"^[ \t]*(?:const[ \t]+)?"
+    r"(?:auto|std::\w+(?:<[^;=]*>)?|[A-Za-z_][\w:]*(?:<[^;=]*>)?)"
+    r"[ \t]+[&*]?(?P<name>[A-Za-z_]\w*)[ \t]*(?:[;={(\[]|$)")
+
+DECL_KEYWORDS = {
+    "return", "co_return", "co_await", "co_yield", "if", "else", "for",
+    "while", "do", "switch", "case", "break", "continue", "goto", "using",
+    "typedef", "delete", "new", "throw", "public", "private", "protected",
+}
+
+# Macros that consume a Status/Task/Result expression by design.
+CONSUMING_MACROS = {
+    "RETURN_IF_ERROR", "CO_RETURN_IF_ERROR", "ASSIGN_OR_RETURN",
+    "CXLPOOL_CHECK_OK", "CXLPOOL_CHECK", "EXPECT_TRUE", "EXPECT_FALSE",
+    "EXPECT_EQ", "ASSERT_TRUE", "ASSERT_EQ", "EXPECT_OK", "ASSERT_OK",
+}
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines
+    and an `ALLOW(<rule>)` token for lint suppressions so line numbers and
+    brace structure survive."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            m = re.search(r"lint-tasks:\s*allow\((?P<r>[\w-]+)\)", comment)
+            out.append("ALLOW(%s)" % m.group("r") if m else "")
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def matching_brace(text, open_idx):
+    """Index just past the `}` matching the `{` at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def line_of(text, idx):
+    return text.count("\n", 0, idx) + 1
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def split_statements(body):
+    """Yields (offset, statement) pairs for top-level-ish statements; good
+    enough for scanning declarations and returns."""
+    start = 0
+    depth = 0
+    for i, c in enumerate(body):
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            start = i + 1
+        elif c == ";" and depth >= 0:
+            yield start, body[start:i + 1]
+            start = i + 1
+
+
+def check_dangling_frame(path, text, findings):
+    for m in TASK_RETURN_RE.finditer(text):
+        # Find the parameter list's closing paren, then the body brace.
+        paren = text.find("(", m.end() - 1)
+        depth = 0
+        close = -1
+        for i in range(paren, len(text)):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+        if close == -1:
+            continue
+        # Skip declarations (`;`) — only definitions have bodies.
+        brace = None
+        for i in range(close + 1, min(close + 120, len(text))):
+            if text[i] == "{":
+                brace = i
+                break
+            if text[i] == ";":
+                break
+        if brace is None:
+            continue
+        end = matching_brace(text, brace)
+        if end == -1:
+            continue
+        body = text[brace + 1:end - 1]
+        if re.search(r"\bco_(?:await|return|yield)\b", body):
+            continue  # a real coroutine: its frame outlives the task
+        locals_declared = set()
+        for off, stmt in split_statements(body):
+            first_line = stmt.strip().splitlines()[0] if stmt.strip() else ""
+            dm = LOCAL_DECL_RE.match(first_line)
+            if dm and dm.group("name") not in DECL_KEYWORDS:
+                head = first_line.split(dm.group("name"))[0].strip()
+                if head and head.split()[0].rstrip("<") not in DECL_KEYWORDS:
+                    locals_declared.add(dm.group("name"))
+            rm = re.match(r"[ \t\n]*return\b(?P<expr>[^;]*)", stmt)
+            if rm is None:
+                continue
+            if "ALLOW(dangling-frame)" in stmt:
+                continue
+            expr = rm.group("expr")
+            if "(" not in expr:
+                continue  # returning a variable/default, not building a task
+            used = [v for v in locals_declared
+                    if re.search(r"\b%s\b" % re.escape(v), expr)]
+            if used:
+                line = line_of(text, brace + 1 + off)
+                findings.append(Finding(
+                    path, line, "dangling-frame",
+                    "non-coroutine returns a Task built from local(s) %s; "
+                    "the frame dies before the task runs — make this a "
+                    "coroutine (co_return co_await ...)"
+                    % ", ".join(sorted(used))))
+
+
+def collect_must_use_functions(roots):
+    """Names of repo functions returning Task/Status/Result, from headers.
+
+    A name is must-use only if EVERY function of that name in the scanned
+    headers returns a must-use type: names shared with a void/other
+    overload anywhere (`Free`, `Release`, `Read`, ...) are ambiguous at a
+    call site without type resolution, so they are dropped entirely —
+    false negatives over noise."""
+    sig = re.compile(
+        r"(?:^|\n)[ \t]*(?:static[ \t]+|inline[ \t]+|virtual[ \t]+|"
+        r"constexpr[ \t]+|explicit[ \t]+)*"
+        r"(?P<ret>[A-Za-z_][\w:]*(?:<[^;{}()]*?>)?)[ \t&*\n]+"
+        r"(?P<name>[A-Za-z_]\w*)[ \t\n]*\(")
+    must_use_ret = re.compile(r"^(?:sim::)?(?:Task<|Status$|Result<)")
+    must, other = set(), set()
+    for root in roots:
+        for dirpath, _, files in os.walk(root):
+            for f in files:
+                if not f.endswith(".h"):
+                    continue
+                text = strip_comments_and_strings(
+                    open(os.path.join(dirpath, f), encoding="utf-8").read())
+                for m in sig.finditer(text):
+                    ret, name = m.group("ret"), m.group("name")
+                    if ret in DECL_KEYWORDS or name in DECL_KEYWORDS:
+                        continue
+                    (must if must_use_ret.match(ret) else other).add(name)
+    return must - other - {"Status", "Result", "Task", "status", "ok"}
+
+
+def check_discarded_result(path, text, must_use, findings):
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if "ALLOW(discarded-result)" in line:
+            continue
+        m = CALL_STMT_RE.match(line)
+        if m is None or not stripped.endswith(";"):
+            continue
+        callee = m.group("callee")
+        if callee not in must_use or callee in CONSUMING_MACROS:
+            continue
+        # A continuation of a multi-line call (e.g. an argument inside
+        # ASSIGN_OR_RETURN) closes more parens than it opens — skip it.
+        if line.count(")") > line.count("("):
+            continue
+        # Assigned, awaited, returned, voided, or compared → consumed.
+        if re.search(r"(=|\breturn\b|\bco_return\b|\bco_await\b|\(void\)|"
+                     r"==|!=|&&|\|\|)", line.split(callee)[0] + " "):
+            continue
+        # A call spanning multiple statements on one line is out of scope.
+        findings.append(Finding(
+            path, lineno, "discarded-result",
+            "result of %s() (Task/Status/Result) is discarded; assign, "
+            "await, check, or cast to (void)" % callee))
+
+
+def lint_paths(paths, must_use_roots):
+    findings = []
+    must_use = collect_must_use_functions(must_use_roots)
+    for path in paths:
+        raw = open(path, encoding="utf-8").read()
+        text = strip_comments_and_strings(raw)
+        check_dangling_frame(path, text, findings)
+        check_discarded_result(path, text, must_use, findings)
+    return findings
+
+
+def source_files(root):
+    out = []
+    for dirpath, _, files in os.walk(root):
+        for f in sorted(files):
+            if f.endswith((".cc", ".h", ".cpp")):
+                out.append(os.path.join(dirpath, f))
+    return out
+
+
+def self_test(repo_root):
+    """The seeded repros MUST be flagged; the clean exemplar MUST NOT be."""
+    selftest_dir = os.path.join(repo_root, "tools", "lint_selftest")
+    bad = os.path.join(selftest_dir, "dangling_repro.cc")
+    good = os.path.join(selftest_dir, "clean_exemplar.cc")
+    roots = [os.path.join(repo_root, "src"), selftest_dir]
+
+    flagged = lint_paths([bad], roots)
+    rules = sorted({f.rule for f in flagged})
+    ok = True
+    if "dangling-frame" not in rules:
+        print("SELF-TEST FAIL: seeded PR-1 dangling-span repro not flagged")
+        ok = False
+    if "discarded-result" not in rules:
+        print("SELF-TEST FAIL: seeded discarded-result repro not flagged")
+        ok = False
+    for f in flagged:
+        print("  (expected) %s" % f)
+
+    clean = lint_paths([good], roots)
+    for f in clean:
+        print("SELF-TEST FAIL: false positive on clean exemplar: %s" % f)
+        ok = False
+    print("self-test: %s" % ("PASS" if ok else "FAIL"))
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the lint flags the seeded bug repros")
+    args = ap.parse_args()
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.self_test:
+        return 0 if self_test(repo_root) else 2
+
+    targets = []
+    for p in (args.paths or [os.path.join(repo_root, "src")]):
+        targets.extend(source_files(p) if os.path.isdir(p) else [p])
+    findings = lint_paths(targets, [os.path.join(repo_root, "src")])
+    for f in findings:
+        print(f)
+    print("lint_tasks: %d file(s), %d finding(s)" %
+          (len(targets), len(findings)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
