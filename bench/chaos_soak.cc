@@ -1,22 +1,30 @@
 // Chaos soak: a randomized, seeded fault storm against the full control
 // plane (§4.2 orchestrator + agents) and the §5 fault model. Hosts crash
-// and reboot, CXL links and an MHD flap, and a pooled accelerator fails —
-// all on a schedule drawn deterministically from one seed — while lessee
-// hosts keep driving doorbell traffic and re-acquiring leases whenever
-// theirs die.
+// and reboot, CXL links and an MHD flap, a pooled accelerator fail-stops,
+// devices wedge (gray: MMIO stalls instead of erroring) until the home
+// agent's watchdog FLRs them, and pool media lines get poisoned until the
+// replication scrubber repairs them — all on a schedule drawn
+// deterministically from one seed — while lessee hosts keep driving
+// doorbell traffic and re-acquiring leases whenever theirs die.
 //
-// Reported: MTTR percentiles (fault injection -> service restored), the
-// injection trace digest, control-plane counters, and a bit-for-bit
-// reproducibility check (two runs of the same seed must produce identical
-// digests and event counts).
+// Reported: MTTR percentiles overall and per fault class (host-crash vs
+// link vs wedge vs poison recover through different machinery), the
+// injection trace digest, control-plane counters (including watchdog
+// FLRs, dedup hits, and quarantine activity), scrubber results, and a
+// bit-for-bit reproducibility check (two runs of the same seed must
+// produce identical digests and event counts).
+//
+// `--short` runs a reduced-horizon but otherwise identical soak for CI.
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 
 #include "src/analysis/coherence_checker.h"
 #include "src/common/check.h"
 #include "src/core/rack.h"
+#include "src/cxl/replication.h"
 #include "src/sim/chaos.h"
 #include "src/sim/task.h"
 
@@ -90,6 +98,7 @@ Task<> Traffic(Rack& rack, HostId host, std::unique_ptr<Rack::Lease>& lease,
 struct RunResult {
   std::string digest;
   std::string mttr;
+  std::map<std::string, std::string> mttr_by_class;
   uint64_t injections = 0;
   uint64_t recoveries = 0;
   uint64_t violations = 0;
@@ -97,11 +106,16 @@ struct RunResult {
   uint64_t coherence_violations = 0;
   uint64_t coherence_events = 0;
   uint64_t lost_dirty_lines = 0;
+  uint64_t poisoned_lines_remaining = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t watchdog_misses = 0;
+  uint64_t flr_resets = 0;
+  cxl::ReplicatedRegion::Stats scrub;
   Orchestrator::Stats orch;
   TrafficStats traffic;
 };
 
-RunResult RunSoak(uint64_t seed, bool print) {
+RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
   sim::EventLoop loop;
   RackConfig rc;
   rc.pod.num_hosts = 4;
@@ -110,6 +124,10 @@ RunResult RunSoak(uint64_t seed, bool print) {
   rc.pod.dram_per_host = 16 * kMiB;
   rc.nics_per_host = 1;
   rc.orch.auto_rebalance = true;
+  // Forwarded MMIO gets one retry with the same (client_id, seq): enough to
+  // exercise the exactly-once dedup window without stretching every failed
+  // doorbell to 4x the rpc timeout during outages.
+  rc.orch.mmio_retry.max_attempts = 2;
   Rack rack(loop, rc);
 
   // The coherence race detector shadows every pool line for the whole soak:
@@ -128,6 +146,22 @@ RunResult RunSoak(uint64_t seed, bool print) {
   }
   rack.Start();
 
+  // Replicated control-plane state under scrub: λ=2 copies on distinct
+  // MHDs, published once, then swept by the background scrubber. The
+  // poison-line fault below corrupts its media; the scrubber must detect
+  // (kDataLoss on a fresh read) and repair from the healthy replica.
+  constexpr uint64_t kRegionSize = 8 * kKiB;
+  auto region_or = cxl::ReplicatedRegion::Create(rack.pod().pool(), kRegionSize, 2);
+  CXLPOOL_CHECK_OK(region_or.status());
+  cxl::ReplicatedRegion region = std::move(*region_or);
+  std::vector<std::byte> region_content(kRegionSize);
+  for (uint64_t i = 0; i < kRegionSize; ++i) {
+    region_content[i] = static_cast<std::byte>((i * 131) & 0xff);
+  }
+  cxl::HostAdapter& host0 = rack.pod().host(0);
+  sim::RunBlocking(loop, region.Publish(host0, 0, region_content));
+  Spawn(region.ScrubLoop(host0, 50 * kMicrosecond, rack.stop_token()));
+
   sim::ChaosInjector::Options copts;
   copts.seed = seed;
   copts.mean_interval = 500 * kMicrosecond;
@@ -140,19 +174,48 @@ RunResult RunSoak(uint64_t seed, bool print) {
   cxl::CxlPod& pod = rack.pod();
   // Never crash host 0: it runs the orchestrator container (§4.2).
   for (int h = 1; h < 4; ++h) {
-    chaos.AddFault("host" + std::to_string(h),
+    chaos.AddFault("host" + std::to_string(h), "host-crash",
                    [&pod, h] { pod.FailHost(HostId(h)); },
                    [&pod, h] { pod.RepairHost(HostId(h)); });
   }
-  chaos.AddFault("link-h1-m0", [&pod] { pod.FailLink(HostId(1), MhdId(0)); },
+  chaos.AddFault("link-h1-m0", "link",
+                 [&pod] { pod.FailLink(HostId(1), MhdId(0)); },
                  [&pod] { pod.RepairLink(HostId(1), MhdId(0)); });
-  chaos.AddFault("link-h2-m1", [&pod] { pod.FailLink(HostId(2), MhdId(1)); },
+  chaos.AddFault("link-h2-m1", "link",
+                 [&pod] { pod.FailLink(HostId(2), MhdId(1)); },
                  [&pod] { pod.RepairLink(HostId(2), MhdId(1)); });
-  chaos.AddFault("mhd1", [&pod] { pod.FailMhd(MhdId(1)); },
+  chaos.AddFault("mhd1", "mhd", [&pod] { pod.FailMhd(MhdId(1)); },
                  [&pod] { pod.RepairMhd(MhdId(1)); });
   DoorbellDevice* accel1 = accels[1].get();
-  chaos.AddFault("accel101", [accel1] { accel1->InjectFailure(); },
+  chaos.AddFault("accel101", "device-failstop",
+                 [accel1] { accel1->InjectFailure(); },
                  [accel1] { accel1->Repair(); });
+  // Gray failures. A wedge has NO chaos-side repair: the home agent's
+  // watchdog must notice the MMIO deadline misses and FLR the device —
+  // that reset, not the injector, is the repair path. (Wedge() on an
+  // already-reset device is a fresh episode; on a crashed host the wedge
+  // sits until the host reboots and its watchdog resumes.)
+  for (int h = 2; h < 4; ++h) {
+    DoorbellDevice* dev = accels[h].get();
+    chaos.AddFault("wedge-accel" + std::to_string(100 + h), "wedge-device",
+                   [dev] { dev->Wedge(); }, [] { /* watchdog FLRs it */ });
+  }
+  // Poisoned media: each firing poisons a few 64B lines of one replica of
+  // the scrubbed region (deterministic line choice — no RNG draws outside
+  // the planner). Repair is the scrubber's job, so the chaos-side repair
+  // is a no-op; the recovery probe below holds until the pool is clean.
+  auto poison_counter = std::make_shared<uint64_t>(0);
+  chaos.AddFault(
+      "poison-region", "poison-line",
+      [&pod, &region, poison_counter] {
+        uint64_t n = (*poison_counter)++;
+        const cxl::PoolSegment& seg = region.segment(static_cast<int>(n % 2));
+        uint64_t lines = kRegionSize / kCachelineSize;
+        for (uint64_t i = 0; i < 3; ++i) {
+          pod.PoisonLine(seg.base + kCachelineSize * ((n * 37 + i * 11) % lines));
+        }
+      },
+      [] { /* scrub repairs */ });
 
   Orchestrator& orch = rack.orchestrator();
   // Both invariants are enforced synchronously by DeclareAgentDead, so any
@@ -179,14 +242,19 @@ RunResult RunSoak(uint64_t seed, bool print) {
     return "";
   });
   // Recovered = the control plane has converged (no lease still points at
-  // an unhealthy device or one homed on a crashed host) AND the
+  // an unhealthy device or one homed on a crashed host), the pool media is
+  // clean again (the scrubber repaired every poisoned line), AND the
   // never-crashed host can acquire an accelerator. For a host crash this
-  // clears at repair or at liveness-sweep revocation, whichever is first.
+  // clears at repair or at liveness-sweep revocation, whichever is first;
+  // for poison it clears when the scrub sweep lands its repairs.
   chaos.SetRecoveryProbe([&orch, &pod]() -> bool {
     for (const auto& [id, rec] : orch.devices()) {
       if ((!rec.healthy || pod.HostCrashed(rec.home)) && !rec.lessees.empty()) {
         return false;
       }
+    }
+    if (pod.PoisonedLineCount() != 0) {
+      return false;
     }
     auto a = orch.Acquire(HostId(0), DeviceType::kAccel);
     if (!a.ok()) {
@@ -196,8 +264,7 @@ RunResult RunSoak(uint64_t seed, bool print) {
     return true;
   });
 
-  constexpr Nanos kSoak = 30 * kMillisecond;
-  chaos.ScheduleRandom(kMillisecond, kSoak);
+  chaos.ScheduleRandom(kMillisecond, soak);
   chaos.Start(rack.stop_token());
 
   TrafficStats traffic;
@@ -222,13 +289,16 @@ RunResult RunSoak(uint64_t seed, bool print) {
     Spawn(Traffic(rack, HostId(h), leases[h], traffic, rack.stop_token()));
   }
 
-  loop.RunUntil(kSoak + 5 * kMillisecond);  // soak + settle tail
+  loop.RunUntil(soak + 5 * kMillisecond);  // soak + settle tail
   rack.Shutdown();
   loop.RunFor(kMillisecond);
 
   RunResult r;
   r.digest = chaos.TraceDigest();
   r.mttr = chaos.mttr().PercentileString();
+  for (const auto& [cls, hist] : chaos.mttr_by_class()) {
+    r.mttr_by_class[cls] = hist.PercentileString();
+  }
   r.injections = chaos.injections();
   r.recoveries = chaos.recoveries();
   r.violations = chaos.violations();
@@ -236,6 +306,14 @@ RunResult RunSoak(uint64_t seed, bool print) {
   r.coherence_violations = checker.violation_count();
   r.coherence_events = checker.events_seen();
   r.lost_dirty_lines = rack.pod().TotalLostDirtyLines();
+  r.poisoned_lines_remaining = rack.pod().PoisonedLineCount();
+  r.scrub = region.stats();
+  for (int h = 0; h < 4; ++h) {
+    const Agent::Stats& as = orch.agent(HostId(h))->stats();
+    r.dedup_hits += as.dedup_hits;
+    r.watchdog_misses += as.watchdog_misses;
+    r.flr_resets += as.flr_resets;
+  }
   r.orch = orch.stats();
   r.traffic = traffic;
 
@@ -249,6 +327,9 @@ RunResult RunSoak(uint64_t seed, bool print) {
       std::printf("  VIOLATION %s\n", v.c_str());
     }
     std::printf("MTTR (ns):         %s\n", r.mttr.c_str());
+    for (const auto& [cls, pct] : r.mttr_by_class) {
+      std::printf("  MTTR[%-15s] %s\n", cls.c_str(), pct.c_str());
+    }
     std::printf("doorbell ops:      %llu ok, %llu failed, %llu re-acquires\n",
                 (unsigned long long)r.traffic.ops_ok,
                 (unsigned long long)r.traffic.ops_failed,
@@ -263,6 +344,22 @@ RunResult RunSoak(uint64_t seed, bool print) {
                 "migrations\n",
                 (unsigned long long)r.orch.leases_revoked,
                 (unsigned long long)r.orch.abandoned_migrations);
+    std::printf("quarantine:        %llu entered, %llu released, %llu "
+                "allocation skips\n",
+                (unsigned long long)r.orch.quarantines,
+                (unsigned long long)r.orch.quarantine_releases,
+                (unsigned long long)r.orch.quarantined_skips);
+    std::printf("gray failures:     %llu watchdog misses, %llu FLR resets, "
+                "%llu dedup hits\n",
+                (unsigned long long)r.watchdog_misses,
+                (unsigned long long)r.flr_resets,
+                (unsigned long long)r.dedup_hits);
+    std::printf("scrubber:          %llu lines swept, %llu repairs, %llu "
+                "unrecoverable, %llu poisoned lines left\n",
+                (unsigned long long)r.scrub.lines_scrubbed,
+                (unsigned long long)r.scrub.scrub_repairs,
+                (unsigned long long)r.scrub.scrub_unrecoverable,
+                (unsigned long long)r.poisoned_lines_remaining);
     std::printf("lost dirty lines:  %llu\n",
                 (unsigned long long)r.lost_dirty_lines);
     std::printf("coherence:         %s\n", checker.Report().c_str());
@@ -276,14 +373,24 @@ RunResult RunSoak(uint64_t seed, bool print) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== chaos soak: crash/link/MHD/device faults vs the control "
-              "plane ===\n\n");
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    }
+  }
+  // The short mode is the CI gate: same faults, same seed, same
+  // assertions, reduced horizon.
+  const Nanos soak = short_mode ? 8 * kMillisecond : 30 * kMillisecond;
+  std::printf("=== chaos soak: crash/link/MHD/fail-stop/wedge/poison faults "
+              "vs the control plane%s ===\n\n",
+              short_mode ? " (short)" : "");
   constexpr uint64_t kSeed = 0xC0FFEE;
-  RunResult first = RunSoak(kSeed, /*print=*/true);
+  RunResult first = RunSoak(kSeed, soak, /*print=*/true);
 
   std::printf("\nre-running the identical seed...\n");
-  RunResult second = RunSoak(kSeed, /*print=*/false);
+  RunResult second = RunSoak(kSeed, soak, /*print=*/false);
   CXLPOOL_CHECK(first.digest == second.digest);
   CXLPOOL_CHECK(first.executed == second.executed);
   CXLPOOL_CHECK(first.traffic.ops_ok == second.traffic.ops_ok);
@@ -297,5 +404,12 @@ int main() {
   CXLPOOL_CHECK(first.lost_dirty_lines == 0);
   std::printf("coherence check:   OK — zero violations over %llu line events\n",
               (unsigned long long)first.coherence_events);
+  // Media RAS: every poisoned line must have been repaired from a healthy
+  // replica — none left behind, none written off as unrecoverable.
+  CXLPOOL_CHECK(first.scrub.scrub_unrecoverable == 0);
+  CXLPOOL_CHECK(first.poisoned_lines_remaining == 0);
+  std::printf("scrub check:       OK — %llu repairs, zero unrecoverable, "
+              "media clean\n",
+              (unsigned long long)first.scrub.scrub_repairs);
   return 0;
 }

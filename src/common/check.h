@@ -25,6 +25,20 @@ namespace check_internal {
     }                                                                  \
   } while (0)
 
+// Like CXLPOOL_CHECK but appends a printf-formatted context message, for
+// invariants where the bare expression text is not enough to debug the
+// failure (e.g. which backend, at what offset).
+#define CXLPOOL_CHECK_MSG(expr, ...)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s: ", __FILE__,    \
+                   __LINE__, #expr);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
 #define CXLPOOL_CHECK_OK(status_expr)                                   \
   do {                                                                  \
     const ::cxlpool::Status _s = (status_expr);                         \

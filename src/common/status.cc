@@ -31,6 +31,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ABORTED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -84,6 +86,9 @@ Status Aborted(std::string msg) {
 }
 Status DeadlineExceeded(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
 }
 
 namespace status_internal {

@@ -29,6 +29,10 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kAborted,
   kDeadlineExceeded,
+  // Stored bytes are gone: poisoned media line, unrecoverable ECC. Unlike
+  // kUnavailable the data will NOT come back by retrying the same replica —
+  // recovery requires another copy (scrub/repair path).
+  kDataLoss,
 };
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).
@@ -75,6 +79,7 @@ Status Internal(std::string msg);
 Status Unimplemented(std::string msg);
 Status Aborted(std::string msg);
 Status DeadlineExceeded(std::string msg);
+Status DataLoss(std::string msg);
 
 // A value-or-error. `value()` aborts if called on an error result, so call
 // sites either check `ok()` first or use ASSIGN_OR_RETURN.

@@ -1,5 +1,6 @@
 #include "src/core/agent.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/common/check.h"
@@ -20,6 +21,7 @@ std::vector<std::byte> Encode(HostId reporter, std::span<const DeviceStatus> sta
     w.U8(static_cast<uint8_t>(s.type));
     w.U8(s.healthy ? 1 : 0);
     w.U64(std::bit_cast<uint64_t>(s.utilization));
+    w.U32(s.fault_episodes);
   }
   return out;
 }
@@ -32,7 +34,7 @@ Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
   msg::wire::Reader r(payload);
   HostId reporter(r.U32());
   uint32_t count = r.U32();
-  if (r.remaining() < count * 14u) {
+  if (r.remaining() < count * 18u) {
     return InvalidArgument("truncated report frame");
   }
   std::vector<DeviceStatus> statuses;
@@ -43,6 +45,7 @@ Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
     s.type = static_cast<DeviceType>(r.U8());
     s.healthy = r.U8() != 0;
     s.utilization = std::bit_cast<double>(r.U64());
+    s.fault_episodes = r.U32();
     statuses.push_back(s);
   }
   return std::make_pair(reporter, std::move(statuses));
@@ -120,6 +123,11 @@ uint64_t Agent::device_epoch(PcieDeviceId id) const {
   return it == devices_.end() ? 0 : it->second.epoch;
 }
 
+uint32_t Agent::device_fault_episodes(PcieDeviceId id) const {
+  auto it = devices_.find(id);
+  return it == devices_.end() ? 0 : it->second.fault_episodes;
+}
+
 sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
     uint16_t method, std::span<const std::byte> payload) {
   bool is_write = method == kMethodMmioWrite;
@@ -140,10 +148,30 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
   }
   pcie::PcieDevice* device = it->second.device;
   if (is_write) {
+    // Exactly-once: a timed-out attempt is usually already in our request
+    // ring and has been (or will be) applied; the client retries with the
+    // same (client_id, seq). Acknowledge duplicates without touching the
+    // device — re-ringing a doorbell advances device state twice.
+    // The epoch check above still wins: a fenced-off path gets kAborted,
+    // never a dedup ack.
+    if (decoded->client_id != 0) {
+      auto [seq_it, inserted] =
+          it->second.applied_write_seq.try_emplace(decoded->client_id, 0);
+      if (!inserted && decoded->seq <= seq_it->second) {
+        ++stats_.dedup_hits;
+        co_return std::vector<std::byte>{};
+      }
+    }
     ++stats_.forwarded_writes;
     Status st = co_await device->MmioWrite(decoded->reg, decoded->value);
     if (!st.ok()) {
       co_return st;
+    }
+    // Record only after a successful apply: a write the device rejected had
+    // no side effect, so its retry must be allowed to run for real.
+    if (decoded->client_id != 0) {
+      uint64_t& mark = it->second.applied_write_seq[decoded->client_id];
+      mark = std::max(mark, decoded->seq);
     }
     co_return std::vector<std::byte>{};
   }
@@ -216,15 +244,44 @@ sim::Task<std::vector<DeviceStatus>> Agent::ProbeDevices() {
     s.device = id;
     s.type = entry.type;
     s.healthy = !entry.device->failed();
-    if (s.healthy && entry.type == DeviceType::kNic) {
-      // Link status is read over real MMIO, like a production agent would.
-      auto link = co_await entry.device->MmioRead(devices::kNicRegLinkStatus);
-      s.healthy = link.ok() && *link == 1;
+    if (s.healthy) {
+      // Watchdog probe over real MMIO, like a production agent would. For
+      // NICs the link-status read does double duty as the wedge probe; a
+      // fail-stopped device is skipped (immediate kUnavailable already
+      // drives the fail-stop path). A wedged device answers nothing: the
+      // probe stalls for the completion timeout and comes back
+      // kDeadlineExceeded — the gray signature the watchdog keys on.
+      uint64_t probe_reg =
+          entry.type == DeviceType::kNic ? devices::kNicRegLinkStatus : 0;
+      auto probe = co_await entry.device->MmioRead(probe_reg);
+      if (!probe.ok() &&
+          probe.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.watchdog_misses;
+        ++entry.mmio_misses;
+        s.healthy = false;
+        if (entry.mmio_misses >= config_.wedge_miss_threshold) {
+          // FLR: drains engines via the generation bump, re-initializes
+          // BAR state, clears the wedge. The episode is reported to the
+          // orchestrator through fault_episodes below.
+          entry.device->Reset();
+          ++stats_.flr_resets;
+          ++entry.fault_episodes;
+          entry.mmio_misses = 0;
+        }
+      } else {
+        entry.mmio_misses = 0;
+        if (entry.type == DeviceType::kNic) {
+          s.healthy = probe.ok() && *probe == 1;
+        } else if (!probe.ok()) {
+          s.healthy = false;
+        }
+      }
     }
     if (s.healthy && entry.health_probe) {
       s.healthy = entry.health_probe();
     }
     s.utilization = entry.util_probe ? entry.util_probe() : 0.0;
+    s.fault_episodes = entry.fault_episodes;
     statuses.push_back(s);
   }
   co_return statuses;

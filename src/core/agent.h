@@ -38,6 +38,10 @@ struct DeviceStatus {
   DeviceType type = DeviceType::kNic;
   bool healthy = true;
   double utilization = 0.0;
+  // Cumulative gray-fault episodes the home agent detected on this device
+  // (watchdog-triggered FLRs). The orchestrator folds these into its flap
+  // accounting for quarantine decisions.
+  uint32_t fault_episodes = 0;
 };
 
 namespace report_wire {
@@ -74,6 +78,11 @@ class Agent {
   struct Config {
     Nanos monitor_interval = 20 * kMicrosecond;
     Nanos rpc_timeout = 500 * kMicrosecond;
+    // Watchdog: consecutive MMIO probe deadline misses before the agent
+    // declares the device wedged and issues an FLR-style Reset(). Probes
+    // ride the monitor cadence, so detection latency is roughly
+    // wedge_miss_threshold * (monitor_interval + wedge stall).
+    int wedge_miss_threshold = 2;
   };
 
   Agent(cxl::HostAdapter& host, Config config) : host_(host), config_(config) {}
@@ -118,11 +127,20 @@ class Agent {
     uint64_t migrations_executed = 0;
     uint64_t stale_epoch_rejects = 0;  // forwarded ops refused with kAborted
     uint64_t epoch_updates = 0;
+    // Exactly-once forwarding: duplicate writes (timeout-triggered retries
+    // of an already-applied op) acknowledged without re-applying.
+    uint64_t dedup_hits = 0;
+    // Watchdog: individual probe deadline misses, and FLR resets issued
+    // once misses crossed wedge_miss_threshold.
+    uint64_t watchdog_misses = 0;
+    uint64_t flr_resets = 0;
   };
   const Stats& stats() const { return stats_; }
 
   // The lease epoch this agent enforces for a local device (tests).
   uint64_t device_epoch(PcieDeviceId id) const;
+  // Gray-fault episodes the watchdog logged against a local device (tests).
+  uint32_t device_fault_episodes(PcieDeviceId id) const;
 
  private:
   struct LocalDevice {
@@ -132,6 +150,13 @@ class Agent {
     HealthProbe health_probe;
     // Forwarded ops must carry this epoch; stale paths get kAborted.
     uint64_t epoch = 0;
+    // Exactly-once dedup window: highest applied write seq per client.
+    // A client's calls are serialized, so one high-water mark per client
+    // is a complete window (a duplicate is always <= the mark).
+    std::map<uint64_t, uint64_t> applied_write_seq;
+    // Watchdog state.
+    int mmio_misses = 0;            // consecutive probe deadline misses
+    uint32_t fault_episodes = 0;    // wedges detected + repaired via FLR
   };
 
   sim::Task<Result<std::vector<std::byte>>> HandleForwarding(

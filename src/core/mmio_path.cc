@@ -7,28 +7,34 @@ namespace cxlpool::core {
 namespace mmio_wire {
 
 std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t epoch,
+                                   uint64_t client_id, uint64_t seq,
                                    uint64_t reg, uint64_t value) {
   std::vector<std::byte> out;
   msg::wire::Writer w(&out);
   w.U32(device.value());
   w.U64(epoch);
+  w.U64(client_id);
+  w.U64(seq);
   w.U64(reg);
   w.U64(value);
   return out;
 }
 
 std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t epoch,
+                                  uint64_t client_id, uint64_t seq,
                                   uint64_t reg) {
   std::vector<std::byte> out;
   msg::wire::Writer w(&out);
   w.U32(device.value());
   w.U64(epoch);
+  w.U64(client_id);
+  w.U64(seq);
   w.U64(reg);
   return out;
 }
 
 Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
-  size_t expect = is_write ? 28 : 20;
+  size_t expect = is_write ? 44 : 36;
   if (payload.size() < expect) {
     return InvalidArgument("short MMIO frame");
   }
@@ -36,6 +42,8 @@ Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
   Decoded d;
   d.device = PcieDeviceId(r.U32());
   d.epoch = r.U64();
+  d.client_id = r.U64();
+  d.seq = r.U64();
   d.reg = r.U64();
   if (is_write) {
     d.value = r.U64();
@@ -46,9 +54,14 @@ Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
 }  // namespace mmio_wire
 
 sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value) {
-  auto resp = co_await client_->Call(
-      kMethodMmioWrite, mmio_wire::EncodeWrite(device_, epoch_, reg, value),
-      loop_.now() + timeout_);
+  // The seq is fixed BEFORE the first attempt: every retry re-sends the
+  // same frame, so the home agent can recognize a duplicate of an already-
+  // applied write and acknowledge without ringing the doorbell again.
+  uint64_t seq = ++next_seq_;
+  auto request =
+      mmio_wire::EncodeWrite(device_, epoch_, client_id_, seq, reg, value);
+  auto resp = co_await retry_.Call(*client_, kMethodMmioWrite, request,
+                                   timeout_, loop_);
   if (!resp.ok()) {
     co_return resp.status();
   }
@@ -56,9 +69,12 @@ sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value) {
 }
 
 sim::Task<Result<uint64_t>> ForwardedMmioPath::Read(uint64_t reg) {
-  auto resp = co_await client_->Call(kMethodMmioRead,
-                                     mmio_wire::EncodeRead(device_, epoch_, reg),
-                                     loop_.now() + timeout_);
+  // Reads are idempotent; they carry a seq for wire uniformity but the
+  // agent never dedups them (a retried read should observe fresh state).
+  uint64_t seq = ++next_seq_;
+  auto request = mmio_wire::EncodeRead(device_, epoch_, client_id_, seq, reg);
+  auto resp =
+      co_await retry_.Call(*client_, kMethodMmioRead, request, timeout_, loop_);
   if (!resp.ok()) {
     co_return resp.status();
   }

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/common/status.h"
+#include "src/msg/retry.h"
 #include "src/msg/rpc.h"
 #include "src/pcie/device.h"
 #include "src/sim/task.h"
@@ -56,23 +57,40 @@ class LocalMmioPath : public MmioPath {
 // The orchestrator bumps a device's epoch whenever it migrates leases off
 // it, so a stale path kept across a migration gets kAborted from the home
 // agent instead of touching a device it no longer leases.
+//
+// Exactly-once: every frame also carries (client_id, seq). A timed-out
+// attempt may already sit in the home agent's request ring — the agent
+// WILL apply it — so the path retries through msg::RetryPolicy with the
+// SAME seq, and the agent's per-(client, device) dedup window acknowledges
+// the duplicate without re-applying the side effect (a doorbell rung twice
+// is a protocol corruption, not a harmless hiccup). client_id 0 disables
+// dedup (legacy frames); real paths get a nonzero unique id from the
+// orchestrator.
 class ForwardedMmioPath : public MmioPath {
  public:
   // `client` must outlive the path. `device` identifies the target at the
   // remote agent. `epoch` is the lease epoch this path is valid for.
-  // `timeout` bounds each forwarded operation.
+  // `timeout` bounds the first attempt of each forwarded operation;
+  // `retry` governs further attempts (escalate timeout_multiplier > 1 to
+  // outwait slow-but-alive peers).
   ForwardedMmioPath(std::shared_ptr<msg::RpcClient> client, PcieDeviceId device,
-                    uint64_t epoch, Nanos timeout, sim::EventLoop& loop)
+                    uint64_t epoch, Nanos timeout, sim::EventLoop& loop,
+                    uint64_t client_id = 0,
+                    msg::RetryPolicy::Options retry = {})
       : client_(std::move(client)),
         device_(device),
         epoch_(epoch),
         timeout_(timeout),
-        loop_(loop) {}
+        loop_(loop),
+        client_id_(client_id),
+        retry_(retry) {}
 
   sim::Task<Status> Write(uint64_t reg, uint64_t value) override;
   sim::Task<Result<uint64_t>> Read(uint64_t reg) override;
   bool is_remote() const override { return true; }
   uint64_t epoch() const { return epoch_; }
+  uint64_t client_id() const { return client_id_; }
+  const msg::RetryPolicy::Stats& retry_stats() const { return retry_.stats(); }
 
  private:
   std::shared_ptr<msg::RpcClient> client_;
@@ -80,18 +98,25 @@ class ForwardedMmioPath : public MmioPath {
   uint64_t epoch_;
   Nanos timeout_;
   sim::EventLoop& loop_;
+  uint64_t client_id_;
+  uint64_t next_seq_ = 0;  // assigned once per op; identical across retries
+  msg::RetryPolicy retry_;
 };
 
 // Encodes/serves the forwarded-MMIO wire format; used by ForwardedMmioPath
 // and by the agent-side handler.
 namespace mmio_wire {
 std::vector<std::byte> EncodeWrite(PcieDeviceId device, uint64_t epoch,
+                                   uint64_t client_id, uint64_t seq,
                                    uint64_t reg, uint64_t value);
 std::vector<std::byte> EncodeRead(PcieDeviceId device, uint64_t epoch,
+                                  uint64_t client_id, uint64_t seq,
                                   uint64_t reg);
 struct Decoded {
   PcieDeviceId device;
   uint64_t epoch = 0;
+  uint64_t client_id = 0;  // 0 = no dedup
+  uint64_t seq = 0;        // per-client monotonic op number
   uint64_t reg = 0;
   uint64_t value = 0;  // writes only
 };

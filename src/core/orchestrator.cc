@@ -105,17 +105,98 @@ sim::Task<Result<std::vector<std::byte>>> Orchestrator::HandleReport(
     DeviceRecord& rec = it->second;
     rec.utilization = s.utilization;
     rec.last_report = now;
+    // Fold the agent's gray-fault episode counter into flap accounting.
+    // The counter is monotonic; only the delta since the last report is
+    // new information.
+    uint32_t episode_delta = s.fault_episodes > rec.reported_fault_episodes
+                                 ? s.fault_episodes - rec.reported_fault_episodes
+                                 : 0;
+    if (s.fault_episodes > rec.reported_fault_episodes) {
+      rec.reported_fault_episodes = s.fault_episodes;
+    }
+    bool recovered = !rec.healthy && s.healthy;
     if (rec.healthy && !s.healthy) {
       rec.healthy = false;
       CXLPOOL_LOG(Info) << "device " << s.device << " reported unhealthy; "
                         << rec.lessees.size() << " lease(s) to migrate";
       // Fail over asynchronously; the report reply must not wait on it.
       sim::Spawn(MigrateLeases(s.device, /*failover=*/true));
-    } else if (!rec.healthy && s.healthy) {
+    } else if (recovered) {
       rec.healthy = true;  // repaired; eligible for new leases
+    }
+    // One wedge episode surfaces twice: the FLR bumps fault_episodes AND
+    // the device dips unhealthy then recovers. gray_recovery_pending makes
+    // sure such an episode counts as ONE flap, while a pure fail-stop
+    // repair cycle (no FLR involved) still counts through its recovery.
+    uint32_t flaps = episode_delta;
+    if (episode_delta > 0) {
+      rec.gray_recovery_pending = true;
+    }
+    if (recovered) {
+      if (rec.gray_recovery_pending) {
+        rec.gray_recovery_pending = false;
+      } else {
+        ++flaps;
+      }
+    }
+    if (flaps > 0) {
+      AccumulateFlaps(s.device, rec, flaps);
     }
   }
   co_return std::vector<std::byte>{};
+}
+
+void Orchestrator::AccumulateFlaps(PcieDeviceId id, DeviceRecord& rec,
+                                   uint32_t count) {
+  if (config_.quarantine_flap_threshold == 0) {
+    return;
+  }
+  rec.flap_count += count;
+  if (rec.quarantined || rec.flap_count < config_.quarantine_flap_threshold) {
+    return;
+  }
+  // Threshold crossed: the device flaps faster than its leases can
+  // usefully live on it. Pull it from the allocatable pool for a
+  // probation that doubles with every re-offense.
+  rec.quarantined = true;
+  rec.flap_count = 0;
+  uint32_t shift = std::min<uint32_t>(rec.quarantine_level, 16);
+  rec.probation_until =
+      pod_.loop().now() + config_.quarantine_probation * (Nanos{1} << shift);
+  ++rec.quarantine_level;
+  ++stats_.quarantines;
+  CXLPOOL_LOG(Warning) << "device " << id << " quarantined (level "
+                       << rec.quarantine_level << ", probation until "
+                       << rec.probation_until << "ns)";
+  // Drain current lessees: a flapping device is worse than a loaded one.
+  sim::Spawn(MigrateLeases(id, /*failover=*/true));
+}
+
+bool Orchestrator::CheckQuarantine(DeviceRecord& rec) {
+  if (!rec.quarantined) {
+    return false;
+  }
+  if (pod_.loop().now() < rec.probation_until) {
+    return true;
+  }
+  // Probation served: offer the device again with a clean flap slate. The
+  // level sticks, so a repeat offender earns a doubled sentence.
+  rec.quarantined = false;
+  rec.flap_count = 0;
+  ++stats_.quarantine_releases;
+  return false;
+}
+
+void Orchestrator::NoteFlaps(PcieDeviceId device, uint32_t count) {
+  auto it = devices_.find(device);
+  if (it != devices_.end() && count > 0) {
+    AccumulateFlaps(device, it->second, count);
+  }
+}
+
+bool Orchestrator::InQuarantine(PcieDeviceId device) {
+  auto it = devices_.find(device);
+  return it != devices_.end() && CheckQuarantine(it->second);
 }
 
 Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
@@ -123,6 +204,10 @@ Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
   DeviceRecord* best = nullptr;
   for (auto& [id, rec] : devices_) {
     if (id == exclude || !rec.healthy || rec.type != type) {
+      continue;
+    }
+    if (CheckQuarantine(rec)) {
+      ++stats_.quarantined_skips;
       continue;
     }
     if (best == nullptr || rec.utilization < best->utilization ||
@@ -151,6 +236,10 @@ Result<Orchestrator::Assignment> Orchestrator::Acquire(HostId user, DeviceType t
   PcieDeviceId local_id;
   for (auto& [id, rec] : devices_) {
     if (rec.type != type || !rec.healthy || rec.home != user) {
+      continue;
+    }
+    if (CheckQuarantine(rec)) {
+      ++stats_.quarantined_skips;
       continue;
     }
     if (rec.utilization < config_.local_threshold &&
@@ -208,8 +297,12 @@ Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
                                                       pod_.host(rec.home)));
   home_agent->ServeForwarding(channel->end_b(), *stop_);
   auto client = std::make_shared<msg::RpcClient>(channel->end_a());
+  // Each path gets a unique nonzero client_id: the home agent's dedup
+  // window is keyed on it, so a timed-out-then-retried posted write is
+  // acknowledged exactly once even across path rebuilds.
   auto path = std::make_unique<ForwardedMmioPath>(
-      client, device, rec.epoch, config_.rpc_timeout, pod_.loop());
+      client, device, rec.epoch, config_.rpc_timeout, pod_.loop(),
+      ++next_path_client_id_, config_.mmio_retry);
   forwarding_channels_.push_back(std::move(channel));
   forwarding_clients_.push_back(std::move(client));
   return std::unique_ptr<MmioPath>(std::move(path));

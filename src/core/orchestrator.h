@@ -36,6 +36,18 @@ class Orchestrator {
     Nanos liveness_interval = 100 * kMicrosecond;
     // Retry policy for control-plane RPCs (migrate, epoch pushes).
     msg::RetryPolicy::Options retry;
+    // Retry policy handed to forwarded MMIO paths. Retries re-send the
+    // SAME (client_id, seq) frame, so the home agent's dedup window turns
+    // a timeout-triggered duplicate into an acknowledged no-op instead of
+    // a double-applied doorbell.
+    msg::RetryPolicy::Options mmio_retry;
+    // Gray-failure quarantine: a device accumulating this many flaps
+    // (watchdog FLR episodes + fail-stop repair cycles) is pulled from the
+    // allocatable pool for an exponentially growing probation period.
+    // 0 disables quarantine.
+    uint32_t quarantine_flap_threshold = 3;
+    // Base probation; doubles with every quarantine entry for the device.
+    Nanos quarantine_probation = 2 * kMillisecond;
     Agent::Config agent;
   };
 
@@ -56,6 +68,18 @@ class Orchestrator {
     // Bumped whenever leases migrate off this device; forwarded MMIO paths
     // built under an older epoch are rejected by the home agent.
     uint64_t epoch = 0;
+    // --- Gray-failure quarantine state ---
+    // High-water mark of the home agent's reported fault_episodes counter.
+    uint32_t reported_fault_episodes = 0;
+    // Flaps accumulated toward the quarantine threshold.
+    uint32_t flap_count = 0;
+    // Set when a gray episode (agent FLR) was folded in; suppresses
+    // counting the subsequent healthy transition as a second flap.
+    bool gray_recovery_pending = false;
+    bool quarantined = false;
+    Nanos probation_until = 0;
+    // Quarantine entries so far; probation doubles with each one.
+    uint32_t quarantine_level = 0;
   };
 
   // `home` is the host running the orchestrator container.
@@ -90,6 +114,14 @@ class Orchestrator {
   // again after it re-registers by reporting.
   bool agent_alive(HostId host) const;
 
+  // Feeds `count` flaps into a device's quarantine accounting, exactly as
+  // if its home agent had reported that many new fault episodes. Test and
+  // chaos-harness hook; production flaps arrive through HandleReport.
+  void NoteFlaps(PcieDeviceId device, uint32_t count);
+  // True while the device is serving a quarantine probation (expires it
+  // lazily if the probation is over).
+  bool InQuarantine(PcieDeviceId device);
+
   struct Stats {
     uint64_t acquires = 0;
     uint64_t local_hits = 0;  // acquisitions satisfied by a local device
@@ -100,6 +132,11 @@ class Orchestrator {
     uint64_t host_reregistrations = 0;   // dead agent reported again
     uint64_t leases_revoked = 0;         // leases torn down (holder dead)
     uint64_t abandoned_migrations = 0;   // migrate RPC failed after retries
+    // --- Degraded-mode (quarantine) counters ---
+    uint64_t quarantines = 0;            // devices placed under probation
+    uint64_t quarantine_releases = 0;    // probations served, device offered
+    uint64_t quarantined_skips = 0;      // allocation scans that passed over
+                                         // a quarantined device
   };
   const Stats& stats() const { return stats_; }
   const msg::RetryPolicy::Stats& retry_stats() const {
@@ -122,6 +159,11 @@ class Orchestrator {
 
   sim::Task<Result<std::vector<std::byte>>> HandleReport(
       uint16_t method, std::span<const std::byte> payload);
+  // Adds flaps to `rec`; enters quarantine at the threshold (drains the
+  // device's leases, probation doubles per entry).
+  void AccumulateFlaps(PcieDeviceId id, DeviceRecord& rec, uint32_t count);
+  // Lazy-expiring quarantine check used by every allocation scan.
+  bool CheckQuarantine(DeviceRecord& rec);
   // Picks the best healthy device of `type` excluding `exclude`; least
   // utilized wins. Returns nullptr if none.
   DeviceRecord* PickDevice(DeviceType type, PcieDeviceId exclude);
@@ -148,6 +190,9 @@ class Orchestrator {
   std::vector<std::shared_ptr<msg::RpcClient>> forwarding_clients_;
   sim::StopToken* stop_ = nullptr;
   msg::RetryPolicy retry_policy_;
+  // Unique nonzero client_id per forwarded path, so the home agents'
+  // dedup windows never alias two paths.
+  uint64_t next_path_client_id_ = 0;
   Stats stats_;
 };
 

@@ -164,6 +164,10 @@ sim::Task<Status> HostAdapter::Load(uint64_t addr, std::span<std::byte> out) {
 
   if (region->kind == mem::MemoryKind::kLocalDram) {
     // Coherent local memory: no staleness modeling, latency + channel bw.
+    if (Status p = map_.CheckPoison(addr, out.size()); !p.ok()) {
+      ++stats_.poisoned_reads;
+      co_return p;
+    }
     map_.ReadBytes(addr, out);
     Nanos done = dram_bw_.Acquire(now + t.dram_load, out.size());
     co_await sim::WaitUntil(loop_, done);
@@ -197,6 +201,13 @@ sim::Task<Status> HostAdapter::Load(uint64_t addr, std::span<std::byte> out) {
     auto link_or = RouteCxl(laddr);
     if (!link_or.ok()) {
       co_return link_or.status();
+    }
+    // Uncorrectable media error: the MHD returns poison, not bytes. Cached
+    // copies (hits above) legitimately still serve — the CPU has its own
+    // good copy of the line.
+    if (Status p = map_.CheckPoison(laddr, kCachelineSize); !p.ok()) {
+      ++stats_.poisoned_reads;
+      co_return p;
     }
     ++misses;
     miss_bytes[link_or.value()] += kCachelineSize;
@@ -277,6 +288,13 @@ sim::Task<Status> HostAdapter::Store(uint64_t addr, std::span<const std::byte> i
     auto link_or = RouteCxl(laddr);
     if (!link_or.ok()) {
       co_return link_or.status();
+    }
+    // The read-for-ownership fetch pulls the line from media, so a
+    // poisoned line fails the cached store too (a full-line StoreNt is the
+    // way to overwrite — and thereby heal — poison).
+    if (Status p = map_.CheckPoison(laddr, kCachelineSize); !p.ok()) {
+      ++stats_.poisoned_reads;
+      co_return p;
     }
     ++misses;
     miss_bytes[link_or.value()] += kCachelineSize;
@@ -462,6 +480,10 @@ sim::Task<Status> HostAdapter::DmaRead(uint64_t addr, std::span<std::byte> out) 
   Nanos now = loop_.now();
 
   if (region->kind == mem::MemoryKind::kLocalDram) {
+    if (Status p = map_.CheckPoison(addr, out.size()); !p.ok()) {
+      ++stats_.poisoned_reads;
+      co_return p;
+    }
     map_.ReadBytes(addr, out);
     Nanos done = dram_bw_.Acquire(now + t.dram_load, out.size());
     co_await sim::WaitUntil(loop_, done);
@@ -492,6 +514,11 @@ sim::Task<Status> HostAdapter::DmaRead(uint64_t addr, std::span<std::byte> out) 
       EmitCoherence(CoherenceOp::kDmaReadHit, laddr);
       std::memcpy(out.data() + (lo - addr), line->data.data() + (lo - laddr), hi - lo);
     } else {
+      // Poison travels to the device as a DMA completion error.
+      if (Status p = map_.CheckPoison(laddr, kCachelineSize); !p.ok()) {
+        ++stats_.poisoned_reads;
+        co_return p;
+      }
       EmitCoherence(CoherenceOp::kDmaReadMiss, laddr);
       std::array<std::byte, kCachelineSize> buf;
       map_.ReadBytes(laddr, buf);

@@ -60,6 +60,9 @@ class HostAdapter {
     // writeback target was unreachable. Nonzero values indicate a protocol
     // bug in the code under test.
     uint64_t lost_dirty_lines = 0;
+    // Loads / DMA reads that hit a poisoned media line and returned
+    // kDataLoss instead of bytes (media RAS, paper §5 gray failures).
+    uint64_t poisoned_reads = 0;
   };
 
   HostAdapter(HostId id, sim::EventLoop& loop, mem::AddressMap& map, CxlPool& pool,

@@ -96,6 +96,16 @@ void CxlPod::RepairHost(HostId h) {
   adapter.SetCrashed(false);
 }
 
+void CxlPod::PoisonLine(uint64_t addr) {
+  CXLPOOL_CHECK_OK(map_.PoisonLine(addr));
+}
+
+void CxlPod::ClearPoison(uint64_t addr) {
+  CXLPOOL_CHECK_OK(map_.ClearPoison(addr));
+}
+
+size_t CxlPod::PoisonedLineCount() const { return pool_->PoisonedLineCount(); }
+
 void CxlPod::SetCoherenceObserver(CoherenceObserver* obs) {
   for (auto& host : hosts_) {
     host->set_coherence_observer(obs);

@@ -63,6 +63,18 @@ class CxlPod {
   void RepairHost(HostId h);
   bool HostCrashed(HostId h) const { return hosts_.at(h.value())->crashed(); }
 
+  // Media RAS injection (§5 gray failures): marks the 64B line backing pool
+  // address `addr` poisoned — subsequent loads / DMA reads of the line
+  // return kDataLoss until a full-line write (e.g. scrubber repair) clears
+  // it. CHECK-fails on unmapped addresses (injector bug, not a sim event).
+  void PoisonLine(uint64_t addr);
+  void ClearPoison(uint64_t addr);
+  bool LinePoisoned(uint64_t addr) const {
+    return map_.RangePoisoned(addr, 1);
+  }
+  // Poisoned lines across all MHD media, for end-of-storm assertions.
+  size_t PoisonedLineCount() const;
+
   // Number of healthy, distinct paths from host `h` into pool capacity
   // (healthy links to healthy MHDs) — the λ redundancy of §5.
   int HealthyPaths(HostId h) const;

@@ -190,6 +190,17 @@ uint64_t CxlPool::total_used() const {
   return total;
 }
 
+size_t CxlPool::PoisonedLineCount() const {
+  size_t total = 0;
+  for (const auto& mhd : mhds_) {
+    total += mhd->media().poisoned_line_count();
+  }
+  for (const auto& backend : striped_backends_) {
+    total += backend->poisoned_line_count();
+  }
+  return total;
+}
+
 }  // namespace cxlpool::cxl
 
 namespace cxlpool::cxl {

@@ -67,6 +67,11 @@ class CxlPool {
   uint64_t total_capacity() const;
   uint64_t total_used() const;
 
+  // Poisoned 64B lines across all pool media (MHD media plus the dedicated
+  // backends of interleaved segments). End-of-storm assertions use this to
+  // prove the scrubber drained every injected poison.
+  size_t PoisonedLineCount() const;
+
   // --- CXL 3.0 Back-Invalidate emulation (paper §3) ---
   // When enabled on a pod, the pool keeps a snoop filter of which hosts
   // cache each line; a pool write (nt-store or device DMA) back-invalidates

@@ -6,6 +6,12 @@
 // a ReplicatedRegion writes every replica (posted nt-stores, so the extra
 // copies ride in parallel) and reads from the first healthy replica.
 //
+// Media RAS closes the loop: every full-line Publish records a per-64B-line
+// checksum, and a background scrubber (ScrubLoop) sweeps the replicas,
+// detecting poisoned or divergent lines and repairing them from a healthy
+// copy. Scrub repairs are full-line nt-stores, which also clear the poison
+// on the repaired media line (fresh ECC).
+//
 // Intended for control-plane state that must survive MHD failures — e.g.
 // orchestrator metadata or channel bootstrap blocks — not for bulk I/O
 // buffers (a lost RX buffer is retransmitted; lost orchestrator state is
@@ -18,6 +24,7 @@
 #include "src/common/status.h"
 #include "src/cxl/host_adapter.h"
 #include "src/cxl/pool.h"
+#include "src/sim/poll.h"
 
 namespace cxlpool::cxl {
 
@@ -41,10 +48,32 @@ class ReplicatedRegion {
   sim::Task<Status> ReadFresh(HostAdapter& host, uint64_t offset,
                               std::span<std::byte> out);
 
+  // --- Background scrubber ---
+  // One full sweep: reads every 64B line from every replica, detects
+  // poison (kDataLoss) and divergence (checksum / cross-replica mismatch),
+  // and repairs bad replicas from a healthy copy via full-line nt-stores.
+  // A line with no healthy copy at all counts as scrub_unrecoverable and
+  // is retried on the next sweep (the outage may be transient).
+  sim::Task<Status> ScrubOnce(HostAdapter& host);
+
+  // Periodic sweep driver. Spawn with sim::Spawn; stops when `stop` fires.
+  // The region must NOT be moved while the loop is running (the coroutine
+  // holds `this`).
+  sim::Task<> ScrubLoop(HostAdapter& host, Nanos interval,
+                        sim::StopToken& stop);
+
   struct Stats {
     uint64_t publishes = 0;
     uint64_t degraded_writes = 0;  // >=1 replica was unreachable
     uint64_t failover_reads = 0;   // primary unreachable, replica served
+    // Scrubber: lines swept (once per line per sweep), bad replica copies
+    // repaired from a healthy one, and lines whose data was genuinely
+    // unrecoverable (poison seen but no healthy copy matched). Transient
+    // unavailability (link/MHD down, no poison) is not unrecoverable —
+    // the next sweep retries.
+    uint64_t lines_scrubbed = 0;
+    uint64_t scrub_repairs = 0;
+    uint64_t scrub_unrecoverable = 0;
   };
 
   uint64_t size() const { return size_; }
@@ -55,8 +84,18 @@ class ReplicatedRegion {
  private:
   ReplicatedRegion() = default;
 
+  // Number of 64B lines the scrubber sweeps (covers all of size_; the
+  // allocator's 4 KiB rounding guarantees full-line access stays in
+  // bounds even when size_ is not line-aligned).
+  uint64_t LineCount() const;
+
   uint64_t size_ = 0;
   std::vector<PoolSegment> segments_;
+  // Per-line FNV-1a checksum of the last fully-covering Publish; the
+  // parallel `known` flag is false for lines never published whole (a
+  // partial publish invalidates the line's checksum).
+  std::vector<uint64_t> line_checksums_;
+  std::vector<uint8_t> checksum_known_;
   Stats stats_;
 };
 

@@ -128,6 +128,27 @@ void Nic::OnFailure() {
   rx_kick_.Set();
 }
 
+void Nic::OnReset() {
+  // Attribute the episode: each Wedge() since the last reset was one
+  // device-wedge episode (vs link_down_episodes for wire faults).
+  nic_stats_.wedge_episodes += gray_stats().wedges - wedges_seen_;
+  wedges_seen_ = gray_stats().wedges;
+  // Wake the old engines so they observe the generation bump and exit.
+  tx_kick_.Set();
+  rx_kick_.Set();
+  // BAR state comes up clean, as after a real FLR; the driver must
+  // reprogram the rings before the NIC moves traffic again.
+  tx_ring_base_ = tx_ring_size_ = tx_cpl_addr_ = 0;
+  tx_tail_ = tx_head_ = tx_done_ = 0;
+  rx_ring_base_ = rx_ring_size_ = rx_cpl_base_ = 0;
+  rx_tail_ = rx_head_ = rx_completions_ = 0;
+  rx_pending_.clear();
+  if (attached()) {
+    sim::Spawn(TxEngine(generation()));
+    sim::Spawn(RxEngine(generation()));
+  }
+}
+
 bool Nic::EngineShouldExit(uint64_t my_generation) const {
   return generation() != my_generation;
 }

@@ -72,7 +72,12 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
 
   // Wire (port) failure injection — the failure mode §4.2 migrates away
   // from. The device stays PCIe-alive; the link status register flips.
-  void InjectLinkFailure() { link_up_ = false; }
+  void InjectLinkFailure() {
+    if (link_up_) {
+      ++nic_stats_.link_down_episodes;
+    }
+    link_up_ = false;
+  }
   void RepairLink() { link_up_ = true; }
   bool link_up() const { return link_up_; }
 
@@ -83,6 +88,11 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
     uint64_t rx_bytes = 0;
     uint64_t rx_dropped_no_buffer = 0;
     uint64_t dropped_link_down = 0;
+    // Fault attribution for failover benches: wire-down (InjectLinkFailure
+    // transitions) vs device-wedge (watchdog FLRs of this NIC) are distinct
+    // fault classes with distinct recovery paths.
+    uint64_t link_down_episodes = 0;
+    uint64_t wedge_episodes = 0;
   };
   const NicStats& nic_stats() const { return nic_stats_; }
 
@@ -95,6 +105,7 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
   void OnAttach() override;
   void OnDetach() override;
   void OnFailure() override;
+  void OnReset() override;
 
  private:
   sim::Task<> TxEngine(uint64_t my_generation);
@@ -130,6 +141,7 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
   std::unique_ptr<sim::Semaphore> rx_pipe_;
   uint64_t tx_done_ = 0;         // completed TX frames (may finish out of order)
   uint64_t rx_completions_ = 0;  // claimed RX completion sequence numbers
+  uint64_t wedges_seen_ = 0;     // gray_stats().wedges consumed into episodes
 
   NicStats nic_stats_;
 };

@@ -73,4 +73,42 @@ void AddressMap::WriteBytes(uint64_t addr, std::span<const std::byte> in) {
   region->backend->Write(region->backend_offset + (addr - region->base), in);
 }
 
+Status AddressMap::PoisonLine(uint64_t addr) {
+  auto r = Resolve(addr, 1);
+  RETURN_IF_ERROR(r.status());
+  const Region* region = r.value();
+  region->backend->PoisonLine(region->backend_offset + (addr - region->base));
+  return OkStatus();
+}
+
+Status AddressMap::ClearPoison(uint64_t addr) {
+  auto r = Resolve(addr, 1);
+  RETURN_IF_ERROR(r.status());
+  const Region* region = r.value();
+  region->backend->ClearPoison(region->backend_offset + (addr - region->base));
+  return OkStatus();
+}
+
+bool AddressMap::RangePoisoned(uint64_t addr, uint64_t len) const {
+  const Region* region = Lookup(addr);
+  if (region == nullptr || !region->Contains(addr, len)) {
+    return false;
+  }
+  return region->backend->RangePoisoned(
+      region->backend_offset + (addr - region->base), len);
+}
+
+Status AddressMap::CheckPoison(uint64_t addr, uint64_t len) const {
+  const Region* region = Lookup(addr);
+  if (region == nullptr || !region->Contains(addr, len)) {
+    return OkStatus();
+  }
+  uint64_t off = region->backend_offset + (addr - region->base);
+  if (region->backend->RangePoisoned(off, len)) {
+    return DataLoss("poisoned line in backend '" + region->backend->name() +
+                    "' at address " + std::to_string(addr));
+  }
+  return OkStatus();
+}
+
 }  // namespace cxlpool::mem

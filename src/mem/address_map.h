@@ -59,6 +59,19 @@ class AddressMap {
   void ReadBytes(uint64_t addr, std::span<std::byte> out) const;
   void WriteBytes(uint64_t addr, std::span<const std::byte> in);
 
+  // --- Poison plumbing (fault injection / RAS) ---
+  // Marks / clears / queries poison on the media line backing `addr`.
+  // Status-returning so injection into an unmapped address is reported
+  // rather than CHECK-fatal.
+  Status PoisonLine(uint64_t addr);
+  Status ClearPoison(uint64_t addr);
+  // True if any media line backing [addr, addr+len) is poisoned. Unmapped
+  // ranges are not poisoned.
+  bool RangePoisoned(uint64_t addr, uint64_t len) const;
+  // OkStatus, or kDataLoss naming the poisoned backend if the range touches
+  // a poisoned line. The one-liner the timed access paths call.
+  Status CheckPoison(uint64_t addr, uint64_t len) const;
+
   size_t region_count() const { return regions_.size(); }
 
  private:

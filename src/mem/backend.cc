@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/units.h"
 
 namespace cxlpool::mem {
 
@@ -11,13 +12,65 @@ MemoryBackend::MemoryBackend(std::string name, uint64_t size_bytes)
     : name_(std::move(name)), data_(size_bytes) {}
 
 void MemoryBackend::Read(uint64_t offset, std::span<std::byte> out) const {
-  CXLPOOL_CHECK(offset + out.size() <= data_.size());
+  CXLPOOL_CHECK_MSG(offset + out.size() <= data_.size(),
+                    "backend '%s': read of %zu bytes at offset %llu exceeds "
+                    "backend size %zu",
+                    name_.c_str(), out.size(),
+                    static_cast<unsigned long long>(offset), data_.size());
   std::memcpy(out.data(), data_.data() + offset, out.size());
 }
 
 void MemoryBackend::Write(uint64_t offset, std::span<const std::byte> in) {
-  CXLPOOL_CHECK(offset + in.size() <= data_.size());
+  CXLPOOL_CHECK_MSG(offset + in.size() <= data_.size(),
+                    "backend '%s': write of %zu bytes at offset %llu exceeds "
+                    "backend size %zu",
+                    name_.c_str(), in.size(),
+                    static_cast<unsigned long long>(offset), data_.size());
   std::memcpy(data_.data() + offset, in.data(), in.size());
+  if (!poisoned_lines_.empty()) {
+    // A write that fully covers a poisoned line lays down fresh ECC and
+    // clears the poison; a partial write would have to read-modify-write
+    // the bad half, so the line stays poisoned.
+    uint64_t first = CachelineFloor(offset);
+    for (uint64_t line = first; line < offset + in.size();
+         line += kCachelineSize) {
+      if (line >= offset && line + kCachelineSize <= offset + in.size()) {
+        poisoned_lines_.erase(line);
+      }
+    }
+  }
+}
+
+void MemoryBackend::PoisonLine(uint64_t offset) {
+  CXLPOOL_CHECK_MSG(offset < data_.size(),
+                    "backend '%s': poison at offset %llu exceeds size %zu",
+                    name_.c_str(), static_cast<unsigned long long>(offset),
+                    data_.size());
+  poisoned_lines_.insert(CachelineFloor(offset));
+}
+
+void MemoryBackend::ClearPoison(uint64_t offset) {
+  poisoned_lines_.erase(CachelineFloor(offset));
+}
+
+bool MemoryBackend::LinePoisoned(uint64_t offset) const {
+  if (poisoned_lines_.empty()) {
+    return false;
+  }
+  return poisoned_lines_.contains(CachelineFloor(offset));
+}
+
+bool MemoryBackend::RangePoisoned(uint64_t offset, uint64_t len) const {
+  if (poisoned_lines_.empty() || len == 0) {
+    return false;
+  }
+  for (uint64_t line = CachelineFloor(offset); line < offset + len;
+       line += kCachelineSize) {
+    if (poisoned_lines_.contains(line)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace cxlpool::mem

@@ -1,6 +1,14 @@
 // MemoryBackend: the actual bytes behind a memory region (a host's local
 // DRAM or a CXL multi-headed device's media). Purely functional storage —
 // all timing lives in the adapters and links that route accesses here.
+//
+// RAS model: media can carry per-64B-line *poison* (uncorrectable ECC).
+// Poison is injected by the fault model (CxlPod::PoisonLine) and cleared
+// when a write fully covers a poisoned line — matching real CXL.mem
+// semantics where a full-line store lays down fresh ECC. Reads do not
+// consult poison themselves (this layer is untimed storage); the timed
+// access paths (HostAdapter loads, DMA) query RangePoisoned and surface
+// kDataLoss to their callers.
 #ifndef SRC_MEM_BACKEND_H_
 #define SRC_MEM_BACKEND_H_
 
@@ -8,6 +16,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace cxlpool::mem {
@@ -25,6 +34,18 @@ class MemoryBackend {
   void Read(uint64_t offset, std::span<std::byte> out) const;
   void Write(uint64_t offset, std::span<const std::byte> in);
 
+  // --- Poison (per 64B line, offsets are backend-relative) ---
+
+  // Marks the line containing `offset` poisoned. Idempotent.
+  void PoisonLine(uint64_t offset);
+  // Clears poison on the line containing `offset` (scrub/repair path).
+  void ClearPoison(uint64_t offset);
+  // True if the line containing `offset` is poisoned.
+  bool LinePoisoned(uint64_t offset) const;
+  // True if any line overlapping [offset, offset+len) is poisoned.
+  bool RangePoisoned(uint64_t offset, uint64_t len) const;
+  size_t poisoned_line_count() const { return poisoned_lines_.size(); }
+
   // Direct pointer for tests and zero-copy internals.
   std::byte* data() { return data_.data(); }
   const std::byte* data() const { return data_.data(); }
@@ -32,6 +53,9 @@ class MemoryBackend {
  private:
   std::string name_;
   std::vector<std::byte> data_;
+  // 64B-line-aligned offsets of poisoned lines. Empty in the common case,
+  // so the healthy-path overhead is one empty() check per access.
+  std::unordered_set<uint64_t> poisoned_lines_;
 };
 
 }  // namespace cxlpool::mem

@@ -19,12 +19,18 @@ sim::Task<Result<std::vector<std::byte>>> RetryPolicy::Call(
     Nanos attempt_timeout, sim::EventLoop& loop) {
   ++stats_.calls;
   Result<std::vector<std::byte>> result = InvalidArgument("no attempts made");
+  Nanos timeout = attempt_timeout;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     if (attempt > 1) {
       ++stats_.retries;
       co_await sim::Delay(loop, BackoffFor(attempt - 1));
+      if (options_.timeout_multiplier > 1.0) {
+        timeout = std::max<Nanos>(
+            1, static_cast<Nanos>(static_cast<double>(timeout) *
+                                  options_.timeout_multiplier));
+      }
     }
-    result = co_await client.Call(method, request, loop.now() + attempt_timeout);
+    result = co_await client.Call(method, request, loop.now() + timeout);
     if (result.ok() || !IsRetryable(result.status())) {
       co_return result;
     }

@@ -24,6 +24,13 @@ class RetryPolicy {
     double multiplier = 2.0;
     // Each backoff is scaled by a uniform factor in [1-jitter, 1+jitter].
     double jitter = 0.25;
+    // Per-attempt deadline escalation: attempt N waits
+    // attempt_timeout * multiplier^(N-1). >1 lets callers probe with an
+    // aggressive first deadline (fast failover) while later attempts wait
+    // long enough for a slow-but-alive peer to answer — the pattern that
+    // turns a timeout-triggered duplicate into a dedup hit instead of an
+    // error (see ForwardedMmioPath).
+    double timeout_multiplier = 1.0;
     uint64_t seed = 0x9e3779b97f4a7c15ULL;
   };
 

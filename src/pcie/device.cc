@@ -71,6 +71,25 @@ void PcieDevice::Repair() {
   ++generation_;
 }
 
+void PcieDevice::Wedge() {
+  if (wedged_ || failed_) {
+    return;
+  }
+  // No generation bump: the device is hung, not re-bound. Engine coroutines
+  // keep running and experience the stalls, exactly like real firmware hangs.
+  wedged_ = true;
+  ++gray_stats_.wedges;
+}
+
+void PcieDevice::Reset() {
+  ++gray_stats_.resets;
+  wedged_ = false;
+  // The generation bump is the drain: every in-flight engine coroutine
+  // compares its captured generation and exits at its next loop head.
+  ++generation_;
+  OnReset();
+}
+
 sim::Task<Status> PcieDevice::MmioWrite(uint64_t reg, uint64_t value) {
   if (host_ == nullptr) {
     co_return FailedPrecondition("device not attached");
@@ -80,11 +99,18 @@ sim::Task<Status> PcieDevice::MmioWrite(uint64_t reg, uint64_t value) {
   }
   Nanos extra = interposer_ ? interposer_->MmioExtraLatency(/*is_read=*/false) : 0;
   // Posted semantics: the device sees the write after the PCIe latency;
-  // the CPU continues as soon as its write buffer drains.
+  // the CPU continues as soon as its write buffer drains. A wedged device
+  // absorbs the write without acting on it — the CPU cannot tell, which is
+  // what makes wedges gray.
   loop_.Schedule(timing_.mmio_write + extra, [this, reg, value] {
-    if (host_ != nullptr && !failed_) {
-      OnMmioWrite(reg, value);
+    if (host_ == nullptr || failed_) {
+      return;
     }
+    if (wedged_) {
+      ++gray_stats_.dropped_mmio_writes;
+      return;
+    }
+    OnMmioWrite(reg, value);
   });
   co_await sim::Delay(loop_, timing_.mmio_post_cpu);
   co_return OkStatus();
@@ -97,8 +123,19 @@ sim::Task<Result<uint64_t>> PcieDevice::MmioRead(uint64_t reg) {
   if (failed_) {
     co_return Unavailable("device " + name_ + " failed");
   }
+  if (wedged_) {
+    ++gray_stats_.stalled_ops;
+    co_await sim::Delay(loop_, timing_.wedge_stall);
+    co_return DeadlineExceeded("MMIO read to wedged device " + name_);
+  }
   Nanos extra = interposer_ ? interposer_->MmioExtraLatency(/*is_read=*/true) : 0;
   co_await sim::Delay(loop_, timing_.mmio_read + extra);
+  if (wedged_) {
+    // Wedged mid-flight: the completion never arrives.
+    ++gray_stats_.stalled_ops;
+    co_await sim::Delay(loop_, timing_.wedge_stall);
+    co_return DeadlineExceeded("MMIO read lost in wedged device " + name_);
+  }
   co_return OnMmioRead(reg);
 }
 
@@ -108,6 +145,11 @@ sim::Task<Status> PcieDevice::DmaRead(uint64_t addr, std::span<std::byte> out) {
   }
   if (failed_) {
     co_return Unavailable("device " + name_ + " failed");
+  }
+  if (wedged_) {
+    ++gray_stats_.stalled_ops;
+    co_await sim::Delay(loop_, timing_.wedge_stall);
+    co_return DeadlineExceeded("DMA read on wedged device " + name_);
   }
   ++dma_stats_.reads;
   dma_stats_.read_bytes += out.size();
@@ -133,6 +175,11 @@ sim::Task<Status> PcieDevice::DmaWrite(uint64_t addr, std::span<const std::byte>
   }
   if (failed_) {
     co_return Unavailable("device " + name_ + " failed");
+  }
+  if (wedged_) {
+    ++gray_stats_.stalled_ops;
+    co_await sim::Delay(loop_, timing_.wedge_stall);
+    co_return DeadlineExceeded("DMA write on wedged device " + name_);
   }
   ++dma_stats_.writes;
   dma_stats_.write_bytes += in.size();

@@ -40,6 +40,11 @@ struct PcieTiming {
   // Extra one-way latency per hop through a hardware PCIe switch (the
   // baseline fabric this paper argues against on cost, not performance).
   Nanos switch_hop = 150;
+  // How long a requester stalls on a *wedged* device before its completion
+  // timeout fires: MMIO reads and DMA hang this long and then return
+  // kDeadlineExceeded. Posted MMIO writes have no completion to time out —
+  // they are silently absorbed. Mirrors a PCIe completion timeout.
+  Nanos wedge_stall = 20 * kMicrosecond;
 };
 
 // Interposer a fabric (e.g. the PCIe switch baseline) installs between a
@@ -84,6 +89,29 @@ class PcieDevice {
   void InjectFailure();
   void Repair();
 
+  // --- Gray failure: wedge (paper §5, partial failures) ---
+  // A wedged device is firmware-hung rather than dead: posted MMIO writes
+  // are absorbed without ever reaching device logic, and MMIO reads / DMA
+  // stall for timing().wedge_stall before failing with kDeadlineExceeded —
+  // the caller experiences a timeout, not a crisp error. Distinct from
+  // InjectFailure (fail-stop: immediate kUnavailable). Recovery is Reset(),
+  // not Repair(); the owning agent's watchdog issues it.
+  bool wedged() const { return wedged_; }
+  void Wedge();
+  // FLR-style function level reset: clears a wedge, bumps the generation
+  // (in-flight engine coroutines observe the bump and exit — the "drain"),
+  // and re-initializes BAR/queue state via the OnReset hook. Does NOT
+  // revive a fail-stopped device (that is Repair's job).
+  void Reset();
+
+  struct GrayStats {
+    uint64_t wedges = 0;               // Wedge() transitions
+    uint64_t dropped_mmio_writes = 0;  // posted writes absorbed while wedged
+    uint64_t stalled_ops = 0;          // reads/DMAs that hit wedge_stall
+    uint64_t resets = 0;               // FLR invocations
+  };
+  const GrayStats& gray_stats() const { return gray_stats_; }
+
   // --- MMIO (from the attached host's CPU) ---
   sim::Task<Status> MmioWrite(uint64_t reg, uint64_t value);
   sim::Task<Result<uint64_t>> MmioRead(uint64_t reg);
@@ -111,6 +139,9 @@ class PcieDevice {
   virtual void OnAttach() {}
   virtual void OnDetach() {}
   virtual void OnFailure() {}
+  // Re-initialize device state after an FLR (clear rings, respawn engines).
+  // Called with the wedge already cleared and the generation already bumped.
+  virtual void OnReset() {}
 
   // --- DMA helpers for subclasses (timed) ---
   // Charge = device-link serialization + dma_overhead + memory-side cost
@@ -135,7 +166,9 @@ class PcieDevice {
   cxl::HostAdapter* host_ = nullptr;
   FabricInterposer* interposer_ = nullptr;
   bool failed_ = false;
+  bool wedged_ = false;
   bool failed_by_host_crash_ = false;  // host crash (not real fault) failed us
+  GrayStats gray_stats_;
   std::function<void(PcieDevice*)> destroy_listener_;
   uint64_t generation_ = 0;
   sim::BandwidthQueue to_host_;    // DMA writes / read completions

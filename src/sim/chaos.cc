@@ -10,10 +10,19 @@ namespace cxlpool::sim {
 
 void ChaosInjector::AddFault(std::string name, std::function<void()> fail,
                              std::function<void()> repair) {
+  std::string fault_class = name;
+  AddFault(std::move(name), std::move(fault_class), std::move(fail),
+           std::move(repair));
+}
+
+void ChaosInjector::AddFault(std::string name, std::string fault_class,
+                             std::function<void()> fail,
+                             std::function<void()> repair) {
   CXLPOOL_CHECK(!started_);
   CXLPOOL_CHECK(fail != nullptr);
   CXLPOOL_CHECK(repair != nullptr);
-  faults_.push_back(Fault{std::move(name), std::move(fail), std::move(repair)});
+  faults_.push_back(Fault{std::move(name), std::move(fault_class),
+                          std::move(fail), std::move(repair)});
 }
 
 void ChaosInjector::AddInvariant(std::string name, Invariant check) {
@@ -137,6 +146,7 @@ Task<> ChaosInjector::RunPlan(StopToken& stop) {
     if (recovered_at >= 0) {
       ++recoveries_;
       mttr_.Add(recovered_at - failed_at);
+      mttr_by_class_[fault.fault_class].Add(recovered_at - failed_at);
       Note("t=" + std::to_string(loop_.now()) + " recovered " + fault.name +
            " mttr=" + std::to_string(recovered_at - failed_at));
     }

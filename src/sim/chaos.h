@@ -13,6 +13,7 @@
 #define SRC_SIM_CHAOS_H_
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,15 @@ class ChaosInjector {
   ChaosInjector& operator=(const ChaosInjector&) = delete;
 
   // Registers a fault the injector may fire. Both callbacks must be
-  // idempotent-safe for a single fire/repair pair.
+  // idempotent-safe for a single fire/repair pair. `fault_class` buckets
+  // the fault's recoveries into a per-class MTTR histogram (host-crash vs
+  // link vs wedge recover through very different machinery; one global
+  // histogram hides the slow class). The 3-arg form uses the fault's own
+  // name as its class.
   void AddFault(std::string name, std::function<void()> fail,
                 std::function<void()> repair);
+  void AddFault(std::string name, std::string fault_class,
+                std::function<void()> fail, std::function<void()> repair);
   size_t fault_count() const { return faults_.size(); }
 
   // Safety invariant, checked after every recovery: returns an empty string
@@ -83,6 +90,10 @@ class ChaosInjector {
   // --- Results ---
   // Time from fault injection to the recovery probe turning true.
   const Histogram& mttr() const { return mttr_; }
+  // Same, bucketed by the fault_class given at AddFault() time.
+  const std::map<std::string, Histogram>& mttr_by_class() const {
+    return mttr_by_class_;
+  }
   uint64_t injections() const { return injections_; }
   uint64_t recoveries() const { return recoveries_; }
   uint64_t violations() const { return violations_; }
@@ -96,6 +107,7 @@ class ChaosInjector {
  private:
   struct Fault {
     std::string name;
+    std::string fault_class;
     std::function<void()> fail;
     std::function<void()> repair;
   };
@@ -112,6 +124,7 @@ class ChaosInjector {
   std::function<bool()> recovery_probe_;
   std::vector<Event> plan_;
   Histogram mttr_;
+  std::map<std::string, Histogram> mttr_by_class_;
   uint64_t injections_ = 0;
   uint64_t recoveries_ = 0;
   uint64_t violations_ = 0;

@@ -516,6 +516,146 @@ TEST_F(CxlPodTest, ReplicatedRegionBoundsChecked) {
   EXPECT_EQ(RunBlocking(loop_, t(*region, pod_)).code(), StatusCode::kOutOfRange);
 }
 
+TEST_F(CxlPodTest, ReplicatedReadWithAllReplicasDownErrorsOut) {
+  // The worst case must be an ERROR, never a hang: a control-plane caller
+  // blocked forever on dead memory is itself a liveness bug.
+  auto region = ReplicatedRegion::Create(pod_.pool(), 4096, 2);
+  ASSERT_TRUE(region.ok());
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<Status> {
+    auto payload = Bytes({3, 3, 3, 3});
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, payload));
+    pod.FailMhd(r.segment(0).mhds[0]);
+    pod.FailMhd(r.segment(1).mhds[0]);
+    std::array<std::byte, 4> seen{};
+    co_return co_await r.ReadFresh(pod.host(1), 0, seen);
+  };
+  Status st = RunBlocking(loop_, t(*region, pod_));  // returning at all = no hang
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+// --- Media poison + scrub (gray-failure RAS) ---
+
+TEST_F(CxlPodTest, PoisonedLineReturnsDataLossOnFreshLoad) {
+  auto seg = pod_.pool().Allocate(4096);
+  ASSERT_TRUE(seg.ok());
+  auto t = [](CxlPod& pod, uint64_t base) -> Task<std::pair<Status, Status>> {
+    auto payload = Fill(64, 0x5a);
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(base, payload));
+    // nt-stores are posted: wait past the media commit, or the in-flight
+    // full-line write would land AFTER the poison and heal it.
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    pod.PoisonLine(base);
+    std::array<std::byte, 64> out{};
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Invalidate(base, 64));
+    Status poisoned = co_await pod.host(1).Load(base, out);
+    // A full-line overwrite is fresh data + fresh ECC: the line heals.
+    CXLPOOL_CHECK_OK(co_await pod.host(0).StoreNt(base, payload));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    CXLPOOL_CHECK_OK(co_await pod.host(1).Invalidate(base, 64));
+    Status healed = co_await pod.host(1).Load(base, out);
+    co_return std::make_pair(poisoned, healed);
+  };
+  auto [poisoned, healed] = RunBlocking(loop_, t(pod_, seg->base));
+  EXPECT_EQ(poisoned.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(healed.ok());
+  EXPECT_EQ(pod_.host(1).stats().poisoned_reads, 1u);
+  EXPECT_EQ(pod_.PoisonedLineCount(), 0u);
+}
+
+TEST_F(CxlPodTest, ScrubberRepairsPoisonedReplicaByteIdentically) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 256, 2);
+  ASSERT_TRUE(region.ok());
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<std::vector<std::byte>> {
+    std::vector<std::byte> content(256);
+    for (size_t i = 0; i < content.size(); ++i) {
+      content[i] = static_cast<std::byte>(i * 7 + 1);
+    }
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, content));
+    co_await sim::Delay(pod.loop(), kMicrosecond);  // let posted writes commit
+    // Poison two lines of the PRIMARY replica: readers would failover,
+    // but the data on that media is gone until the scrubber repairs it.
+    pod.PoisonLine(r.segment(0).base + 0);
+    pod.PoisonLine(r.segment(0).base + 128);
+    CXLPOOL_CHECK_OK(co_await r.ScrubOnce(pod.host(1)));
+    // Read back the PRIMARY copy directly: repair must be byte-identical.
+    std::vector<std::byte> seen(256);
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Invalidate(r.segment(0).base, 256));
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Load(r.segment(0).base, seen));
+    co_return seen;
+  };
+  std::vector<std::byte> seen = RunBlocking(loop_, t(*region, pod_));
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<std::byte>(i * 7 + 1)) << "byte " << i;
+  }
+  EXPECT_EQ(pod_.PoisonedLineCount(), 0u);
+  EXPECT_GE(region->stats().scrub_repairs, 2u);
+  EXPECT_EQ(region->stats().scrub_unrecoverable, 0u);
+  EXPECT_GE(region->stats().lines_scrubbed, 4u);  // 4 lines per sweep
+}
+
+TEST_F(CxlPodTest, ScrubberRepairsDivergentReplica) {
+  // Divergence without poison: one replica's media bytes get corrupted
+  // in place (e.g. a torn partial write). The checksum fingers the bad
+  // copy even though both replicas read back "successfully".
+  auto region = ReplicatedRegion::Create(pod_.pool(), 64, 2);
+  ASSERT_TRUE(region.ok());
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<int> {
+    auto content = Fill(64, 0x44);
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, content));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    // Corrupt replica 1 behind the region's back.
+    auto garbage = Fill(64, 0x99);
+    CXLPOOL_CHECK_OK(co_await pod.host(2).StoreNt(r.segment(1).base, garbage));
+    CXLPOOL_CHECK_OK(co_await r.ScrubOnce(pod.host(1)));
+    std::array<std::byte, 64> seen{};
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Invalidate(r.segment(1).base, 64));
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Load(r.segment(1).base, seen));
+    co_return static_cast<int>(seen[0]);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(*region, pod_)), 0x44);
+  EXPECT_GE(region->stats().scrub_repairs, 1u);
+}
+
+TEST_F(CxlPodTest, ScrubberDoesNotCountTransientOutageAsUnrecoverable) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 64, 2);
+  ASSERT_TRUE(region.ok());
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<> {
+    auto content = Fill(64, 0x21);
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, content));
+    // Whole pool unreachable from the scrubbing host: nothing is
+    // readable, but nothing is LOST — the sweep must not cry wolf.
+    pod.FailLink(HostId(1), MhdId(0));
+    pod.FailLink(HostId(1), MhdId(1));
+    (void)co_await r.ScrubOnce(pod.host(1));
+    pod.RepairLink(HostId(1), MhdId(0));
+    pod.RepairLink(HostId(1), MhdId(1));
+    CXLPOOL_CHECK_OK(co_await r.ScrubOnce(pod.host(1)));
+    co_return;
+  };
+  RunBlocking(loop_, t(*region, pod_));
+  EXPECT_EQ(region->stats().scrub_unrecoverable, 0u);
+}
+
+TEST_F(CxlPodTest, ScrubLoopRunsUntilStopped) {
+  auto region = ReplicatedRegion::Create(pod_.pool(), 64, 2);
+  ASSERT_TRUE(region.ok());
+  RunBlocking(loop_, [](ReplicatedRegion& r, CxlPod& pod) -> Task<> {
+    auto content = Fill(64, 1);
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, content));
+  }(*region, pod_));
+  sim::StopToken stop;
+  sim::Spawn(region->ScrubLoop(pod_.host(0), 10 * kMicrosecond, stop));
+  pod_.PoisonLine(region->segment(0).base);
+  loop_.RunFor(100 * kMicrosecond);
+  EXPECT_EQ(pod_.PoisonedLineCount(), 0u);  // loop swept and repaired
+  uint64_t swept = region->stats().lines_scrubbed;
+  EXPECT_GE(swept, 5u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+  // Stopped: no further sweeps.
+  EXPECT_LE(region->stats().lines_scrubbed, swept + 1);
+}
+
 
 // --- CXL 3.0 Back-Invalidate emulation (Sec. 3 ablation) ---
 

@@ -147,6 +147,42 @@ TEST(NicDeviceTest, LinkDownDropsTraffic) {
   loop.RunFor(200 * kMicrosecond);
 }
 
+TEST(NicDeviceTest, WireDownAndWedgeEpisodesCountedSeparately) {
+  // Fault attribution: a flapping wire (InjectLinkFailure) and a wedged
+  // controller (Wedge + watchdog FLR) are different fault classes with
+  // different recovery paths; their episode counters must not bleed into
+  // each other.
+  sim::EventLoop loop;
+  Rack rack(loop, TinyRack());
+  rack.Start();
+  devices::Nic* nic = rack.nic(0);
+
+  nic->InjectLinkFailure();
+  nic->InjectLinkFailure();  // already down: same episode, not a new one
+  nic->RepairLink();
+  nic->InjectLinkFailure();
+  nic->RepairLink();
+  EXPECT_EQ(nic->nic_stats().link_down_episodes, 2u);
+  EXPECT_EQ(nic->nic_stats().wedge_episodes, 0u);
+
+  // Wedge + FLR (as the home agent's watchdog would issue).
+  nic->Wedge();
+  nic->Reset();
+  EXPECT_EQ(nic->nic_stats().wedge_episodes, 1u);
+  EXPECT_EQ(nic->nic_stats().link_down_episodes, 2u);  // unchanged
+
+  // A reset with no intervening wedge is not an episode.
+  nic->Reset();
+  EXPECT_EQ(nic->nic_stats().wedge_episodes, 1u);
+
+  nic->Wedge();
+  nic->Reset();
+  EXPECT_EQ(nic->nic_stats().wedge_episodes, 2u);
+  EXPECT_EQ(nic->gray_stats().resets, 3u);
+  rack.Shutdown();
+  loop.RunFor(200 * kMicrosecond);
+}
+
 // --- SSD device semantics through the virtual driver ---
 
 TEST(SsdDeviceTest, DataPersistsAcrossCommands) {

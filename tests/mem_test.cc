@@ -48,6 +48,57 @@ TEST(BackendTest, EdgeOfCapacity) {
   EXPECT_EQ(one[0], std::byte{9});
 }
 
+TEST(BackendTest, BoundsCheckFailureNamesTheBackendAndOffsets) {
+  // A bounds CHECK in a sim with dozens of backends is undebuggable
+  // without context: the message must say WHICH backend, WHERE, and how
+  // big the access and the backend are.
+  MemoryBackend b("nic0-bar", 4096);
+  std::array<std::byte, 16> buf{};
+  EXPECT_DEATH(b.Read(5000, buf),
+               "backend 'nic0-bar'.*16 bytes at offset 5000.*backend size 4096");
+  EXPECT_DEATH(b.Write(4090, buf),
+               "backend 'nic0-bar'.*16 bytes at offset 4090.*backend size 4096");
+}
+
+// --- Media poison (RAS) ---
+
+TEST(BackendTest, PoisonTracksWholeLines) {
+  MemoryBackend b("test", 4096);
+  EXPECT_FALSE(b.RangePoisoned(0, 4096));
+  b.PoisonLine(130);  // anywhere inside the line poisons [128, 192)
+  EXPECT_TRUE(b.LinePoisoned(128));
+  EXPECT_TRUE(b.LinePoisoned(191));
+  EXPECT_FALSE(b.LinePoisoned(192));
+  EXPECT_FALSE(b.LinePoisoned(64));
+  EXPECT_TRUE(b.RangePoisoned(0, 4096));
+  EXPECT_TRUE(b.RangePoisoned(190, 4));  // straddles into the poisoned line
+  EXPECT_FALSE(b.RangePoisoned(192, 64));
+  EXPECT_EQ(b.poisoned_line_count(), 1u);
+}
+
+TEST(BackendTest, FullLineWriteClearsPoisonPartialDoesNot) {
+  MemoryBackend b("test", 4096);
+  b.PoisonLine(128);
+  // A partial write cannot re-establish ECC for the whole line.
+  std::array<std::byte, 8> partial{};
+  b.Write(128, partial);
+  EXPECT_TRUE(b.LinePoisoned(128));
+  // A full-line write is fresh data + fresh ECC: poison clears.
+  std::array<std::byte, kCachelineSize> full{};
+  b.Write(128, full);
+  EXPECT_FALSE(b.LinePoisoned(128));
+  EXPECT_EQ(b.poisoned_line_count(), 0u);
+}
+
+TEST(BackendTest, ClearPoisonIsExplicit) {
+  MemoryBackend b("test", 4096);
+  b.PoisonLine(0);
+  b.PoisonLine(64);
+  b.ClearPoison(0);
+  EXPECT_FALSE(b.LinePoisoned(0));
+  EXPECT_TRUE(b.LinePoisoned(64));
+}
+
 // --- AddressMap ---
 
 class AddressMapTest : public ::testing::Test {
@@ -152,6 +203,30 @@ TEST_F(AddressMapTest, BackendOffsetApplied) {
   std::array<std::byte, 1> direct{};
   shared.Read(4096, direct);
   EXPECT_EQ(direct[0], std::byte{7});
+}
+
+TEST_F(AddressMapTest, PoisonRoutesThroughRegions) {
+  // Poison by pod address, translated to the backing store (including
+  // backend_offset), surfaced again by CheckPoison.
+  ASSERT_TRUE(map_.PoisonLine(0x1000000 + 256).ok());
+  EXPECT_TRUE(map_.RangePoisoned(0x1000000 + 256, 1));
+  EXPECT_TRUE(pool_.LinePoisoned(256));
+  EXPECT_FALSE(dram_.RangePoisoned(0, 64 * kKiB));
+
+  Status st = map_.CheckPoison(0x1000000 + 256, 64);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(map_.CheckPoison(0x1000000, 64).ok());
+  // Unmapped addresses are not poisoned (the access fails elsewhere).
+  EXPECT_FALSE(map_.RangePoisoned(0, 8));
+  EXPECT_TRUE(map_.CheckPoison(0, 8).ok());
+
+  ASSERT_TRUE(map_.ClearPoison(0x1000000 + 256).ok());
+  EXPECT_TRUE(map_.CheckPoison(0x1000000 + 256, 64).ok());
+}
+
+TEST_F(AddressMapTest, PoisonUnmappedAddressFails) {
+  EXPECT_FALSE(map_.PoisonLine(0x0).ok());
+  EXPECT_FALSE(map_.ClearPoison(0x0).ok());
 }
 
 // --- WriteBackCache ---

@@ -542,6 +542,49 @@ TEST_F(MsgTest, RetryPolicyExhaustsOnDeadPath) {
   EXPECT_EQ(policy.stats().exhausted, 1u);
 }
 
+TEST_F(MsgTest, RetryPolicyTimeoutEscalationOutwaitsSlowServer) {
+  // A slow-but-alive server: every reply takes ~8us of handler time, well
+  // past an aggressive 2us first-attempt deadline. Without escalation,
+  // every attempt times out; with timeout_multiplier the later attempts
+  // wait long enough to land. This is the pattern ForwardedMmioPath uses
+  // to turn gray-slow peers into dedup hits instead of errors.
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [this](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_await sim::Delay(loop_, 8 * kMicrosecond);
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient client(c.end_a());
+
+  auto call = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await p.Call(cl, 1, Msg("x"), 2 * kMicrosecond, loop);
+    co_return r.ok();
+  };
+
+  // Flat deadlines: exhausted.
+  RetryPolicy::Options flat;
+  flat.max_attempts = 3;
+  flat.initial_backoff = 5 * kMicrosecond;
+  RetryPolicy flat_policy(flat);
+  EXPECT_FALSE(RunBlocking(loop_, call(flat_policy, client, loop_)));
+  EXPECT_EQ(flat_policy.stats().exhausted, 1u);
+
+  // Escalating deadlines: 2us, 8us, 32us — attempt 3 outwaits the server.
+  RetryPolicy::Options esc = flat;
+  esc.timeout_multiplier = 4.0;
+  RetryPolicy esc_policy(esc);
+  EXPECT_TRUE(RunBlocking(loop_, call(esc_policy, client, loop_)));
+  EXPECT_GE(esc_policy.stats().retries, 1u);
+  EXPECT_EQ(esc_policy.stats().exhausted, 0u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
 TEST(RetryPolicyTest, BackoffIsDeterministicSeededAndBounded) {
   RetryPolicy::Options o;
   o.seed = 42;

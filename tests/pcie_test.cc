@@ -20,6 +20,7 @@ class TestDevice : public PcieDevice {
   uint64_t last_write_value = 0;
   int attaches = 0;
   int detaches = 0;
+  int resets = 0;
 
   // Exposes protected DMA for tests.
   sim::Task<Status> TestDmaRead(uint64_t addr, std::span<std::byte> out) {
@@ -37,6 +38,7 @@ class TestDevice : public PcieDevice {
   uint64_t OnMmioRead(uint64_t reg) override { return reg * 2; }
   void OnAttach() override { ++attaches; }
   void OnDetach() override { ++detaches; }
+  void OnReset() override { ++resets; }
 };
 
 class PcieTest : public ::testing::Test {
@@ -263,6 +265,113 @@ TEST_F(PcieTest, UnbindReleasesDevice) {
   EXPECT_FALSE(dev.attached());
   EXPECT_EQ(dev.interposer(), nullptr);
   EXPECT_EQ(fabric.Unbind(dev.id()).code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Gray failures: wedge vs fail-stop, FLR reset ---
+
+TEST_F(PcieTest, WedgedDeviceStallsMmioReadsThenTimesOut) {
+  TestDevice dev(PcieDeviceId(1), loop_);
+  dev.AttachTo(&pod_.host(0));
+  dev.Wedge();
+  EXPECT_TRUE(dev.wedged());
+
+  auto t = [](TestDevice& d, sim::EventLoop& loop) -> Task<std::pair<Status, Nanos>> {
+    Nanos start = loop.now();
+    auto v = co_await d.MmioRead(4);
+    co_return std::make_pair(v.status(), loop.now() - start);
+  };
+  auto [st, took] = RunBlocking(loop_, t(dev, loop_));
+  // The gray signature: not an immediate error (that is fail-stop), but a
+  // stall for the completion timeout followed by kDeadlineExceeded.
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(took, dev.timing().wedge_stall);
+  EXPECT_GE(dev.gray_stats().stalled_ops, 1u);
+}
+
+TEST_F(PcieTest, WedgedDeviceAbsorbsPostedWrites) {
+  TestDevice dev(PcieDeviceId(1), loop_);
+  dev.AttachTo(&pod_.host(0));
+  dev.Wedge();
+
+  auto t = [](TestDevice& d) -> Task<Status> {
+    co_return co_await d.MmioWrite(0x10, 77);
+  };
+  // Posted semantics: the CPU-side write "succeeds" (that is what makes
+  // wedges gray — the writer cannot tell), but the device never sees it.
+  EXPECT_TRUE(RunBlocking(loop_, t(dev)).ok());
+  loop_.RunFor(10 * dev.timing().mmio_write);
+  EXPECT_EQ(dev.last_write_value, 0u);
+  EXPECT_EQ(dev.gray_stats().dropped_mmio_writes, 1u);
+}
+
+TEST_F(PcieTest, WedgedDeviceStallsDma) {
+  TestDevice dev(PcieDeviceId(1), loop_);
+  dev.AttachTo(&pod_.host(0));
+  auto addr = pod_.host(0).AllocateDram(4096);
+  ASSERT_TRUE(addr.ok());
+  dev.Wedge();
+  auto t = [](TestDevice& d, uint64_t a) -> Task<Status> {
+    std::vector<std::byte> out(64);
+    co_return co_await d.TestDmaRead(a, out);
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(dev, *addr)).code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(PcieTest, WedgeIsDistinctFromFailStop) {
+  // Fail-stop answers immediately with kUnavailable; a wedge stalls first
+  // and times out. Detectors key on exactly this difference.
+  TestDevice failed(PcieDeviceId(1), loop_);
+  failed.AttachTo(&pod_.host(0));
+  failed.InjectFailure();
+  TestDevice wedged(PcieDeviceId(2), loop_);
+  wedged.AttachTo(&pod_.host(0));
+  wedged.Wedge();
+
+  auto t = [](TestDevice& d, sim::EventLoop& loop) -> Task<std::pair<Status, Nanos>> {
+    Nanos start = loop.now();
+    auto v = co_await d.MmioRead(4);
+    co_return std::make_pair(v.status(), loop.now() - start);
+  };
+  auto [failed_st, failed_took] = RunBlocking(loop_, t(failed, loop_));
+  auto [wedged_st, wedged_took] = RunBlocking(loop_, t(wedged, loop_));
+  EXPECT_EQ(failed_st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(failed_took, 0);
+  EXPECT_EQ(wedged_st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(wedged_took, wedged.timing().wedge_stall);
+  // Wedge does not bump the generation (nothing re-bound); failure does.
+  EXPECT_EQ(wedged.gray_stats().wedges, 1u);
+}
+
+TEST_F(PcieTest, ResetClearsWedgeAndDrainsEngines) {
+  TestDevice dev(PcieDeviceId(1), loop_);
+  dev.AttachTo(&pod_.host(0));
+  uint64_t gen_before = dev.generation();
+  dev.Wedge();
+  EXPECT_EQ(dev.generation(), gen_before);  // hung, not re-bound
+
+  dev.Reset();
+  EXPECT_FALSE(dev.wedged());
+  EXPECT_EQ(dev.resets, 1);
+  EXPECT_GT(dev.generation(), gen_before);  // engines observe and exit
+  EXPECT_EQ(dev.gray_stats().resets, 1u);
+
+  // Back in service: reads round-trip again.
+  auto t = [](TestDevice& d) -> Task<uint64_t> {
+    auto v = co_await d.MmioRead(21);
+    CXLPOOL_CHECK(v.ok());
+    co_return *v;
+  };
+  EXPECT_EQ(RunBlocking(loop_, t(dev)), 42u);
+}
+
+TEST_F(PcieTest, WedgeOnFailedDeviceIsIgnored) {
+  TestDevice dev(PcieDeviceId(1), loop_);
+  dev.AttachTo(&pod_.host(0));
+  dev.InjectFailure();
+  dev.Wedge();  // fail-stop wins; wedge on a dead device is meaningless
+  EXPECT_FALSE(dev.wedged());
+  EXPECT_EQ(dev.gray_stats().wedges, 0u);
 }
 
 }  // namespace

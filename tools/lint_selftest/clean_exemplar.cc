@@ -46,4 +46,24 @@ inline sim::Task<Status> ConsumeProperly(cxl::HostAdapter& host,
   co_return OkStatus();
 }
 
+// Supervised loops the lint must accept: a stop token threaded through
+// directly, via a member, or via an accessor.
+sim::Task<> WatchLoop(cxl::HostAdapter& host, sim::StopToken& stop);
+
+inline void StartSupervisedWatcher(cxl::HostAdapter& host,
+                                   sim::StopToken& stop) {
+  sim::Spawn(WatchLoop(host, stop));
+}
+
+class Supervisor {
+ public:
+  sim::StopToken& stop_token() { return stop_; }
+  void Start(cxl::HostAdapter& host) {
+    sim::Spawn(WatchLoop(host, stop_token()));
+  }
+
+ private:
+  sim::StopToken stop_;
+};
+
 }  // namespace cxlpool::repro

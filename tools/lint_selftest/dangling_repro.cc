@@ -37,4 +37,14 @@ inline void ForgetToAwait(cxl::HostAdapter& host, uint64_t addr) {
   host.Flush(addr, 64);
 }
 
+// Third bug class (PR 4): a periodic loop detached with no stop token.
+// Nothing ever cancels it, so it keeps firing after Shutdown() against a
+// rack that no longer exists. Every *Loop coroutine must thread a
+// sim::StopToken&.
+sim::Task<> WatchLoop(cxl::HostAdapter& host);
+
+inline void StartUnsupervisedWatcher(cxl::HostAdapter& host) {
+  sim::Spawn(WatchLoop(host));
+}
+
 }  // namespace cxlpool::repro

@@ -21,6 +21,15 @@ Two bug classes this codebase has actually paid for:
     the lint also covers macro-heavy code paths and non-compiled targets
     (e.g. files gated out of the build) that the compiler never sees.
 
+(c) unstoppable-loop: `Spawn(SomethingLoop(...))` with no stop token among
+    the arguments.  Detached periodic loops (ScrubLoop, ReportLoop,
+    RebalanceLoop, the agent watchdog) are the one coroutine shape that
+    outlives its spawner by design; without a StopToken they keep waking
+    after Shutdown(), touching freed rack state — exactly the lifetime
+    hole the PR 3 lint suite was built around.  Convention: every
+    `*Loop` coroutine takes a `sim::StopToken&`, so a spawn whose
+    argument list never mentions a stop token is a supervision bug.
+
 Suppression: append `// lint-tasks: allow(<rule>)` to the offending line.
 
 Usage:
@@ -246,8 +255,15 @@ def collect_must_use_functions(roots):
 
 
 def check_discarded_result(path, text, must_use, findings):
+    prev = ""
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
+        # A continuation of the previous statement (assignment or argument
+        # list split across lines) is consumed by its first line.
+        if prev.endswith(("=", "(", ",", "&&", "||", "return")):
+            prev = stripped or prev
+            continue
+        prev = stripped or prev
         if "ALLOW(discarded-result)" in line:
             continue
         m = CALL_STMT_RE.match(line)
@@ -271,6 +287,49 @@ def check_discarded_result(path, text, must_use, findings):
             "await, check, or cast to (void)" % callee))
 
 
+# `Spawn(` or `sim::Spawn(` — the detachment point for background tasks.
+SPAWN_RE = re.compile(r"\b(?:sim::)?Spawn[ \t\n]*\(")
+
+# A stop token among the spawned call's arguments, by naming convention:
+# `stop`, `stop_`, `stop_token()`, `rack.stop_token()`, `StopToken`, ...
+STOP_ARG_RE = re.compile(r"\bstop\w*\b|\bStopToken\b", re.IGNORECASE)
+
+
+def check_unstoppable_loop(path, text, findings):
+    for m in SPAWN_RE.finditer(text):
+        open_idx = text.find("(", m.start())
+        depth = 0
+        close = -1
+        for i in range(open_idx, len(text)):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+        if close == -1:
+            continue
+        args = text[open_idx + 1:close]
+        # Only the convention-named periodic loops: anything else spawned
+        # detached (one-shot repair, migration) legitimately runs to
+        # completion without supervision.
+        call = re.search(r"\b[A-Za-z_]\w*Loop[ \t\n]*\(", args)
+        if call is None:
+            continue
+        if STOP_ARG_RE.search(args):
+            continue
+        stmt_end = text.find("\n", close)
+        stmt_end = len(text) if stmt_end == -1 else stmt_end
+        if "ALLOW(unstoppable-loop)" in text[m.start():stmt_end]:
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "unstoppable-loop",
+            "detached *Loop spawned without a stop token; it outlives "
+            "Shutdown() and wakes against freed state — thread a "
+            "sim::StopToken& through it"))
+
+
 def lint_paths(paths, must_use_roots):
     findings = []
     must_use = collect_must_use_functions(must_use_roots)
@@ -279,6 +338,7 @@ def lint_paths(paths, must_use_roots):
         text = strip_comments_and_strings(raw)
         check_dangling_frame(path, text, findings)
         check_discarded_result(path, text, must_use, findings)
+        check_unstoppable_loop(path, text, findings)
     return findings
 
 
@@ -306,6 +366,9 @@ def self_test(repo_root):
         ok = False
     if "discarded-result" not in rules:
         print("SELF-TEST FAIL: seeded discarded-result repro not flagged")
+        ok = False
+    if "unstoppable-loop" not in rules:
+        print("SELF-TEST FAIL: seeded unsupervised-loop repro not flagged")
         ok = False
     for f in flagged:
         print("  (expected) %s" % f)
