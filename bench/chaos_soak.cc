@@ -25,6 +25,7 @@
 #include "src/common/check.h"
 #include "src/core/rack.h"
 #include "src/cxl/replication.h"
+#include "src/obs/obs.h"
 #include "src/sim/chaos.h"
 #include "src/sim/task.h"
 
@@ -110,12 +111,25 @@ struct RunResult {
   uint64_t dedup_hits = 0;
   uint64_t watchdog_misses = 0;
   uint64_t flr_resets = 0;
+  uint64_t quarantines = 0;
+  uint64_t quarantine_releases = 0;
+  uint64_t quarantined_skips = 0;
   cxl::ReplicatedRegion::Stats scrub;
   Orchestrator::Stats orch;
   TrafficStats traffic;
 };
 
-RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
+uint64_t CounterValue(obs::Registry& reg, const std::string& name) {
+  const obs::Counter* c = reg.FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+// `obs` is the observability bundle for this run, or nullptr to run with
+// every hook disabled — main() runs the same seed both ways and requires a
+// bit-identical trace digest, which is the tracing-purity guarantee.
+// `json_path` (optional) gets a BENCH_chaos_soak-style metrics snapshot.
+RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
+                  obs::Observability* obs, const std::string& json_path = "") {
   sim::EventLoop loop;
   RackConfig rc;
   rc.pod.num_hosts = 4;
@@ -128,6 +142,7 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
   // exercise the exactly-once dedup window without stretching every failed
   // doorbell to 4x the rpc timeout during outages.
   rc.orch.mmio_retry.max_attempts = 2;
+  rc.obs = obs;
   Rack rack(loop, rc);
 
   // The coherence race detector shadows every pool line for the whole soak:
@@ -135,6 +150,7 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
   // plane's own CXL traffic (rings, doorbells, leases).
   analysis::CoherenceChecker checker;
   checker.AttachTo(rack.pod());
+  checker.BindObservability(obs);
 
   // One doorbell accel per host, so failover always has somewhere to go.
   std::vector<std::unique_ptr<DoorbellDevice>> accels;
@@ -159,7 +175,10 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
     region_content[i] = static_cast<std::byte>((i * 131) & 0xff);
   }
   cxl::HostAdapter& host0 = rack.pod().host(0);
-  sim::RunBlocking(loop, region.Publish(host0, 0, region_content));
+  if (obs != nullptr) {
+    region.BindMetrics(&obs->metrics(), "control-plane");
+  }
+  CXLPOOL_CHECK_OK(sim::RunBlocking(loop, region.Publish(host0, 0, region_content)));
   Spawn(region.ScrubLoop(host0, 50 * kMicrosecond, rack.stop_token()));
 
   sim::ChaosInjector::Options copts;
@@ -170,6 +189,16 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
   // declared dead (revocation + failover), while short ones ride it out.
   copts.max_outage = 800 * kMicrosecond;
   sim::ChaosInjector chaos(loop, copts);
+  if (obs != nullptr) {
+    // Mirror every executed fail/repair/recover line into the flight
+    // recorder (ring 0 — chaos is rack-level, not per-host), so a failure
+    // dump interleaves faults with the control plane's own events.
+    obs::Observability* o = obs;
+    sim::EventLoop* lp = &loop;
+    chaos.SetEventHook([o, lp](const std::string& line) {
+      o->flight().Note(lp->now(), 0, "chaos", "%s", line.c_str());
+    });
+  }
 
   cxl::CxlPod& pod = rack.pod();
   // Never crash host 0: it runs the orchestrator container (§4.2).
@@ -269,11 +298,18 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
 
   TrafficStats traffic;
   std::array<std::unique_ptr<Rack::Lease>, 4> leases;
+  // Paths replaced by migration are parked here, not destroyed: a Traffic
+  // op may still be suspended inside the old path (its retry loop and RPC
+  // client live in the path object), so freeing it mid-flight is a
+  // use-after-free when that op resumes. Retired paths drain with the loop
+  // and die at RunSoak exit.
+  std::vector<std::unique_ptr<core::MmioPath>> retired_paths;
   for (int h = 1; h < 4; ++h) {
     // Orchestrator-driven migration rebinds the live lease in place.
     orch.agent(HostId(h))->SetMigrationHandler(
-        [&orch, &leases, h](PcieDeviceId old_dev, PcieDeviceId new_dev,
-                            HostId new_home) -> Task<> {
+        [&orch, &leases, &retired_paths, h](
+            PcieDeviceId old_dev, PcieDeviceId new_dev,
+            HostId new_home) -> Task<> {
           auto& lease = leases[h];
           if (lease != nullptr && lease->assignment.device == old_dev) {
             auto path = orch.MakeMmioPath(HostId(h), new_dev);
@@ -281,6 +317,7 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
               lease->assignment.device = new_dev;
               lease->assignment.home = new_home;
               lease->assignment.local = new_home == HostId(h);
+              retired_paths.push_back(std::move(lease->mmio));
               lease->mmio = std::move(*path);
             }
           }
@@ -315,7 +352,32 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
     r.flr_resets += as.flr_resets;
   }
   r.orch = orch.stats();
+  r.quarantines = CounterValue(orch.metrics(), "orch.quarantines");
+  r.quarantine_releases = CounterValue(orch.metrics(), "orch.quarantine_releases");
+  r.quarantined_skips = CounterValue(orch.metrics(), "orch.quarantined_skips");
   r.traffic = traffic;
+
+  if (!json_path.empty() && obs != nullptr) {
+    // Fold the soak-level results into the registry so the snapshot is one
+    // self-contained document (registry metrics + chaos outcome).
+    obs::Registry& reg = obs->metrics();
+    reg.GetCounter("chaos.injections")->Add(r.injections);
+    reg.GetCounter("chaos.recoveries")->Add(r.recoveries);
+    reg.GetCounter("chaos.violations")->Add(r.violations);
+    reg.GetHistogram("chaos.mttr_ns")->MergeFrom(chaos.mttr());
+    for (const auto& [cls, hist] : chaos.mttr_by_class()) {
+      reg.GetHistogram("chaos.mttr_ns", {{"class", cls}})->MergeFrom(hist);
+    }
+    reg.GetCounter("traffic.ops_ok")->Add(r.traffic.ops_ok);
+    reg.GetCounter("traffic.ops_failed")->Add(r.traffic.ops_failed);
+    reg.GetCounter("traffic.reacquires")->Add(r.traffic.reacquires);
+    Status st = obs::WriteBenchJson(json_path, "chaos_soak", loop.now(), reg);
+    CXLPOOL_CHECK_OK(st);
+    if (print) {
+      std::printf("metrics snapshot:  %s (%zu series)\n", json_path.c_str(),
+                  reg.series_count());
+    }
+  }
 
   if (print) {
     std::printf("faults injected:   %llu (%zu planned)\n",
@@ -346,9 +408,9 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
                 (unsigned long long)r.orch.abandoned_migrations);
     std::printf("quarantine:        %llu entered, %llu released, %llu "
                 "allocation skips\n",
-                (unsigned long long)r.orch.quarantines,
-                (unsigned long long)r.orch.quarantine_releases,
-                (unsigned long long)r.orch.quarantined_skips);
+                (unsigned long long)r.quarantines,
+                (unsigned long long)r.quarantine_releases,
+                (unsigned long long)r.quarantined_skips);
     std::printf("gray failures:     %llu watchdog misses, %llu FLR resets, "
                 "%llu dedup hits\n",
                 (unsigned long long)r.watchdog_misses,
@@ -367,6 +429,13 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
       std::printf("  COHERENCE %s\n", v.ToString().c_str());
     }
     std::printf("trace digest:      %s\n", r.digest.c_str());
+    if (obs != nullptr) {
+      std::printf("flight recorder:   %llu events recorded (%llu overwritten) "
+                  "across %zu rings\n",
+                  (unsigned long long)obs->flight().recorded(),
+                  (unsigned long long)obs->flight().overwritten(),
+                  obs->flight().host_count());
+    }
   }
   return r;
 }
@@ -375,9 +444,12 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print) {
 
 int main(int argc, char** argv) {
   bool short_mode = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--short") == 0) {
       short_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
   // The short mode is the CI gate: same faults, same seed, same
@@ -387,15 +459,24 @@ int main(int argc, char** argv) {
               "vs the control plane%s ===\n\n",
               short_mode ? " (short)" : "");
   constexpr uint64_t kSeed = 0xC0FFEE;
-  RunResult first = RunSoak(kSeed, soak, /*print=*/true);
+  // First run: full observability — tracing, registry metrics, and the
+  // flight recorder wired to CHECK failures (so any assertion below dumps
+  // the last operations of every host).
+  obs::Observability obs;
+  obs.InstallCheckHook();
+  RunResult first = RunSoak(kSeed, soak, /*print=*/true, &obs, json_path);
 
-  std::printf("\nre-running the identical seed...\n");
-  RunResult second = RunSoak(kSeed, soak, /*print=*/false);
+  // Second run: same seed, all observability off. Identical digests prove
+  // both reproducibility and tracing purity — the instrumented run made
+  // exactly the simulation decisions the bare run did.
+  std::printf("\nre-running the identical seed with observability off...\n");
+  RunResult second = RunSoak(kSeed, soak, /*print=*/false, /*obs=*/nullptr);
   CXLPOOL_CHECK(first.digest == second.digest);
   CXLPOOL_CHECK(first.executed == second.executed);
   CXLPOOL_CHECK(first.traffic.ops_ok == second.traffic.ops_ok);
   std::printf("reproducibility:   OK — identical trace digest and event count "
-              "(%llu events)\n", (unsigned long long)first.executed);
+              "(%llu events) with tracing on and off\n",
+              (unsigned long long)first.executed);
   CXLPOOL_CHECK(first.violations == 0);
   // The fault storm must not have tricked any host into breaking the
   // publish/consume protocol or silently destroying unpublished bytes.

@@ -4,10 +4,13 @@
 // Paper: sub-microsecond latencies without cache coherence; median ~600 ns,
 // slightly above the theoretical minimum of one CXL write + one CXL read.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/cxl/pod.h"
 #include "src/msg/channel.h"
+#include "src/obs/registry.h"
 #include "src/sim/stats.h"
 #include "src/sim/task.h"
 
@@ -45,7 +48,13 @@ Task<> Ping(msg::Channel& ch, sim::EventLoop& loop, sim::Histogram& hist,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::printf("=== Figure 4: shared-memory message passing latency (one-way) ===\n");
   std::printf("ping-pong over 64 B-slot rings in the CXL pool; both hosts on\n");
   std::printf("PCIe-5.0 x16 links; software coherence (nt-store / inval+load)\n\n");
@@ -82,6 +91,14 @@ int main() {
   std::printf("\nmedian %lld ns (paper: ~600 ns, sub-us overall); max %lld ns\n",
               static_cast<long long>(hist.Percentile(0.5)),
               static_cast<long long>(hist.max()));
+  if (!json_path.empty()) {
+    obs::Registry reg;
+    reg.GetHistogram("fig4.oneway_ns")->MergeFrom(hist);
+    reg.GetGauge("fig4.floor_ns")->Set(t.cxl_write + t.cxl_read);
+    CXLPOOL_CHECK_OK(
+        obs::WriteBenchJson(json_path, "fig4_msg_latency", loop.now(), reg));
+    std::printf("metrics snapshot: %s\n", json_path.c_str());
+  }
   CXLPOOL_CHECK(pod.TotalLostDirtyLines() == 0);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/core/rack.h"
+#include "src/obs/obs.h"
 #include "src/sim/task.h"
 
 using namespace cxlpool;
@@ -26,17 +27,22 @@ int main() {
   rc.pod.dram_per_host = 8 * kMiB;
   rc.accels = 1;      // ONE device for the whole pod
   rc.accel_home = 0;  // physically attached to host 0
+  // Observability on: each job submission becomes a qp.submit_wait trace
+  // whose child spans name every phase of the forwarded doorbell.
+  obs::Observability obs;
+  rc.obs = &obs;
   Rack rack(loop, rc);
   rack.Start();
 
   // Every host — including ones with no accelerator — runs a job.
-  auto run_job = [](Rack& rack, HostId host) -> Task<Nanos> {
+  auto run_job = [&obs](Rack& rack, HostId host) -> Task<Nanos> {
     sim::EventLoop& loop = rack.loop();
     auto lease = rack.AcquireDevice(host, DeviceType::kAccel);
     CXLPOOL_CHECK_OK(lease.status());
     auto qp = rack.accel(0)->AllocateQueuePair();
     CXLPOOL_CHECK_OK(qp.status());
     VirtualAccel::Config vc;
+    vc.tracer = obs.tracer();
     auto accel = co_await VirtualAccel::Create(rack.pod().host(host),
                                                std::move(lease->mmio), vc, *qp);
     CXLPOOL_CHECK_OK(accel.status());
@@ -79,6 +85,17 @@ int main() {
                 "(output verified)\n",
                 h, h == 0 ? "LOCAL " : "POOLED",
                 static_cast<double>(took) / 1000.0);
+  }
+
+  // Per-phase latency breakdown, from the distributed traces: local
+  // submissions stop at mmio.device_bar; pooled ones add the rpc.* phases.
+  std::printf("\nper-phase latency breakdown across all jobs (ns):\n");
+  std::printf("  %-16s %6s %8s %8s\n", "phase", "n", "p50", "p99");
+  for (const auto& [name, hist] : obs.tracer()->PhaseHistograms()) {
+    std::printf("  %-16s %6llu %8lld %8lld\n", name.c_str(),
+                static_cast<unsigned long long>(hist.count()),
+                static_cast<long long>(hist.Percentile(0.5)),
+                static_cast<long long>(hist.Percentile(0.99)));
   }
 
   std::printf("\nremote submission adds only the forwarding-channel doorbell\n"

@@ -55,6 +55,22 @@ void CoherenceChecker::Detach() {
   }
 }
 
+void CoherenceChecker::BindObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    return;
+  }
+  for (int t = 0; t < kNumViolationTypes; ++t) {
+    auto type = static_cast<ViolationType>(t);
+    obs_->metrics().RegisterProbe(
+        "coherence.violations", {{"type", std::string(ViolationTypeName(type))}},
+        [this, type] { return static_cast<int64_t>(count(type)); });
+  }
+  obs_->metrics().RegisterProbe("coherence.events_seen", {}, [this] {
+    return static_cast<int64_t>(events_seen_);
+  });
+}
+
 void CoherenceChecker::RecordAccess(LineState& line,
                                     const cxl::CoherenceEvent& ev) {
   line.ring[line.ring_next] = Access{ev.time, ev.host, ev.op, line.version};
@@ -71,6 +87,18 @@ void CoherenceChecker::ReportViolation(ViolationType type,
                                        Nanos time, std::string context) {
   ++total_violations_;
   ++counts_[static_cast<size_t>(type)];
+  if (obs_ != nullptr) {
+    // Land the offending operation in the offender's flight ring *before*
+    // dumping, so the dump always contains it.
+    obs_->flight().Note(
+        time, offender.value(), "coherence",
+        "%s line=0x%llx v%llu (latest v%llu) other=h%u %s",
+        std::string(ViolationTypeName(type)).c_str(),
+        (unsigned long long)line_addr, (unsigned long long)observed_version,
+        (unsigned long long)line.version, other.value(), context.c_str());
+    obs_->DumpFlight("coherence violation: " +
+                     std::string(ViolationTypeName(type)));
+  }
   if (violations_.size() >= options_.max_recorded_violations) {
     return;
   }

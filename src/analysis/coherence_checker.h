@@ -51,6 +51,7 @@
 #include "src/common/units.h"
 #include "src/cxl/coherence_observer.h"
 #include "src/cxl/pod.h"
+#include "src/obs/obs.h"
 
 namespace cxlpool::analysis {
 
@@ -104,6 +105,12 @@ class CoherenceChecker : public cxl::CoherenceObserver {
   void AttachTo(cxl::CxlPod& pod);
   void Detach();
 
+  // Optional observability bundle: each detected violation is noted in the
+  // offender host's flight ring and triggers one flight-recorder dump (so
+  // the per-host history is preserved at first-detection time), and the
+  // per-type violation counts are exported as registry probes.
+  void BindObservability(obs::Observability* obs);
+
   // cxl::CoherenceObserver:
   void OnLineEvent(const cxl::CoherenceEvent& ev) override;
   void OnHandoff(HostId host, uint64_t addr, uint64_t len,
@@ -152,6 +159,7 @@ class CoherenceChecker : public cxl::CoherenceObserver {
 
   Options options_;
   cxl::CxlPod* pod_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   std::unordered_map<uint64_t, LineState> lines_;
   std::vector<Violation> violations_;
   std::array<uint64_t, kNumViolationTypes> counts_ = {};

@@ -1,21 +1,51 @@
 // CHECK macros for invariants that indicate programmer error. These abort
 // the process with a location message; they are not for recoverable errors
 // (use Status for those).
+//
+// A process-global failure hook runs once, just before abort, on every CHECK
+// path. Observability installs a flight-recorder dump there, so a failed
+// invariant prints the last-N events that led up to it instead of just the
+// failing expression.
 #ifndef SRC_COMMON_CHECK_H_
 #define SRC_COMMON_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <utility>
 
 namespace cxlpool {
 namespace check_internal {
 
+inline std::function<void()>& FailureHook() {
+  static std::function<void()> hook;
+  return hook;
+}
+
+// Runs the registered hook at most once (the hook itself may CHECK).
+inline void RunFailureHook() {
+  static bool ran = false;
+  if (!ran && FailureHook()) {
+    ran = true;
+    FailureHook()();
+  }
+}
+
 [[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
   std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s\n", file, line, expr);
+  RunFailureHook();
   std::abort();
 }
 
 }  // namespace check_internal
+
+// Registers `hook` to run before abort on any CHECK failure. Pass an empty
+// function to clear. Last registration wins (single hook by design — the
+// only client is the observability dump).
+inline void SetCheckFailureHook(std::function<void()> hook) {
+  check_internal::FailureHook() = std::move(hook);
+}
+
 }  // namespace cxlpool
 
 #define CXLPOOL_CHECK(expr)                                            \
@@ -35,7 +65,8 @@ namespace check_internal {
                    __LINE__, #expr);                                       \
       std::fprintf(stderr, __VA_ARGS__);                                   \
       std::fprintf(stderr, "\n");                                          \
-      std::abort();                                                        \
+      ::cxlpool::check_internal::RunFailureHook();                         \
+      std::abort();                                                       \
     }                                                                      \
   } while (0)
 
@@ -45,6 +76,7 @@ namespace check_internal {
     if (!_s.ok()) {                                                     \
       std::fprintf(stderr, "FATAL %s:%d: status not OK: %s\n", __FILE__, \
                    __LINE__, _s.ToString().c_str());                    \
+      ::cxlpool::check_internal::RunFailureHook();                      \
       std::abort();                                                     \
     }                                                                   \
   } while (0)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdarg>
 
 #include "src/common/check.h"
 #include "src/devices/nic.h"
@@ -102,6 +103,45 @@ Result<Decoded> Decode(std::span<const std::byte> payload) {
 
 }  // namespace epoch_wire
 
+void Agent::RegisterMetrics() {
+  if (obs_ == nullptr) {
+    return;
+  }
+  // Stats keep their struct home (tests read them directly); the registry
+  // sees them through probes, so the agent shows up in every metrics
+  // snapshot without double bookkeeping.
+  obs::Labels labels = {{"host", std::to_string(host_.id().value())}};
+  obs::Registry& reg = obs_->metrics();
+  reg.RegisterProbe("agent.forwarded_writes", labels,
+                    [this] { return static_cast<int64_t>(stats_.forwarded_writes); });
+  reg.RegisterProbe("agent.forwarded_reads", labels,
+                    [this] { return static_cast<int64_t>(stats_.forwarded_reads); });
+  reg.RegisterProbe("agent.stale_epoch_rejects", labels,
+                    [this] { return static_cast<int64_t>(stats_.stale_epoch_rejects); });
+  reg.RegisterProbe("agent.dedup_hits", labels,
+                    [this] { return static_cast<int64_t>(stats_.dedup_hits); });
+  reg.RegisterProbe("agent.watchdog_misses", labels,
+                    [this] { return static_cast<int64_t>(stats_.watchdog_misses); });
+  reg.RegisterProbe("agent.flr_resets", labels,
+                    [this] { return static_cast<int64_t>(stats_.flr_resets); });
+  reg.RegisterProbe("agent.reports_sent", labels,
+                    [this] { return static_cast<int64_t>(stats_.reports_sent); });
+  reg.RegisterProbe("agent.migrations_executed", labels, [this] {
+    return static_cast<int64_t>(stats_.migrations_executed);
+  });
+}
+
+void Agent::FlightNote(const char* category, const char* fmt, ...) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  va_list args;
+  va_start(args, fmt);
+  obs_->flight().NoteV(host_.loop().now(), host_.id().value(), category, fmt,
+                       args);
+  va_end(args);
+}
+
 void Agent::RegisterDevice(pcie::PcieDevice* device, DeviceType type,
                            UtilProbe util_probe, HealthProbe health_probe) {
   CXLPOOL_CHECK(device != nullptr);
@@ -129,7 +169,8 @@ uint32_t Agent::device_fault_episodes(PcieDeviceId id) const {
 }
 
 sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
-    uint16_t method, std::span<const std::byte> payload) {
+    uint16_t method, std::span<const std::byte> payload,
+    obs::TraceContext ctx) {
   bool is_write = method == kMethodMmioWrite;
   if (!is_write && method != kMethodMmioRead) {
     co_return Unimplemented("unknown forwarding method");
@@ -144,6 +185,10 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
   }
   if (decoded->epoch != it->second.epoch) {
     ++stats_.stale_epoch_rejects;
+    FlightNote("mmio", "stale-epoch reject dev=%u epoch=%llu (local %llu)",
+               decoded->device.value(),
+               static_cast<unsigned long long>(decoded->epoch),
+               static_cast<unsigned long long>(it->second.epoch));
     co_return Aborted("stale lease epoch");
   }
   pcie::PcieDevice* device = it->second.device;
@@ -159,11 +204,19 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
           it->second.applied_write_seq.try_emplace(decoded->client_id, 0);
       if (!inserted && decoded->seq <= seq_it->second) {
         ++stats_.dedup_hits;
+        FlightNote("mmio", "dedup ack dev=%u client=%llu seq=%llu",
+                   decoded->device.value(),
+                   static_cast<unsigned long long>(decoded->client_id),
+                   static_cast<unsigned long long>(decoded->seq));
         co_return std::vector<std::byte>{};
       }
     }
     ++stats_.forwarded_writes;
+    obs::Span bar = obs::MaybeStartSpan(tracer(), "mmio.device_bar",
+                                        host_.id().value(), ctx,
+                                        host_.loop().now());
     Status st = co_await device->MmioWrite(decoded->reg, decoded->value);
+    bar.End(host_.loop().now());
     if (!st.ok()) {
       co_return st;
     }
@@ -176,7 +229,11 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
     co_return std::vector<std::byte>{};
   }
   ++stats_.forwarded_reads;
+  obs::Span bar = obs::MaybeStartSpan(tracer(), "mmio.device_bar",
+                                      host_.id().value(), ctx,
+                                      host_.loop().now());
   auto value = co_await device->MmioRead(decoded->reg);
+  bar.End(host_.loop().now());
   if (!value.ok()) {
     co_return value.status();
   }
@@ -217,9 +274,11 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleControl(
 
 void Agent::ServeForwarding(msg::Endpoint& endpoint, sim::StopToken& stop) {
   auto server = std::make_unique<msg::RpcServer>(
-      endpoint, [this](uint16_t m, std::span<const std::byte> p) {
-        return HandleForwarding(m, p);
+      endpoint,
+      [this](uint16_t m, std::span<const std::byte> p, obs::TraceContext ctx) {
+        return HandleForwarding(m, p, ctx);
       });
+  server->BindTracer(tracer());
   sim::Spawn(server->ServeSupervised(stop));
   servers_.push_back(std::move(server));
 }
@@ -229,6 +288,7 @@ void Agent::ServeControl(msg::Endpoint& endpoint, sim::StopToken& stop) {
       endpoint, [this](uint16_t m, std::span<const std::byte> p) {
         return HandleControl(m, p);
       });
+  server->BindTracer(tracer());
   sim::Spawn(server->ServeSupervised(stop));
   servers_.push_back(std::move(server));
 }
@@ -259,6 +319,8 @@ sim::Task<std::vector<DeviceStatus>> Agent::ProbeDevices() {
         ++stats_.watchdog_misses;
         ++entry.mmio_misses;
         s.healthy = false;
+        FlightNote("watchdog", "probe miss dev=%u consecutive=%d", id.value(),
+                   entry.mmio_misses);
         if (entry.mmio_misses >= config_.wedge_miss_threshold) {
           // FLR: drains engines via the generation bump, re-initializes
           // BAR state, clears the wedge. The episode is reported to the
@@ -267,6 +329,8 @@ sim::Task<std::vector<DeviceStatus>> Agent::ProbeDevices() {
           ++stats_.flr_resets;
           ++entry.fault_episodes;
           entry.mmio_misses = 0;
+          FlightNote("watchdog", "FLR reset dev=%u episode=%u", id.value(),
+                     entry.fault_episodes);
         }
       } else {
         entry.mmio_misses = 0;

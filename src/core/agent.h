@@ -16,6 +16,7 @@
 
 #include "src/core/mmio_path.h"
 #include "src/msg/rpc.h"
+#include "src/obs/obs.h"
 #include "src/pcie/device.h"
 #include "src/sim/poll.h"
 
@@ -83,9 +84,16 @@ class Agent {
     // ride the monitor cadence, so detection latency is roughly
     // wedge_miss_threshold * (monitor_interval + wedge stall).
     int wedge_miss_threshold = 2;
+    // Shared observability bundle (null = disabled): device_bar spans on
+    // forwarded ops, flight-recorder notes on anomalies (stale epoch,
+    // dedup, FLR), and stats exported as registry probes.
+    obs::Observability* obs = nullptr;
   };
 
-  Agent(cxl::HostAdapter& host, Config config) : host_(host), config_(config) {}
+  Agent(cxl::HostAdapter& host, Config config)
+      : host_(host), config_(config), obs_(config.obs) {
+    RegisterMetrics();
+  }
   Agent(const Agent&) = delete;
   Agent& operator=(const Agent&) = delete;
 
@@ -160,14 +168,20 @@ class Agent {
   };
 
   sim::Task<Result<std::vector<std::byte>>> HandleForwarding(
-      uint16_t method, std::span<const std::byte> payload);
+      uint16_t method, std::span<const std::byte> payload,
+      obs::TraceContext ctx);
   sim::Task<Result<std::vector<std::byte>>> HandleControl(
       uint16_t method, std::span<const std::byte> payload);
   sim::Task<> ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& stop);
   sim::Task<std::vector<DeviceStatus>> ProbeDevices();
+  void RegisterMetrics();
+  obs::Tracer* tracer() { return obs_ != nullptr ? obs_->tracer() : nullptr; }
+  void FlightNote(const char* category, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
 
   cxl::HostAdapter& host_;
   Config config_;
+  obs::Observability* obs_;
   std::map<PcieDeviceId, LocalDevice> devices_;
   MigrationHandler migration_handler_;
   std::vector<std::unique_ptr<msg::RpcServer>> servers_;

@@ -53,28 +53,50 @@ Result<Decoded> Decode(std::span<const std::byte> payload, bool is_write) {
 
 }  // namespace mmio_wire
 
-sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value) {
+obs::Span ForwardedMmioPath::StartOpSpan(const char* name,
+                                         obs::TraceContext parent) {
+  if (tracer_ == nullptr) {
+    return obs::Span();
+  }
+  if (parent.traced()) {
+    return tracer_->StartSpan(name, trace_host_, parent, loop_.now());
+  }
+  return tracer_->StartTrace(name, trace_host_, loop_.now());
+}
+
+sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value,
+                                           obs::TraceContext parent) {
   // The seq is fixed BEFORE the first attempt: every retry re-sends the
   // same frame, so the home agent can recognize a duplicate of an already-
   // applied write and acknowledge without ringing the doorbell again.
   uint64_t seq = ++next_seq_;
+  obs::Span op = StartOpSpan("mmio.write", parent);
+  // Pin the loop into this frame: rebind/failover may destroy this path
+  // while the call is in flight, so no member access after the co_await.
+  sim::EventLoop& loop = loop_;
   auto request =
       mmio_wire::EncodeWrite(device_, epoch_, client_id_, seq, reg, value);
   auto resp = co_await retry_.Call(*client_, kMethodMmioWrite, request,
-                                   timeout_, loop_);
+                                   timeout_, loop, op.context());
+  op.End(loop.now());
   if (!resp.ok()) {
     co_return resp.status();
   }
   co_return OkStatus();
 }
 
-sim::Task<Result<uint64_t>> ForwardedMmioPath::Read(uint64_t reg) {
+sim::Task<Result<uint64_t>> ForwardedMmioPath::Read(uint64_t reg,
+                                                    obs::TraceContext parent) {
   // Reads are idempotent; they carry a seq for wire uniformity but the
   // agent never dedups them (a retried read should observe fresh state).
   uint64_t seq = ++next_seq_;
+  obs::Span op = StartOpSpan("mmio.read", parent);
+  // Same frame-pinning as Write: `this` may die during the await.
+  sim::EventLoop& loop = loop_;
   auto request = mmio_wire::EncodeRead(device_, epoch_, client_id_, seq, reg);
-  auto resp =
-      co_await retry_.Call(*client_, kMethodMmioRead, request, timeout_, loop_);
+  auto resp = co_await retry_.Call(*client_, kMethodMmioRead, request, timeout_,
+                                   loop, op.context());
+  op.End(loop.now());
   if (!resp.ok()) {
     co_return resp.status();
   }

@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/msg/retry.h"
 #include "src/msg/rpc.h"
+#include "src/obs/trace.h"
 #include "src/pcie/device.h"
 #include "src/sim/task.h"
 
@@ -23,11 +24,16 @@ namespace cxlpool::core {
 inline constexpr uint16_t kMethodMmioWrite = 1;
 inline constexpr uint16_t kMethodMmioRead = 2;
 
+// `parent` (optional, zero = untraced) attaches the operation to an
+// existing trace; a traced ForwardedMmioPath also mints a root when the
+// caller passes none, so every forwarded op is traceable end to end.
 class MmioPath {
  public:
   virtual ~MmioPath() = default;
-  virtual sim::Task<Status> Write(uint64_t reg, uint64_t value) = 0;
-  virtual sim::Task<Result<uint64_t>> Read(uint64_t reg) = 0;
+  virtual sim::Task<Status> Write(uint64_t reg, uint64_t value,
+                                  obs::TraceContext parent = {}) = 0;
+  virtual sim::Task<Result<uint64_t>> Read(uint64_t reg,
+                                           obs::TraceContext parent = {}) = 0;
   // True when operations traverse the forwarding channel (diagnostics and
   // the E8 ablation).
   virtual bool is_remote() const = 0;
@@ -38,10 +44,14 @@ class LocalMmioPath : public MmioPath {
  public:
   explicit LocalMmioPath(pcie::PcieDevice* device) : device_(device) {}
 
-  sim::Task<Status> Write(uint64_t reg, uint64_t value) override {
+  sim::Task<Status> Write(uint64_t reg, uint64_t value,
+                          obs::TraceContext parent = {}) override {
+    (void)parent;  // local BARs need no cross-host stitching
     return device_->MmioWrite(reg, value);
   }
-  sim::Task<Result<uint64_t>> Read(uint64_t reg) override {
+  sim::Task<Result<uint64_t>> Read(uint64_t reg,
+                                   obs::TraceContext parent = {}) override {
+    (void)parent;
     return device_->MmioRead(reg);
   }
   bool is_remote() const override { return false; }
@@ -85,14 +95,27 @@ class ForwardedMmioPath : public MmioPath {
         client_id_(client_id),
         retry_(retry) {}
 
-  sim::Task<Status> Write(uint64_t reg, uint64_t value) override;
-  sim::Task<Result<uint64_t>> Read(uint64_t reg) override;
+  // Enables root mmio.write/mmio.read spans on this path. `host` labels
+  // the spans with the client host issuing the ops.
+  void BindTracer(obs::Tracer* tracer, uint32_t host) {
+    tracer_ = tracer;
+    trace_host_ = host;
+  }
+
+  sim::Task<Status> Write(uint64_t reg, uint64_t value,
+                          obs::TraceContext parent = {}) override;
+  sim::Task<Result<uint64_t>> Read(uint64_t reg,
+                                   obs::TraceContext parent = {}) override;
   bool is_remote() const override { return true; }
   uint64_t epoch() const { return epoch_; }
   uint64_t client_id() const { return client_id_; }
   const msg::RetryPolicy::Stats& retry_stats() const { return retry_.stats(); }
 
  private:
+  // Root span when untraced callers hit a traced path; child span when the
+  // caller already carries a context (e.g. a queue-pair submit).
+  obs::Span StartOpSpan(const char* name, obs::TraceContext parent);
+
   std::shared_ptr<msg::RpcClient> client_;
   PcieDeviceId device_;
   uint64_t epoch_;
@@ -101,6 +124,8 @@ class ForwardedMmioPath : public MmioPath {
   uint64_t client_id_;
   uint64_t next_seq_ = 0;  // assigned once per op; identical across retries
   msg::RetryPolicy retry_;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t trace_host_ = 0;
 };
 
 // Encodes/serves the forwarded-MMIO wire format; used by ForwardedMmioPath

@@ -1,6 +1,7 @@
 #include "src/core/orchestrator.h"
 
 #include <algorithm>
+#include <cstdarg>
 
 #include "src/common/check.h"
 #include "src/sim/logger.h"
@@ -8,14 +9,62 @@
 namespace cxlpool::core {
 
 Orchestrator::Orchestrator(cxl::CxlPod& pod, HostId home, Config config)
-    : pod_(pod), home_(home), config_(config), retry_policy_(config.retry) {}
+    : pod_(pod), home_(home), config_(config), retry_policy_(config.retry) {
+  RegisterMetrics();
+}
+
+void Orchestrator::RegisterMetrics() {
+  obs::Registry& reg = metrics();
+  // Quarantine accounting lives directly in the registry (the bespoke
+  // Stats fields are gone); the rest of Stats exports through probes.
+  quarantines_ = reg.GetCounter("orch.quarantines");
+  quarantine_releases_ = reg.GetCounter("orch.quarantine_releases");
+  quarantined_skips_ = reg.GetCounter("orch.quarantined_skips");
+  reg.RegisterProbe("orch.acquires", {},
+                    [this] { return static_cast<int64_t>(stats_.acquires); });
+  reg.RegisterProbe("orch.local_hits", {},
+                    [this] { return static_cast<int64_t>(stats_.local_hits); });
+  reg.RegisterProbe("orch.failovers", {},
+                    [this] { return static_cast<int64_t>(stats_.failovers); });
+  reg.RegisterProbe("orch.rebalances", {},
+                    [this] { return static_cast<int64_t>(stats_.rebalances); });
+  reg.RegisterProbe("orch.reports_received", {}, [this] {
+    return static_cast<int64_t>(stats_.reports_received);
+  });
+  reg.RegisterProbe("orch.host_deaths", {},
+                    [this] { return static_cast<int64_t>(stats_.host_deaths); });
+  reg.RegisterProbe("orch.host_reregistrations", {}, [this] {
+    return static_cast<int64_t>(stats_.host_reregistrations);
+  });
+  reg.RegisterProbe("orch.leases_revoked", {}, [this] {
+    return static_cast<int64_t>(stats_.leases_revoked);
+  });
+  reg.RegisterProbe("orch.abandoned_migrations", {}, [this] {
+    return static_cast<int64_t>(stats_.abandoned_migrations);
+  });
+}
+
+void Orchestrator::FlightNote(const char* category, const char* fmt, ...) {
+  if (config_.obs == nullptr) {
+    return;
+  }
+  va_list args;
+  va_start(args, fmt);
+  config_.obs->flight().NoteV(pod_.loop().now(), home_.value(), category, fmt,
+                              args);
+  va_end(args);
+}
 
 Result<Agent*> Orchestrator::AddAgent(cxl::HostAdapter& host) {
   if (agents_.contains(host.id())) {
     return AlreadyExists("agent already exists for host");
   }
   AgentEntry entry;
-  entry.agent = std::make_unique<Agent>(host, config_.agent);
+  Agent::Config agent_config = config_.agent;
+  if (agent_config.obs == nullptr) {
+    agent_config.obs = config_.obs;
+  }
+  entry.agent = std::make_unique<Agent>(host, agent_config);
 
   ASSIGN_OR_RETURN(entry.report_channel,
                    msg::Channel::Create(pod_.pool(), host, pod_.host(home_)));
@@ -164,7 +213,10 @@ void Orchestrator::AccumulateFlaps(PcieDeviceId id, DeviceRecord& rec,
   rec.probation_until =
       pod_.loop().now() + config_.quarantine_probation * (Nanos{1} << shift);
   ++rec.quarantine_level;
-  ++stats_.quarantines;
+  quarantines_->Inc();
+  FlightNote("quarantine", "dev=%u quarantined level=%u until=%lld",
+             id.value(), rec.quarantine_level,
+             static_cast<long long>(rec.probation_until));
   CXLPOOL_LOG(Warning) << "device " << id << " quarantined (level "
                        << rec.quarantine_level << ", probation until "
                        << rec.probation_until << "ns)";
@@ -183,7 +235,7 @@ bool Orchestrator::CheckQuarantine(DeviceRecord& rec) {
   // level sticks, so a repeat offender earns a doubled sentence.
   rec.quarantined = false;
   rec.flap_count = 0;
-  ++stats_.quarantine_releases;
+  quarantine_releases_->Inc();
   return false;
 }
 
@@ -207,7 +259,7 @@ Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
       continue;
     }
     if (CheckQuarantine(rec)) {
-      ++stats_.quarantined_skips;
+      quarantined_skips_->Inc();
       continue;
     }
     if (best == nullptr || rec.utilization < best->utilization ||
@@ -239,7 +291,7 @@ Result<Orchestrator::Assignment> Orchestrator::Acquire(HostId user, DeviceType t
       continue;
     }
     if (CheckQuarantine(rec)) {
-      ++stats_.quarantined_skips;
+      quarantined_skips_->Inc();
       continue;
     }
     if (rec.utilization < config_.local_threshold &&
@@ -297,12 +349,14 @@ Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
                                                       pod_.host(rec.home)));
   home_agent->ServeForwarding(channel->end_b(), *stop_);
   auto client = std::make_shared<msg::RpcClient>(channel->end_a());
+  client->BindTracer(tracer());
   // Each path gets a unique nonzero client_id: the home agent's dedup
   // window is keyed on it, so a timed-out-then-retried posted write is
   // acknowledged exactly once even across path rebuilds.
   auto path = std::make_unique<ForwardedMmioPath>(
       client, device, rec.epoch, config_.rpc_timeout, pod_.loop(),
       ++next_path_client_id_, config_.mmio_retry);
+  path->BindTracer(tracer(), user.value());
   forwarding_channels_.push_back(std::move(channel));
   forwarding_clients_.push_back(std::move(client));
   return std::unique_ptr<MmioPath>(std::move(path));
@@ -392,6 +446,9 @@ sim::Task<> Orchestrator::LivenessLoop(sim::StopToken& stop) {
 void Orchestrator::DeclareAgentDead(HostId host, AgentEntry& entry) {
   entry.alive = false;
   ++stats_.host_deaths;
+  FlightNote("liveness", "host=%u declared dead (stale for %lld ns)",
+             host.value(),
+             static_cast<long long>(pod_.loop().now() - entry.last_report));
   CXLPOOL_LOG(Warning) << "host " << host << " declared dead ("
                        << (pod_.loop().now() - entry.last_report)
                        << "ns since last report)";

@@ -48,6 +48,11 @@ class Orchestrator {
     uint32_t quarantine_flap_threshold = 3;
     // Base probation; doubles with every quarantine entry for the device.
     Nanos quarantine_probation = 2 * kMillisecond;
+    // Shared observability bundle (null = standalone). When set, it is also
+    // handed to every agent this orchestrator creates (unless the agent
+    // config pins its own), forwarded MMIO paths get tracers, and all
+    // orchestrator counters land in the shared registry.
+    obs::Observability* obs = nullptr;
     Agent::Config agent;
   };
 
@@ -132,15 +137,18 @@ class Orchestrator {
     uint64_t host_reregistrations = 0;   // dead agent reported again
     uint64_t leases_revoked = 0;         // leases torn down (holder dead)
     uint64_t abandoned_migrations = 0;   // migrate RPC failed after retries
-    // --- Degraded-mode (quarantine) counters ---
-    uint64_t quarantines = 0;            // devices placed under probation
-    uint64_t quarantine_releases = 0;    // probations served, device offered
-    uint64_t quarantined_skips = 0;      // allocation scans that passed over
-                                         // a quarantined device
   };
   const Stats& stats() const { return stats_; }
   const msg::RetryPolicy::Stats& retry_stats() const {
     return retry_policy_.stats();
+  }
+
+  // Registry this orchestrator reports into: the shared one from
+  // Config::obs, or a private fallback so standalone construction (tests)
+  // still has a home for every counter. Quarantine accounting lives here as
+  // orch.quarantines / orch.quarantine_releases / orch.quarantined_skips.
+  obs::Registry& metrics() {
+    return config_.obs != nullptr ? config_.obs->metrics() : fallback_metrics_;
   }
 
   // Test hook: process one rebalance scan immediately.
@@ -180,10 +188,21 @@ class Orchestrator {
   sim::Task<> PushEpoch(HostId home, PcieDeviceId device, uint64_t epoch);
   // After a host re-registers, re-sends current epochs for its devices.
   sim::Task<> ResyncEpochs(HostId host);
+  void RegisterMetrics();
+  obs::Tracer* tracer() {
+    return config_.obs != nullptr ? config_.obs->tracer() : nullptr;
+  }
+  void FlightNote(const char* category, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
 
   cxl::CxlPod& pod_;
   HostId home_;
   Config config_;
+  obs::Registry fallback_metrics_;
+  // Registry-backed quarantine counters (cached handles; see metrics()).
+  obs::Counter* quarantines_ = nullptr;
+  obs::Counter* quarantine_releases_ = nullptr;
+  obs::Counter* quarantined_skips_ = nullptr;
   std::map<HostId, AgentEntry> agents_;
   std::map<PcieDeviceId, DeviceRecord> devices_;
   std::vector<std::unique_ptr<msg::Channel>> forwarding_channels_;

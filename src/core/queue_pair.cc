@@ -114,12 +114,20 @@ sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> 
 
   uint64_t cookie = next_cookie_++;
   PutU64(cmd.data() + config_.cookie_offset, cookie);
+  // Root span for this command's life: publish, doorbell (possibly
+  // forwarded — the context rides the RPC wire), completion poll.
+  obs::Span op = obs::MaybeStartTrace(config_.tracer, "qp.submit_wait",
+                                      host_.id().value(), host_.loop().now());
   // Reserve the slot before suspending so concurrent submitters never
   // collide; the doorbell only covers the contiguous published prefix.
   uint64_t slot = sq_posted_++;
   ++in_flight_;
   uint64_t addr = sq_base_ + (slot % config_.entries) * config_.cmd_size;
-  CO_RETURN_IF_ERROR(co_await mem_.Publish(addr, cmd));
+  Status publish_st = co_await mem_.Publish(addr, cmd);
+  if (!publish_st.ok()) {
+    op.End(host_.loop().now());
+    co_return publish_st;
+  }
   sq_published_.insert(slot);
   while (sq_published_.contains(sq_ready_)) {
     sq_published_.erase(sq_ready_);
@@ -135,7 +143,12 @@ sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> 
                         static_cast<uint64_t>(config_.entries) * config_.cmd_size,
                         "sq-doorbell");
     }
-    CO_RETURN_IF_ERROR(co_await mmio_->Write(config_.sq_doorbell_reg, value));
+    Status bell_st = co_await mmio_->Write(config_.sq_doorbell_reg, value,
+                                           op.context());
+    if (!bell_st.ok()) {
+      op.End(host_.loop().now());
+      co_return bell_st;
+    }
     if (value > sq_doorbell_sent_) {
       sq_doorbell_sent_ = value;
     }
@@ -147,9 +160,11 @@ sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> 
       uint16_t status = it->second;
       completed_.erase(it);
       backoff_.Reset();
+      op.End(host_.loop().now());
       co_return status;
     }
     if (host_.loop().now() >= deadline) {
+      op.End(host_.loop().now());
       co_return DeadlineExceeded("command timed out");
     }
     if (!polling_) {
@@ -157,6 +172,7 @@ sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> 
       auto got = co_await PollCqOnce();
       polling_ = false;
       if (!got.ok()) {
+        op.End(host_.loop().now());
         co_return got.status();
       }
       if (*got) {

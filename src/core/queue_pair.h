@@ -37,6 +37,10 @@ class QueuePairDriver {
     uint64_t cmd_size = 64;
     uint64_t cpl_size = 64;
     uint64_t cookie_offset = 32;
+    // Optional tracer: every SubmitAndWait becomes a qp.submit_wait root
+    // span whose context rides into the doorbell MMIO (and, for forwarded
+    // paths, across the wire to the home agent).
+    obs::Tracer* tracer = nullptr;
   };
 
   static sim::Task<Result<std::unique_ptr<QueuePairDriver>>> Create(

@@ -8,10 +8,14 @@ namespace cxlpool::core {
 
 Rack::Rack(sim::EventLoop& loop, const RackConfig& config)
     : loop_(loop), config_(config) {
-  pod_ = std::make_unique<cxl::CxlPod>(loop, config.pod);
-  network_ = std::make_unique<netsim::Network>(loop, config.net);
+  if (config_.obs != nullptr) {
+    if (config_.orch.obs == nullptr) config_.orch.obs = config_.obs;
+    if (config_.nic.obs == nullptr) config_.nic.obs = config_.obs;
+  }
+  pod_ = std::make_unique<cxl::CxlPod>(loop, config_.pod);
+  network_ = std::make_unique<netsim::Network>(loop, config_.net);
   orchestrator_ = std::make_unique<Orchestrator>(
-      *pod_, HostId(config.orchestrator_home), config.orch);
+      *pod_, HostId(config_.orchestrator_home), config_.orch);
 
   for (int h = 0; h < pod_->host_count(); ++h) {
     CXLPOOL_CHECK_OK(orchestrator_->AddAgent(pod_->host(h)).status());
@@ -19,10 +23,10 @@ Rack::Rack(sim::EventLoop& loop, const RackConfig& config)
 
   uint32_t next_device = 0;
   for (int h = 0; h < pod_->host_count(); ++h) {
-    for (int n = 0; n < config.nics_per_host; ++n) {
+    for (int n = 0; n < config_.nics_per_host; ++n) {
       auto nic = std::make_unique<devices::Nic>(
           PcieDeviceId(next_device),
-          "nic" + std::to_string(next_device), loop, config.nic);
+          "nic" + std::to_string(next_device), loop, config_.nic);
       ++next_device;
       nic->AttachTo(&pod_->host(h));
       netsim::MacAddr mac = kMacBase + nics_.size();
@@ -32,9 +36,9 @@ Rack::Rack(sim::EventLoop& loop, const RackConfig& config)
                                     [raw] { return raw->WireUtilization(); });
       nics_.push_back(std::move(nic));
     }
-    for (int s = 0; s < config.ssds_per_host; ++s) {
-      devices::SsdConfig ssd_config = config.ssd;
-      ssd_config.seed = config.ssd.seed + next_device;
+    for (int s = 0; s < config_.ssds_per_host; ++s) {
+      devices::SsdConfig ssd_config = config_.ssd;
+      ssd_config.seed = config_.ssd.seed + next_device;
       auto ssd = std::make_unique<devices::Ssd>(
           PcieDeviceId(next_device),
           "ssd" + std::to_string(next_device), loop, ssd_config);
@@ -46,14 +50,14 @@ Rack::Rack(sim::EventLoop& loop, const RackConfig& config)
       ssds_.push_back(std::move(ssd));
     }
   }
-  for (int a = 0; a < config.accels; ++a) {
+  for (int a = 0; a < config_.accels; ++a) {
     auto accel = std::make_unique<devices::Accelerator>(
         PcieDeviceId(next_device), "accel" + std::to_string(next_device), loop,
-        config.accel);
+        config_.accel);
     ++next_device;
-    accel->AttachTo(&pod_->host(config.accel_home));
+    accel->AttachTo(&pod_->host(config_.accel_home));
     devices::Accelerator* raw = accel.get();
-    orchestrator_->RegisterDevice(HostId(config.accel_home), raw,
+    orchestrator_->RegisterDevice(HostId(config_.accel_home), raw,
                                   DeviceType::kAccel,
                                   [raw] { return raw->EngineUtilization(); });
     accels_.push_back(std::move(accel));

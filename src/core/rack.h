@@ -32,6 +32,10 @@ struct RackConfig {
   devices::AccelConfig accel;
   Orchestrator::Config orch;
   int orchestrator_home = 0;  // §4.2: runs on one of the pod's hosts
+  // Shared observability bundle for the whole rack. When set it is
+  // propagated into the orchestrator, every agent, and every device
+  // config that has not already been given its own bundle.
+  obs::Observability* obs = nullptr;
 };
 
 class Rack {

@@ -17,6 +17,7 @@ class VirtualAccel {
   struct Config {
     uint32_t queue_entries = 32;
     bool rings_in_cxl = true;
+    obs::Tracer* tracer = nullptr;
   };
 
   // `queue_pair` selects the device queue pair this handle drives (obtain
@@ -29,6 +30,7 @@ class VirtualAccel {
     QueuePairDriver::Config qp;
     qp.entries = config.queue_entries;
     qp.rings_in_cxl = config.rings_in_cxl;
+    qp.tracer = config.tracer;
     qp.reset_reg = base + devices::kAccelRegReset;
     qp.sq_base_reg = base + devices::kAccelRegSqBase;
     qp.sq_size_reg = base + devices::kAccelRegSqSize;

@@ -16,6 +16,7 @@ class VirtualSsd {
   struct Config {
     uint32_t queue_entries = 64;
     bool rings_in_cxl = true;
+    obs::Tracer* tracer = nullptr;
   };
 
   static sim::Task<Result<std::unique_ptr<VirtualSsd>>> Create(
@@ -23,6 +24,7 @@ class VirtualSsd {
     QueuePairDriver::Config qp;
     qp.entries = config.queue_entries;
     qp.rings_in_cxl = config.rings_in_cxl;
+    qp.tracer = config.tracer;
     qp.reset_reg = devices::kSsdRegReset;
     qp.sq_base_reg = devices::kSsdRegSqBase;
     qp.sq_size_reg = devices::kSsdRegSqSize;

@@ -223,4 +223,30 @@ sim::Task<> ReplicatedRegion::ScrubLoop(HostAdapter& host, Nanos interval,
   }
 }
 
+void ReplicatedRegion::BindMetrics(obs::Registry* registry,
+                                   const std::string& name) {
+  if (registry == nullptr) {
+    return;
+  }
+  obs::Labels labels = {{"region", name}};
+  registry->RegisterProbe("scrub.lines_scrubbed", labels, [this] {
+    return static_cast<int64_t>(stats_.lines_scrubbed);
+  });
+  registry->RegisterProbe("scrub.repairs", labels, [this] {
+    return static_cast<int64_t>(stats_.scrub_repairs);
+  });
+  registry->RegisterProbe("scrub.unrecoverable", labels, [this] {
+    return static_cast<int64_t>(stats_.scrub_unrecoverable);
+  });
+  registry->RegisterProbe("replication.publishes", labels, [this] {
+    return static_cast<int64_t>(stats_.publishes);
+  });
+  registry->RegisterProbe("replication.degraded_writes", labels, [this] {
+    return static_cast<int64_t>(stats_.degraded_writes);
+  });
+  registry->RegisterProbe("replication.failover_reads", labels, [this] {
+    return static_cast<int64_t>(stats_.failover_reads);
+  });
+}
+
 }  // namespace cxlpool::cxl

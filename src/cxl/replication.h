@@ -24,6 +24,7 @@
 #include "src/common/status.h"
 #include "src/cxl/host_adapter.h"
 #include "src/cxl/pool.h"
+#include "src/obs/registry.h"
 #include "src/sim/poll.h"
 
 namespace cxlpool::cxl {
@@ -75,6 +76,12 @@ class ReplicatedRegion {
     uint64_t scrub_repairs = 0;
     uint64_t scrub_unrecoverable = 0;
   };
+
+  // Exports the replication/scrubber stats as registry probes under
+  // {"region": name} labels. Call once the region has reached its final
+  // home: probes capture `this`, so the region must not move (nor be
+  // destroyed) while the registry can still be snapshotted.
+  void BindMetrics(obs::Registry* registry, const std::string& name);
 
   uint64_t size() const { return size_; }
   int replicas() const { return static_cast<int>(segments_.size()); }

@@ -20,7 +20,11 @@ Nic::Nic(PcieDeviceId id, std::string name, sim::EventLoop& loop, NicConfig conf
       tx_kick_(loop),
       rx_kick_(loop),
       tx_pipe_(std::make_unique<sim::Semaphore>(loop, config.pipeline_depth)),
-      rx_pipe_(std::make_unique<sim::Semaphore>(loop, config.pipeline_depth)) {}
+      rx_pipe_(std::make_unique<sim::Semaphore>(loop, config.pipeline_depth)) {
+  obs::Labels labels = {{"device", std::to_string(id.value())}};
+  link_down_episodes_ = metrics().GetCounter("nic.link_down_episodes", labels);
+  wedge_episodes_ = metrics().GetCounter("nic.wedge_episodes", labels);
+}
 
 Nic::~Nic() { DisconnectNetwork(); }
 
@@ -130,8 +134,8 @@ void Nic::OnFailure() {
 
 void Nic::OnReset() {
   // Attribute the episode: each Wedge() since the last reset was one
-  // device-wedge episode (vs link_down_episodes for wire faults).
-  nic_stats_.wedge_episodes += gray_stats().wedges - wedges_seen_;
+  // device-wedge episode (vs nic.link_down_episodes for wire faults).
+  wedge_episodes_->Add(gray_stats().wedges - wedges_seen_);
   wedges_seen_ = gray_stats().wedges;
   // Wake the old engines so they observe the generation bump and exit.
   tx_kick_.Set();

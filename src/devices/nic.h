@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/netsim/network.h"
+#include "src/obs/obs.h"
 #include "src/pcie/device.h"
 #include "src/sim/sync.h"
 #include "src/sim/windowed.h"
@@ -55,6 +56,9 @@ struct NicConfig {
   int pipeline_depth = 16;
   cxl::LinkSpec pcie_link;    // default x8 gen5 (ample for 100 Gb/s)
   pcie::PcieTiming pcie_timing;
+  // Shared observability bundle (null = standalone): fault-episode
+  // counters land in its registry under a {"device": id} label.
+  obs::Observability* obs = nullptr;
 };
 
 class Nic : public pcie::PcieDevice, public netsim::Endpoint {
@@ -74,7 +78,7 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
   // from. The device stays PCIe-alive; the link status register flips.
   void InjectLinkFailure() {
     if (link_up_) {
-      ++nic_stats_.link_down_episodes;
+      link_down_episodes_->Inc();
     }
     link_up_ = false;
   }
@@ -88,13 +92,18 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
     uint64_t rx_bytes = 0;
     uint64_t rx_dropped_no_buffer = 0;
     uint64_t dropped_link_down = 0;
-    // Fault attribution for failover benches: wire-down (InjectLinkFailure
-    // transitions) vs device-wedge (watchdog FLRs of this NIC) are distinct
-    // fault classes with distinct recovery paths.
-    uint64_t link_down_episodes = 0;
-    uint64_t wedge_episodes = 0;
   };
   const NicStats& nic_stats() const { return nic_stats_; }
+
+  // Fault attribution for failover benches: wire-down (InjectLinkFailure
+  // transitions) vs device-wedge (watchdog FLRs of this NIC) are distinct
+  // fault classes with distinct recovery paths. Both live in the metrics
+  // registry (nic.link_down_episodes / nic.wedge_episodes, labeled with
+  // this device's id) — the shared one when NicConfig::obs is set, else a
+  // private fallback readable through metrics().
+  obs::Registry& metrics() {
+    return config_.obs != nullptr ? config_.obs->metrics() : fallback_metrics_;
+  }
 
   // Offered-load utilization of the wire, for the orchestrator's monitor.
   double WireUtilization() const;
@@ -144,6 +153,10 @@ class Nic : public pcie::PcieDevice, public netsim::Endpoint {
   uint64_t wedges_seen_ = 0;     // gray_stats().wedges consumed into episodes
 
   NicStats nic_stats_;
+  obs::Registry fallback_metrics_;
+  // Registry-backed episode counters (handles cached at construction).
+  obs::Counter* link_down_episodes_ = nullptr;
+  obs::Counter* wedge_episodes_ = nullptr;
 };
 
 }  // namespace cxlpool::devices

@@ -10,6 +10,7 @@
 #include "src/common/status.h"
 #include "src/cxl/host_adapter.h"
 #include "src/msg/wire.h"
+#include "src/obs/trace.h"
 #include "src/sim/poll.h"
 #include "src/sim/task.h"
 
@@ -29,16 +30,29 @@ class DoorbellSender {
     region_len_ = len;
   }
 
+  // Enables the doorbell.ring span when Ring is called with a traced
+  // parent context.
+  void BindTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Publishes `value` (callers use monotonically increasing values).
   // Must be a coroutine: `buf` has to outlive the suspended StoreNt task,
   // so it lives in this frame, not on a stack that unwinds immediately.
-  sim::Task<Status> Ring(uint64_t value) {
+  // `ctx` attaches the ring's nt-store to the operation that caused it
+  // (e.g. a queue-pair submit).
+  sim::Task<Status> Ring(uint64_t value, obs::TraceContext ctx = {}) {
     if (region_len_ != 0) {
       host_.NoteHandoff(region_base_, region_len_, "doorbell-ring");
     }
+    obs::Span span = obs::MaybeStartSpan(
+        tracer_, "doorbell.ring", host_.id().value(), ctx, host_.loop().now());
+    // Pin the loop into this frame: the sender may be destroyed while the
+    // store is in flight, so no member access after the co_await.
+    sim::EventLoop& loop = host_.loop();
     std::array<std::byte, 8> buf;
     wire::PutU64(buf.data(), value);
-    co_return co_await host_.StoreNt(addr_, buf);
+    Status st = co_await host_.StoreNt(addr_, buf);
+    span.End(loop.now());
+    co_return st;
   }
 
  private:
@@ -46,6 +60,7 @@ class DoorbellSender {
   uint64_t addr_;
   uint64_t region_base_ = 0;
   uint64_t region_len_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class DoorbellWatcher {

@@ -16,7 +16,7 @@ Nanos RetryPolicy::BackoffFor(int retry) {
 
 sim::Task<Result<std::vector<std::byte>>> RetryPolicy::Call(
     RpcClient& client, uint16_t method, std::span<const std::byte> request,
-    Nanos attempt_timeout, sim::EventLoop& loop) {
+    Nanos attempt_timeout, sim::EventLoop& loop, obs::TraceContext ctx) {
   ++stats_.calls;
   Result<std::vector<std::byte>> result = InvalidArgument("no attempts made");
   Nanos timeout = attempt_timeout;
@@ -30,7 +30,7 @@ sim::Task<Result<std::vector<std::byte>>> RetryPolicy::Call(
                                   options_.timeout_multiplier));
       }
     }
-    result = co_await client.Call(method, request, loop.now() + timeout);
+    result = co_await client.Call(method, request, loop.now() + timeout, ctx);
     if (result.ok() || !IsRetryable(result.status())) {
       co_return result;
     }

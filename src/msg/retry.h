@@ -51,12 +51,14 @@ class RetryPolicy {
 
   // RpcClient::Call with up to max_attempts attempts. Each attempt gets a
   // fresh deadline of now + attempt_timeout; retryable failures back off
-  // (exponential + jitter) between attempts.
+  // (exponential + jitter) between attempts. `ctx` is forwarded to every
+  // attempt, so retried attempts stay in the originating trace.
   sim::Task<Result<std::vector<std::byte>>> Call(RpcClient& client,
                                                  uint16_t method,
                                                  std::span<const std::byte> request,
                                                  Nanos attempt_timeout,
-                                                 sim::EventLoop& loop);
+                                                 sim::EventLoop& loop,
+                                                 obs::TraceContext ctx = {});
 
   struct Stats {
     uint64_t calls = 0;

@@ -7,7 +7,11 @@
 namespace cxlpool::msg {
 
 namespace {
-constexpr size_t kHeaderSize = 1 + 8 + 2;
+// Responses carry only [kind][call_id][method]; requests additionally carry
+// the trace triple (trace_id, parent_span, sent_at) — always present, zero
+// when untraced, so frame length is invariant to tracing state.
+constexpr size_t kRespHeaderSize = 1 + 8 + 2;
+constexpr size_t kReqHeaderSize = kRespHeaderSize + 8 + 8 + 8;
 }  // namespace
 
 namespace {
@@ -25,20 +29,30 @@ class TurnGuard {
 }  // namespace
 
 sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
-    uint16_t method, std::span<const std::byte> request, Nanos deadline) {
+    uint16_t method, std::span<const std::byte> request, Nanos deadline,
+    obs::TraceContext ctx) {
   co_await turn_.Acquire();
   TurnGuard guard(&turn_);
   uint64_t id = next_call_id_++;
+  sim::EventLoop& loop = endpoint_.loop();
+  uint32_t host = endpoint_.host().id().value();
 
+  Nanos sent_at = loop.now();
   std::vector<std::byte> frame;
-  frame.reserve(kHeaderSize + request.size());
+  frame.reserve(kReqHeaderSize + request.size());
   wire::Writer w(&frame);
   w.U8(kRpcRequest);
   w.U64(id);
   w.U16(method);
+  w.U64(ctx.trace_id);
+  w.U64(ctx.span_id);
+  w.U64(static_cast<uint64_t>(sent_at));
   w.Bytes(request);
 
+  obs::Span enqueue =
+      obs::MaybeStartSpan(tracer_, "rpc.enqueue", host, ctx, sent_at);
   Status st = co_await endpoint_.Send(frame);
+  enqueue.End(loop.now());
   if (!st.ok()) {
     co_return st;
   }
@@ -49,7 +63,7 @@ sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
     if (!st.ok()) {
       co_return st;
     }
-    if (resp.size() < kHeaderSize) {
+    if (resp.size() < kRespHeaderSize) {
       co_return Internal("short RPC frame");
     }
     wire::Reader r(resp);
@@ -73,6 +87,7 @@ sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
 
 sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
   sim::EventLoop& loop = endpoint_.loop();
+  uint32_t host = endpoint_.host().id().value();
   while (!stop.stopped()) {
     std::vector<std::byte> frame;
     // Slice the wait so the stop flag is observed promptly.
@@ -88,17 +103,34 @@ sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
       CXLPOOL_LOG(Warning) << "RPC serve loop aborted on channel death: " << st;
       co_return;
     }
-    if (frame.size() < kHeaderSize) {
+    if (frame.size() < kReqHeaderSize) {
       continue;
     }
     wire::Reader r(frame);
     uint8_t kind = r.U8();
     uint64_t id = r.U64();
     uint16_t method = r.U16();
+    obs::TraceContext wire_ctx;
+    wire_ctx.trace_id = r.U64();
+    wire_ctx.span_id = r.U64();
+    Nanos sent_at = static_cast<Nanos>(r.U64());
     if (kind != kRpcRequest) {
       continue;
     }
-    Result<std::vector<std::byte>> result = co_await handler_(method, r.Rest());
+
+    // The flight span (sender's Send to our dequeue) is only knowable
+    // here, after the fact — record it retroactively, then serve under it.
+    obs::TraceContext serve_parent = wire_ctx;
+    if (tracer_ != nullptr && wire_ctx.traced()) {
+      serve_parent = tracer_->RecordSpan("rpc.flight", host, wire_ctx, sent_at,
+                                         loop.now());
+    }
+    obs::Span serve = obs::MaybeStartSpan(tracer_, "rpc.serve", host,
+                                          serve_parent, loop.now());
+    obs::TraceContext handler_ctx = serve.context();
+    Result<std::vector<std::byte>> result =
+        co_await handler_(method, r.Rest(), handler_ctx);
+    serve.End(loop.now());
     std::vector<std::byte> resp;
     wire::Writer w(&resp);
     if (result.ok()) {
@@ -112,7 +144,10 @@ sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
       w.U16(static_cast<uint16_t>(result.status().code()));
     }
     ++stats_.calls_served;
+    obs::Span reply = obs::MaybeStartSpan(tracer_, "rpc.reply", host,
+                                          serve_parent, loop.now());
     Status send_st = co_await endpoint_.Send(resp);
+    reply.End(loop.now());
     if (!send_st.ok()) {
       ++stats_.serve_aborts;
       CXLPOOL_LOG(Warning) << "RPC serve loop aborted on send failure: " << send_st;

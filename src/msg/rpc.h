@@ -3,7 +3,18 @@
 // are serialized (the control plane is low-rate by design — the hot
 // datapath uses rings directly).
 //
-// Wire format: [u8 kind][u64 call_id][u16 method][payload...]
+// Wire format:
+//   request:  [u8 kind][u64 call_id][u16 method]
+//             [u64 trace_id][u64 parent_span][u64 sent_at][payload...]
+//   response: [u8 kind][u64 call_id][u16 method-or-code][payload...]
+//
+// The three trace fields are ALWAYS present in requests — zero when the
+// call is untraced. This is load-bearing for determinism: frame size feeds
+// the ring slot count and therefore simulated timing, so tracing on/off
+// must not change the bytes-on-wire length (only the field values, which
+// the timing model never reads). `sent_at` lets the receiver materialize
+// the channel-flight span retroactively without any clock exchange — both
+// hosts share the one sim clock.
 #ifndef SRC_MSG_RPC_H_
 #define SRC_MSG_RPC_H_
 
@@ -12,6 +23,7 @@
 
 #include "src/common/status.h"
 #include "src/msg/channel.h"
+#include "src/obs/trace.h"
 #include "src/sim/poll.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -27,17 +39,25 @@ class RpcClient {
   explicit RpcClient(Endpoint& endpoint)
       : endpoint_(endpoint), turn_(endpoint.loop(), 1) {}
 
+  // Enables client-side spans (rpc.enqueue) and on-wire propagation of
+  // `ctx`. Null (the default) keeps every hook one branch.
+  void BindTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Issues a call and waits for the response (until `deadline`, absolute).
   // Calls from concurrent coroutines are serialized internally (the
-  // channel carries one outstanding request at a time).
+  // channel carries one outstanding request at a time). `ctx` is the
+  // caller's trace context; it rides the request header so the server's
+  // spans attach to the same trace.
   sim::Task<Result<std::vector<std::byte>>> Call(uint16_t method,
                                                  std::span<const std::byte> request,
-                                                 Nanos deadline);
+                                                 Nanos deadline,
+                                                 obs::TraceContext ctx = {});
 
  private:
   Endpoint& endpoint_;
   uint64_t next_call_id_ = 1;
   sim::Semaphore turn_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class RpcServer {
@@ -46,9 +66,26 @@ class RpcServer {
   // the caller as kRpcErrorResponse carrying the code).
   using Handler = std::function<sim::Task<Result<std::vector<std::byte>>>(
       uint16_t method, std::span<const std::byte> request)>;
+  // Trace-aware handler: additionally receives the request's trace context
+  // (zero when the caller was untraced) for spans under the serve span.
+  using TracedHandler = std::function<sim::Task<Result<std::vector<std::byte>>>(
+      uint16_t method, std::span<const std::byte> request,
+      obs::TraceContext ctx)>;
 
   RpcServer(Endpoint& endpoint, Handler handler)
+      : endpoint_(endpoint),
+        handler_([h = std::move(handler)](uint16_t method,
+                                          std::span<const std::byte> request,
+                                          obs::TraceContext) {
+          return h(method, request);
+        }) {}
+  RpcServer(Endpoint& endpoint, TracedHandler handler)
       : endpoint_(endpoint), handler_(std::move(handler)) {}
+
+  // Enables server-side spans: rpc.flight (recorded retroactively from the
+  // request's sent_at), rpc.serve around the handler, rpc.reply around the
+  // response send.
+  void BindTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Serve loop; runs until `stop` fires. Spawn as a detached task. Exits
   // (and counts a serve_abort) when the channel path dies — e.g. the
@@ -73,8 +110,9 @@ class RpcServer {
 
  private:
   Endpoint& endpoint_;
-  Handler handler_;
+  TracedHandler handler_;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cxlpool::msg

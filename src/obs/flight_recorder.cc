@@ -1,0 +1,81 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstring>
+
+namespace cxlpool::obs {
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::Ring& FlightRecorder::RingFor(uint32_t host) {
+  if (host >= rings_.size()) {
+    rings_.resize(host + 1);
+  }
+  Ring& ring = rings_[host];
+  if (ring.slots.empty()) {
+    ring.slots.resize(options_.ring_slots);
+  }
+  return ring;
+}
+
+void FlightRecorder::Note(Nanos now, uint32_t host, const char* category,
+                          const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  NoteV(now, host, category, fmt, args);
+  va_end(args);
+}
+
+void FlightRecorder::NoteV(Nanos now, uint32_t host, const char* category,
+                           const char* fmt, va_list args) {
+  Ring& ring = RingFor(host);
+  Event& e = ring.slots[ring.next % ring.slots.size()];
+  if (ring.next >= ring.slots.size()) {
+    ++overwritten_;
+  }
+  ++ring.next;
+  ++recorded_;
+  e.at = now;
+  e.host = host;
+  std::snprintf(e.category, sizeof(e.category), "%s", category);
+  std::vsnprintf(e.msg, sizeof(e.msg), fmt, args);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Snapshot() const {
+  std::vector<Event> out;
+  for (const Ring& ring : rings_) {
+    if (ring.slots.empty()) {
+      continue;
+    }
+    uint64_t count = std::min<uint64_t>(ring.next, ring.slots.size());
+    uint64_t first = ring.next - count;
+    for (uint64_t i = first; i < ring.next; ++i) {
+      out.push_back(ring.slots[i % ring.slots.size()]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  return out;
+}
+
+std::string FlightRecorder::Dump() const {
+  std::vector<Event> events = Snapshot();
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "--- flight recorder: %zu events (%llu recorded, %llu "
+                "overwritten) ---\n",
+                events.size(), static_cast<unsigned long long>(recorded_),
+                static_cast<unsigned long long>(overwritten_));
+  out += line;
+  for (const Event& e : events) {
+    std::snprintf(line, sizeof(line), "[%12lld ns] host=%u %-12s %s\n",
+                  static_cast<long long>(e.at), e.host, e.category, e.msg);
+    out += line;
+  }
+  out += "--- end flight recorder ---\n";
+  return out;
+}
+
+}  // namespace cxlpool::obs

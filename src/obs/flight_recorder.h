@@ -1,0 +1,77 @@
+// FlightRecorder: per-host rings of the last N structured events, kept in
+// fixed-size preallocated storage so recording never allocates on the hot
+// path. The payoff is entirely at failure time: when a CHECK fires or the
+// coherence checker reports a violation, the recorder dumps every host's
+// recent history — turning "digest mismatch at t=83ms" into the last few
+// hundred operations that led up to it.
+//
+// Events are plain fixed-width structs (no std::string) so a ring slot is a
+// memcpy-sized write; messages longer than the slot are truncated, which is
+// the right trade for a post-mortem buffer.
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace cxlpool::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t ring_slots = 256;  // per host
+  };
+
+  struct Event {
+    Nanos at = 0;
+    uint32_t host = 0;
+    char category[16] = {0};  // e.g. "mmio", "chaos", "coherence"
+    char msg[104] = {0};
+  };
+
+  FlightRecorder();  // default Options
+  explicit FlightRecorder(Options options) : options_(options) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Records one event into `host`'s ring, overwriting the oldest when full.
+  // printf-style; truncates to the slot size.
+  void Note(Nanos now, uint32_t host, const char* category, const char* fmt,
+            ...) __attribute__((format(printf, 5, 6)));
+  // va_list variant for wrappers that add their own context.
+  void NoteV(Nanos now, uint32_t host, const char* category, const char* fmt,
+             va_list args);
+
+  // All retained events across hosts, oldest first (stable order: time,
+  // then host, then intra-ring sequence).
+  std::vector<Event> Snapshot() const;
+
+  // Human-readable dump of Snapshot(); what the failure hooks print.
+  std::string Dump() const;
+
+  uint64_t recorded() const { return recorded_; }
+  uint64_t overwritten() const { return overwritten_; }
+  size_t host_count() const { return rings_.size(); }
+
+ private:
+  struct Ring {
+    std::vector<Event> slots;
+    uint64_t next = 0;  // monotonic write index; slot = next % size
+  };
+
+  Ring& RingFor(uint32_t host);
+
+  Options options_;
+  std::vector<Ring> rings_;  // indexed by host id
+  uint64_t recorded_ = 0;
+  uint64_t overwritten_ = 0;
+};
+
+}  // namespace cxlpool::obs
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,61 @@
+// Minimal JSON emission helpers for the observability exporters. This is a
+// writer, not a parser: the simulator only ever produces JSON (metrics
+// snapshots, Chrome trace_event files); consumers are Perfetto, the CI
+// schema check, and plotting scripts.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cxlpool::obs {
+
+// Escapes a string for inclusion inside JSON double quotes.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Formats a double with enough precision for latency values without emitting
+// "nan"/"inf" (invalid JSON) for degenerate inputs.
+inline std::string JsonDouble(double v) {
+  if (v != v || v > 1e300 || v < -1e300) {
+    return "0";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace cxlpool::obs
+
+#endif  // SRC_OBS_JSON_H_

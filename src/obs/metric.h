@@ -1,0 +1,38 @@
+// Metric handle types owned by obs::Registry. Handles are plain in-process
+// accumulators — a simulator run is single-threaded, so there is no atomics
+// or sharding story; the interesting part is the naming/labeling scheme and
+// the single export path (Registry::ToJson).
+#ifndef SRC_OBS_METRIC_H_
+#define SRC_OBS_METRIC_H_
+
+#include <cstdint>
+
+namespace cxlpool::obs {
+
+// Monotonic counter. Increment-only by contract; the registry export relies
+// on monotonicity when computing deltas across snapshots.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  void Inc() { value_ += 1; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, leases held, quarantined devices).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t d) { value_ += d; }
+  void Sub(int64_t d) { value_ -= d; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+}  // namespace cxlpool::obs
+
+#endif  // SRC_OBS_METRIC_H_

@@ -1,0 +1,32 @@
+#include "src/obs/obs.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace cxlpool::obs {
+
+Observability::Observability() : Observability(Options()) {}
+
+Observability::Observability(Options options)
+    : options_(options), flight_(FlightRecorder::Options{
+                             .ring_slots = options.flight_ring_slots}) {}
+
+Observability::~Observability() {
+  if (hook_installed_) {
+    SetCheckFailureHook({});
+  }
+}
+
+void Observability::InstallCheckHook() {
+  hook_installed_ = true;
+  SetCheckFailureHook([this] { DumpFlight("CHECK failure"); });
+}
+
+void Observability::DumpFlight(const std::string& reason) {
+  ++dumps_;
+  last_dump_ = "flight-recorder dump (" + reason + ")\n" + flight_.Dump();
+  std::fwrite(last_dump_.data(), 1, last_dump_.size(), stderr);
+}
+
+}  // namespace cxlpool::obs

@@ -1,0 +1,171 @@
+#include "src/obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/obs/json.h"
+
+namespace cxlpool::obs {
+
+Registry::Key Registry::MakeKey(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return {name, std::move(labels)};
+}
+
+Registry::Series* Registry::GetSeries(const std::string& name, Labels labels,
+                                      Kind kind) {
+  Key key = MakeKey(name, std::move(labels));
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Series s;
+    s.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        s.histogram = std::make_unique<sim::Histogram>();
+        break;
+    }
+    it = series_.emplace(std::move(key), std::move(s)).first;
+  }
+  CXLPOOL_CHECK_MSG(it->second.kind == kind,
+                    "metric '%s' re-registered as a different kind",
+                    name.c_str());
+  return &it->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels) {
+  return GetSeries(name, std::move(labels), Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels) {
+  return GetSeries(name, std::move(labels), Kind::kGauge)->gauge.get();
+}
+
+sim::Histogram* Registry::GetHistogram(const std::string& name, Labels labels) {
+  return GetSeries(name, std::move(labels), Kind::kHistogram)->histogram.get();
+}
+
+void Registry::RegisterProbe(const std::string& name, Labels labels,
+                             std::function<int64_t()> fn) {
+  probes_[MakeKey(name, std::move(labels))] = std::move(fn);
+}
+
+const Counter* Registry::FindCounter(const std::string& name,
+                                     const Labels& labels) const {
+  auto it = series_.find(MakeKey(name, labels));
+  if (it == series_.end() || it->second.kind != Kind::kCounter) {
+    return nullptr;
+  }
+  return it->second.counter.get();
+}
+
+const sim::Histogram* Registry::FindHistogram(const std::string& name,
+                                              const Labels& labels) const {
+  auto it = series_.find(MakeKey(name, labels));
+  if (it == series_.end() || it->second.kind != Kind::kHistogram) {
+    return nullptr;
+  }
+  return it->second.histogram.get();
+}
+
+namespace {
+
+void AppendKey(std::string* out, const std::string& name,
+               const Labels& labels) {
+  *out += "\"name\":\"" + JsonEscape(name) + "\",\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string Registry::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, series] : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    AppendKey(&out, key.first, key.second);
+    switch (series.kind) {
+      case Kind::kCounter:
+        out += ",\"kind\":\"counter\",\"value\":" +
+               std::to_string(series.counter->value());
+        break;
+      case Kind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":" +
+               std::to_string(series.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const sim::Histogram& h = *series.histogram;
+        out += ",\"kind\":\"histogram\",\"count\":" +
+               std::to_string(h.count()) + ",\"mean\":" + JsonDouble(h.mean()) +
+               ",\"min\":" + std::to_string(h.min()) +
+               ",\"max\":" + std::to_string(h.max()) +
+               ",\"p50\":" + std::to_string(h.Percentile(0.50)) +
+               ",\"p90\":" + std::to_string(h.Percentile(0.90)) +
+               ",\"p99\":" + std::to_string(h.Percentile(0.99)) +
+               ",\"p999\":" + std::to_string(h.Percentile(0.999));
+        break;
+      }
+    }
+    out += "}";
+  }
+  for (const auto& [key, fn] : probes_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    AppendKey(&out, key.first, key.second);
+    out += ",\"kind\":\"gauge\",\"value\":" + std::to_string(fn());
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Registry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open metrics output file: " + path);
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return OkStatus();
+}
+
+std::string BenchJson(const std::string& bench, int64_t sim_ns,
+                      const Registry& registry) {
+  // Registry::ToJson() is "{\"metrics\":[...]}" — splice the bench identity
+  // in front of its first key.
+  std::string body = registry.ToJson();
+  return "{\"bench\":\"" + JsonEscape(bench) +
+         "\",\"sim_ns\":" + std::to_string(sim_ns) + "," + body.substr(1);
+}
+
+Status WriteBenchJson(const std::string& path, const std::string& bench,
+                      int64_t sim_ns, const Registry& registry) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open bench output file: " + path);
+  }
+  std::string json = BenchJson(bench, sim_ns, registry);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return OkStatus();
+}
+
+}  // namespace cxlpool::obs

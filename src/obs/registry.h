@@ -1,0 +1,96 @@
+// obs::Registry: the single home for named metrics. Components ask for a
+// handle once (name + label set) and bump it on their hot path; the registry
+// owns storage, deduplicates by (name, labels), and exports everything as
+// one JSON snapshot. This replaces the per-component Stats structs and
+// accessor plumbing that PRs 1-4 accumulated — a soak run or bench ends with
+// one WriteJson() instead of N hand-rolled printf blocks.
+//
+// Handle pointers are stable for the life of the registry (values are
+// heap-allocated and never rehashed away), so callers cache the pointer at
+// construction time and pay one indirection per bump.
+//
+// Probes cover the migration path for stats that still live in legacy
+// structs: RegisterProbe(name, labels, fn) polls `fn` at snapshot time, so a
+// component exports through the registry without moving its counters yet.
+#ifndef SRC_OBS_REGISTRY_H_
+#define SRC_OBS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metric.h"
+#include "src/sim/stats.h"
+
+namespace cxlpool::obs {
+
+// Label set: sorted at registration time so {"a","1"},{"b","2"} and
+// {"b","2"},{"a","1"} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Returns the handle for (name, labels), creating it on first use. A
+  // repeat call with the same key returns the same pointer; asking for the
+  // same key as a different kind is a programmer error and aborts.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  sim::Histogram* GetHistogram(const std::string& name, Labels labels = {});
+
+  // Callback gauge, polled at snapshot time. Re-registering the same key
+  // replaces the callback (components rebind across restarts).
+  void RegisterProbe(const std::string& name, Labels labels,
+                     std::function<int64_t()> fn);
+
+  // Lookup without creation; nullptr / nullopt when absent. Histograms and
+  // counters are the ones tests assert on.
+  const Counter* FindCounter(const std::string& name,
+                             const Labels& labels = {}) const;
+  const sim::Histogram* FindHistogram(const std::string& name,
+                                      const Labels& labels = {}) const;
+
+  size_t series_count() const { return series_.size() + probes_.size(); }
+
+  // One JSON object: {"metrics":[{"name","labels","kind",...value...}]}.
+  // Counters/gauges export a value; histograms export count/mean/percentiles.
+  // Probes are polled here.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<sim::Histogram> histogram;
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  static Key MakeKey(const std::string& name, Labels labels);
+  Series* GetSeries(const std::string& name, Labels labels, Kind kind);
+
+  std::map<Key, Series> series_;
+  std::map<Key, std::function<int64_t()>> probes_;
+};
+
+// BENCH_<name>.json snapshot: the registry snapshot wrapped with bench
+// identity — {"bench": name, "sim_ns": N, "metrics": [...]}. Every bench's
+// --json flag writes this shape and tools/check_obs_json.py validates it
+// in CI.
+std::string BenchJson(const std::string& bench, int64_t sim_ns,
+                      const Registry& registry);
+Status WriteBenchJson(const std::string& path, const std::string& bench,
+                      int64_t sim_ns, const Registry& registry);
+
+}  // namespace cxlpool::obs
+
+#endif  // SRC_OBS_REGISTRY_H_

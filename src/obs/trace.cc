@@ -1,0 +1,114 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace cxlpool::obs {
+
+void Span::End(Nanos now) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  tracer_->Finish(*this, now);
+  tracer_ = nullptr;
+}
+
+void Span::Abandon() {
+  if (tracer_ != nullptr) {
+    ++tracer_->dropped_spans_;
+    tracer_ = nullptr;
+  }
+}
+
+Span Tracer::StartTrace(const char* name, uint32_t host, Nanos start) {
+  uint64_t trace_id = next_trace_id_++;
+  uint64_t span_id = next_span_id_++;
+  return Span(this, trace_id, span_id, /*parent=*/0, name, host, start);
+}
+
+Span Tracer::StartSpan(const char* name, uint32_t host, TraceContext parent,
+                       Nanos start) {
+  if (!parent.traced()) {
+    return Span();
+  }
+  uint64_t span_id = next_span_id_++;
+  return Span(this, parent.trace_id, span_id, parent.span_id, name, host,
+              start);
+}
+
+TraceContext Tracer::RecordSpan(const char* name, uint32_t host,
+                                TraceContext parent, Nanos start, Nanos end) {
+  if (!parent.traced()) {
+    return TraceContext{};
+  }
+  uint64_t span_id = next_span_id_++;
+  spans_.push_back(SpanRecord{parent.trace_id, span_id, parent.span_id, name,
+                              host, start, end});
+  return TraceContext{parent.trace_id, span_id};
+}
+
+void Tracer::Finish(const Span& span, Nanos end) {
+  spans_.push_back(SpanRecord{span.trace_id_, span.span_id_,
+                              span.parent_span_id_, span.name_, span.host_,
+                              span.start_, end});
+}
+
+std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans_) {
+    if (s.trace_id == trace_id) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, sim::Histogram> Tracer::PhaseHistograms() const {
+  std::map<std::string, sim::Histogram> by_phase;
+  for (const SpanRecord& s : spans_) {
+    by_phase[s.name].Add(s.duration());
+  }
+  return by_phase;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  // "X" (complete) events; ts/dur are microseconds as doubles, so ns
+  // sim-clock values keep full resolution as fractional us. pid groups rows
+  // by simulated host; tid separates concurrent traces within a host.
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const SpanRecord& s : spans_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"cxlpool\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%llu,"
+                  "\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+                  "\"parent_span_id\":%llu}}",
+                  s.name, static_cast<double>(s.start) / 1000.0,
+                  static_cast<double>(s.duration()) / 1000.0, s.host,
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.parent_span_id));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open trace output file: " + path);
+  }
+  std::string json = ToChromeTraceJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return OkStatus();
+}
+
+}  // namespace cxlpool::obs

@@ -76,6 +76,9 @@ void ChaosInjector::Start(StopToken& stop) {
 void ChaosInjector::Note(const std::string& line) {
   trace_ += line;
   trace_ += '\n';
+  if (event_hook_) {
+    event_hook_(line);
+  }
 }
 
 void ChaosInjector::CheckInvariants() {

@@ -104,6 +104,14 @@ class ChaosInjector {
   const std::string& trace() const { return trace_; }
   std::string TraceDigest() const;
 
+  // Optional observer invoked synchronously with every executed-trace line.
+  // Harnesses use it to mirror chaos events into an external flight
+  // recorder; the hook must not perturb simulation state (the trace — and
+  // its digest — is recorded before the hook runs either way).
+  void SetEventHook(std::function<void(const std::string&)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
  private:
   struct Fault {
     std::string name;
@@ -130,6 +138,7 @@ class ChaosInjector {
   uint64_t violations_ = 0;
   std::vector<std::string> violation_log_;
   std::string trace_;
+  std::function<void(const std::string&)> event_hook_;
   bool started_ = false;
 };
 

@@ -157,27 +157,36 @@ TEST(NicDeviceTest, WireDownAndWedgeEpisodesCountedSeparately) {
   rack.Start();
   devices::Nic* nic = rack.nic(0);
 
+  // Episode counters live in the metrics registry, labeled by device id.
+  obs::Labels nic_labels = {{"device", std::to_string(nic->id().value())}};
+  auto link_down = [&] {
+    return nic->metrics().FindCounter("nic.link_down_episodes", nic_labels)->value();
+  };
+  auto wedges = [&] {
+    return nic->metrics().FindCounter("nic.wedge_episodes", nic_labels)->value();
+  };
+
   nic->InjectLinkFailure();
   nic->InjectLinkFailure();  // already down: same episode, not a new one
   nic->RepairLink();
   nic->InjectLinkFailure();
   nic->RepairLink();
-  EXPECT_EQ(nic->nic_stats().link_down_episodes, 2u);
-  EXPECT_EQ(nic->nic_stats().wedge_episodes, 0u);
+  EXPECT_EQ(link_down(), 2u);
+  EXPECT_EQ(wedges(), 0u);
 
   // Wedge + FLR (as the home agent's watchdog would issue).
   nic->Wedge();
   nic->Reset();
-  EXPECT_EQ(nic->nic_stats().wedge_episodes, 1u);
-  EXPECT_EQ(nic->nic_stats().link_down_episodes, 2u);  // unchanged
+  EXPECT_EQ(wedges(), 1u);
+  EXPECT_EQ(link_down(), 2u);  // unchanged
 
   // A reset with no intervening wedge is not an episode.
   nic->Reset();
-  EXPECT_EQ(nic->nic_stats().wedge_episodes, 1u);
+  EXPECT_EQ(wedges(), 1u);
 
   nic->Wedge();
   nic->Reset();
-  EXPECT_EQ(nic->nic_stats().wedge_episodes, 2u);
+  EXPECT_EQ(wedges(), 2u);
   EXPECT_EQ(nic->gray_stats().resets, 3u);
   rack.Shutdown();
   loop.RunFor(200 * kMicrosecond);

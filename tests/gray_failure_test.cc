@@ -206,17 +206,23 @@ TEST_F(GrayFailureTest, FlappingDeviceIsQuarantinedThenReoffered) {
   ASSERT_TRUE(first.ok());
   CXLPOOL_CHECK_OK(orch.Release(HostId(1), first->device));
 
+  // Quarantine activity now lives in the metrics registry.
+  auto quarantine_count = [&](const std::string& name) {
+    const obs::Counter* c = orch.metrics().FindCounter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+
   // Flap device A past the threshold: quarantined, never offered.
   orch.NoteFlaps(PcieDeviceId(93), 3);
   EXPECT_TRUE(orch.InQuarantine(PcieDeviceId(93)));
-  EXPECT_EQ(orch.stats().quarantines, 1u);
+  EXPECT_EQ(quarantine_count("orch.quarantines"), 1u);
   for (int i = 0; i < 4; ++i) {
     auto a = orch.Acquire(HostId(1), DeviceType::kAccel);
     ASSERT_TRUE(a.ok());
     EXPECT_EQ(a->device, PcieDeviceId(94)) << "quarantined device was offered";
     CXLPOOL_CHECK_OK(orch.Release(HostId(1), a->device));
   }
-  EXPECT_GE(orch.stats().quarantined_skips, 4u);
+  EXPECT_GE(quarantine_count("orch.quarantined_skips"), 4u);
 
   // Flap B too: NO leases during probation, error rather than a bad lease.
   orch.NoteFlaps(PcieDeviceId(94), 3);
@@ -227,7 +233,7 @@ TEST_F(GrayFailureTest, FlappingDeviceIsQuarantinedThenReoffered) {
   loop_.RunFor(2 * kMillisecond);
   EXPECT_FALSE(orch.InQuarantine(PcieDeviceId(93)));
   EXPECT_FALSE(orch.InQuarantine(PcieDeviceId(94)));
-  EXPECT_GE(orch.stats().quarantine_releases, 2u);
+  EXPECT_GE(quarantine_count("orch.quarantine_releases"), 2u);
   auto again = orch.Acquire(HostId(1), DeviceType::kAccel);
   EXPECT_TRUE(again.ok());
 
@@ -258,7 +264,10 @@ TEST_F(GrayFailureTest, QuarantineRespectsThresholdConfig) {
 
   rack_->orchestrator().NoteFlaps(PcieDeviceId(95), 100);
   EXPECT_FALSE(rack_->orchestrator().InQuarantine(PcieDeviceId(95)));
-  EXPECT_EQ(rack_->orchestrator().stats().quarantines, 0u);
+  const obs::Counter* q =
+      rack_->orchestrator().metrics().FindCounter("orch.quarantines");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->value(), 0u);
   Drain();
 }
 

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Schema validation for the observability JSON artifacts CI uploads.
+
+Two artifact shapes, both produced by src/obs/:
+
+  BENCH_*.json  (obs::WriteBenchJson)
+    {"bench": str, "sim_ns": int >= 0, "metrics": [series...]}
+    where each series is
+      {"name": str, "labels": {str: str}, "kind": "counter",   "value": int>=0}
+      {"name": str, "labels": {str: str}, "kind": "gauge",     "value": int}
+      {"name": str, "labels": {str: str}, "kind": "histogram",
+       "count": int>=0, "mean": num, "min": int, "max": int,
+       "p50": int, "p90": int, "p99": int, "p999": int}
+    (name, sorted labels) must be unique across the series list — the
+    registry guarantees it, and a duplicate means the exporter regressed.
+
+  Chrome trace_event JSON  (obs::Tracer::WriteChromeTrace, --trace)
+    {"displayTimeUnit": "ns", "traceEvents": [event...]}
+    with each event a complete ("ph": "X") slice carrying name/ts/dur/pid
+    and trace ids in args. This is what chrome://tracing and
+    ui.perfetto.dev ingest; the check here guards the invariants the
+    viewer is silent about (negative durations, missing ids).
+
+Usage:
+  tools/check_obs_json.py --bench BENCH_chaos.json [more.json...]
+  tools/check_obs_json.py --trace trace.json
+  tools/check_obs_json.py file.json           # sniff the shape per file
+
+Exit 0 = all files valid, 1 = violations (printed one per line).
+Stdlib only; runs on the bare CI runner.
+"""
+
+import argparse
+import json
+import sys
+
+HIST_FIELDS = ("count", "mean", "min", "max", "p50", "p90", "p99", "p999")
+
+
+def _err(errors, path, where, msg):
+    errors.append("%s: %s: %s" % (path, where, msg))
+
+
+def check_series(path, i, s, seen_keys, errors):
+    where = "metrics[%d]" % i
+    if not isinstance(s, dict):
+        _err(errors, path, where, "series is not an object")
+        return
+    name = s.get("name")
+    if not isinstance(name, str) or not name:
+        _err(errors, path, where, "missing/empty 'name'")
+        name = "?"
+    where = "metrics[%d] (%s)" % (i, name)
+    labels = s.get("labels", {})
+    if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()):
+        _err(errors, path, where, "'labels' must map str -> str")
+        labels = {}
+    key = (name, tuple(sorted(labels.items())))
+    if key in seen_keys:
+        _err(errors, path, where, "duplicate series (name+labels)")
+    seen_keys.add(key)
+
+    kind = s.get("kind")
+    if kind == "counter":
+        v = s.get("value")
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            _err(errors, path, where, "counter 'value' must be int >= 0")
+    elif kind == "gauge":
+        v = s.get("value")
+        if not isinstance(v, int) or isinstance(v, bool):
+            _err(errors, path, where, "gauge 'value' must be int")
+    elif kind == "histogram":
+        for f in HIST_FIELDS:
+            v = s.get(f)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                _err(errors, path, where,
+                     "histogram missing numeric '%s'" % f)
+        c, mn, mx = s.get("count"), s.get("min"), s.get("max")
+        if isinstance(c, int) and c < 0:
+            _err(errors, path, where, "histogram count < 0")
+        if (isinstance(c, int) and c > 0 and isinstance(mn, int)
+                and isinstance(mx, int) and mn > mx):
+            _err(errors, path, where, "histogram min > max")
+        # Percentiles of a log-bucketed histogram are monotone in p.
+        ps = [s.get(f) for f in ("p50", "p90", "p99", "p999")]
+        if all(isinstance(p, (int, float)) for p in ps) and ps != sorted(ps):
+            _err(errors, path, where, "percentiles not monotone: %s" % ps)
+    else:
+        _err(errors, path, where, "unknown kind %r" % kind)
+
+
+def check_bench(path, doc, errors):
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level", "not a JSON object")
+        return
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        _err(errors, path, "top level", "missing/empty 'bench'")
+    sim_ns = doc.get("sim_ns")
+    if not isinstance(sim_ns, int) or isinstance(sim_ns, bool) or sim_ns < 0:
+        _err(errors, path, "top level", "'sim_ns' must be int >= 0")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        _err(errors, path, "top level", "'metrics' must be a list")
+        return
+    if not metrics:
+        _err(errors, path, "top level", "empty 'metrics' — exporter wrote "
+             "a snapshot with no series")
+    seen = set()
+    for i, s in enumerate(metrics):
+        check_series(path, i, s, seen, errors)
+
+
+def check_trace(path, doc, errors):
+    if not isinstance(doc, dict):
+        _err(errors, path, "top level", "not a JSON object")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        _err(errors, path, "top level", "missing 'traceEvents' list")
+        return
+    if not events:
+        _err(errors, path, "top level", "empty trace")
+    for i, e in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(e, dict):
+            _err(errors, path, where, "event is not an object")
+            continue
+        if e.get("ph") != "X":
+            _err(errors, path, where, "expected complete event ph='X', "
+                 "got %r" % e.get("ph"))
+        if not isinstance(e.get("name"), str) or not e.get("name"):
+            _err(errors, path, where, "missing span 'name'")
+        for f in ("ts", "dur"):
+            v = e.get(f)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                _err(errors, path, where, "missing numeric '%s'" % f)
+            elif v < 0:
+                _err(errors, path, where, "negative '%s': %s" % (f, v))
+        if not isinstance(e.get("pid"), int):
+            _err(errors, path, where, "missing int 'pid' (simulated host)")
+        args = e.get("args", {})
+        if not isinstance(args, dict) or not isinstance(
+                args.get("trace_id"), int) or args.get("trace_id", 0) < 1:
+            _err(errors, path, where, "args.trace_id must be int >= 1")
+
+
+def sniff(doc):
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace"
+    return "bench"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="JSON artifacts to validate")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--bench", action="store_true",
+                      help="treat all files as BENCH metric snapshots")
+    mode.add_argument("--trace", action="store_true",
+                      help="treat all files as Chrome trace_event JSON")
+    args = ap.parse_args()
+
+    errors = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            _err(errors, path, "load", str(e))
+            continue
+        shape = ("bench" if args.bench else
+                 "trace" if args.trace else sniff(doc))
+        (check_bench if shape == "bench" else check_trace)(path, doc, errors)
+        if not errors:
+            if shape == "bench":
+                n = len(doc.get("metrics", []))
+                print("%s: OK (bench=%s, %d series)" %
+                      (path, doc.get("bench"), n))
+            else:
+                print("%s: OK (trace, %d events)" %
+                      (path, len(doc.get("traceEvents", []))))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print("check_obs_json: %d violation(s)" % len(errors),
+              file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

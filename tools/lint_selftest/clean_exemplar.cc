@@ -7,6 +7,7 @@
 
 #include "src/cxl/host_adapter.h"
 #include "src/msg/wire.h"
+#include "src/obs/trace.h"
 #include "src/sim/task.h"
 
 namespace cxlpool::repro {
@@ -65,5 +66,26 @@ class Supervisor {
  private:
   sim::StopToken stop_;
 };
+
+// Span hygiene the lint must accept: End() on every exit path, or
+// ownership explicitly moved to a new owner.
+inline sim::Task<Status> TracedStoreClean(cxl::HostAdapter& host,
+                                          obs::Tracer* tracer, uint64_t addr,
+                                          std::span<const std::byte> data) {
+  obs::Span op = obs::MaybeStartTrace(tracer, "store", host.id().value(),
+                                      host.loop().now());
+  Status st = co_await host.StoreNt(addr, data);
+  if (!st.ok()) {
+    op.End(host.loop().now());
+    co_return st;
+  }
+  op.End(host.loop().now());
+  co_return OkStatus();
+}
+
+inline obs::Span HandOffSpan(obs::Tracer& tracer, uint32_t host, Nanos now) {
+  obs::Span op = tracer.StartTrace("op", host, now);
+  return op;  // moved to the caller, who owns the End
+}
 
 }  // namespace cxlpool::repro

@@ -1,0 +1,35 @@
+// Seeded reproduction of the leaked-span bug class for
+// tools/lint_tasks.py --self-test. NOT part of the build. Do not "fix"
+// this — the self-test asserts the lint flags it.
+//
+// The shape: an early co_return between StartTrace and End. obs::Span
+// requires an explicit End(now) because only the call site knows the
+// operation's logical end on the sim clock; the destructor deliberately
+// abandons un-ended spans (counted in Tracer::dropped_spans()) rather
+// than invent a timestamp. So every exit path that skips End silently
+// erases the operation from the trace — invisible at compile time, and
+// at runtime only as a counter drifting upward.
+#include <cstdint>
+
+#include "src/cxl/host_adapter.h"
+#include "src/obs/trace.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+// BUG: the span is started, but the error path co_returns without ever
+// calling End — and so does the success path. The whole operation is
+// dropped from the trace.
+inline sim::Task<Status> TracedStoreLeaky(cxl::HostAdapter& host,
+                                          obs::Tracer* tracer, uint64_t addr,
+                                          std::span<const std::byte> data) {
+  obs::Span op =
+      obs::MaybeStartTrace(tracer, "store", host.id().value(), host.loop().now());
+  Status st = co_await host.StoreNt(addr, data);
+  if (!st.ok()) {
+    co_return st;  // leak #1: early exit skips End
+  }
+  co_return OkStatus();  // leak #2: even the happy path forgot End
+}
+
+}  // namespace cxlpool::repro

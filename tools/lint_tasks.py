@@ -30,6 +30,16 @@ Two bug classes this codebase has actually paid for:
     `*Loop` coroutine takes a `sim::StopToken&`, so a spawn whose
     argument list never mentions a stop token is a supervision bug.
 
+(d) leaked-span: an `obs::Span` local bound from StartTrace/StartSpan (or
+    the MaybeStart*/StartOpSpan wrappers) with no `.End(...)` call in the
+    enclosing body.  Spans are explicit-End by design — the destructor
+    deliberately abandons (and counts) un-ended spans instead of guessing
+    an end time, so a span that is never End()ed silently vanishes from
+    the trace and inflates Tracer::dropped_spans().  Every early-return
+    path between StartTrace and End is a leak the type system can't see;
+    this rule at least guarantees the happy path ends the span.  Moving or
+    returning the span transfers the obligation to the caller.
+
 Suppression: append `// lint-tasks: allow(<rule>)` to the offending line.
 
 Usage:
@@ -330,6 +340,44 @@ def check_unstoppable_loop(path, text, findings):
             "sim::StopToken& through it"))
 
 
+# A Span local bound from a span-starting call: `obs::Span op = ...Start*(`.
+# Matches the factory methods (StartTrace/StartSpan), the null-safe wrappers
+# (MaybeStartTrace/MaybeStartSpan), and repo-local helpers by the naming
+# convention that span factories contain "Start" (e.g. StartOpSpan).
+SPAN_DECL_RE = re.compile(
+    r"(?:obs::)?Span[ \t\n]+(?P<name>[A-Za-z_]\w*)[ \t\n]*=[ \t\n]*"
+    r"(?:[A-Za-z_][\w:]*(?:\.|->|::))*(?:Maybe)?Start\w*[ \t\n]*\(")
+
+
+def check_leaked_span(path, text, findings):
+    for m in SPAN_DECL_RE.finditer(text):
+        name = m.group("name")
+        stmt_end = text.find("\n", m.end())
+        stmt_end = len(text) if stmt_end == -1 else stmt_end
+        if "ALLOW(leaked-span)" in text[m.start():stmt_end]:
+            continue
+        # Scope approximation: from the declaration to the next
+        # column-0 `}` — the end of the enclosing free function in this
+        # codebase's style (a superset of the true scope for in-class
+        # bodies, which only risks false negatives, never noise).
+        close = text.find("\n}", m.end())
+        body = text[m.end():close if close != -1 else len(text)]
+        if re.search(r"\b%s[ \t\n]*\.[ \t\n]*End[ \t\n]*\(" % re.escape(name),
+                     body):
+            continue
+        # Ownership handed off: the callee/caller now owns the End.
+        if re.search(r"std::move[ \t\n]*\([ \t\n]*%s[ \t\n]*\)|"
+                     r"\b(?:co_)?return[ \t\n]+%s[ \t\n]*;"
+                     % (re.escape(name), re.escape(name)), body):
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "leaked-span",
+            "span '%s' is started but never .End()ed in this scope; the "
+            "destructor abandons it (dropped from the trace, counted in "
+            "Tracer::dropped_spans()) — End() it on every exit path or "
+            "std::move it to the new owner" % name))
+
+
 def lint_paths(paths, must_use_roots):
     findings = []
     must_use = collect_must_use_functions(must_use_roots)
@@ -339,6 +387,7 @@ def lint_paths(paths, must_use_roots):
         check_dangling_frame(path, text, findings)
         check_discarded_result(path, text, must_use, findings)
         check_unstoppable_loop(path, text, findings)
+        check_leaked_span(path, text, findings)
     return findings
 
 
@@ -355,10 +404,11 @@ def self_test(repo_root):
     """The seeded repros MUST be flagged; the clean exemplar MUST NOT be."""
     selftest_dir = os.path.join(repo_root, "tools", "lint_selftest")
     bad = os.path.join(selftest_dir, "dangling_repro.cc")
+    leaky = os.path.join(selftest_dir, "leaked_span_repro.cc")
     good = os.path.join(selftest_dir, "clean_exemplar.cc")
     roots = [os.path.join(repo_root, "src"), selftest_dir]
 
-    flagged = lint_paths([bad], roots)
+    flagged = lint_paths([bad, leaky], roots)
     rules = sorted({f.rule for f in flagged})
     ok = True
     if "dangling-frame" not in rules:
@@ -369,6 +419,9 @@ def self_test(repo_root):
         ok = False
     if "unstoppable-loop" not in rules:
         print("SELF-TEST FAIL: seeded unsupervised-loop repro not flagged")
+        ok = False
+    if "leaked-span" not in rules:
+        print("SELF-TEST FAIL: seeded leaked-span repro not flagged")
         ok = False
     for f in flagged:
         print("  (expected) %s" % f)
