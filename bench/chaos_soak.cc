@@ -111,6 +111,10 @@ struct RunResult {
   uint64_t dedup_hits = 0;
   uint64_t watchdog_misses = 0;
   uint64_t flr_resets = 0;
+  uint64_t rpc_shed = 0;
+  uint64_t rpc_expired = 0;
+  uint64_t expired_at_device = 0;
+  std::map<std::string, uint64_t> injections_by_class;
   uint64_t quarantines = 0;
   uint64_t quarantine_releases = 0;
   uint64_t quarantined_skips = 0;
@@ -229,6 +233,19 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
     chaos.AddFault("wedge-accel" + std::to_string(100 + h), "wedge-device",
                    [dev] { dev->Wedge(); }, [] { /* watchdog FLRs it */ });
   }
+  // Overload: a slow-draining home agent (GC pause, noisy neighbor — the
+  // host is alive but every forwarded op stalls in its handler). This is
+  // the backpressure stack's fault class: admission control sheds the
+  // data-plane backlog, deadline propagation kills dead doorbells before
+  // the BAR, and control-priority probes/reports keep flowing — so the
+  // watchdog must NOT mistake the slow agent for a wedged device.
+  for (int h = 1; h < 3; ++h) {
+    Agent* slow_agent = rack.orchestrator().agent(HostId(h));
+    chaos.AddFault(
+        "slow-agent" + std::to_string(h), "overload-drain",
+        [slow_agent] { slow_agent->InjectSlowDrain(30 * kMicrosecond); },
+        [slow_agent] { slow_agent->InjectSlowDrain(0); });
+  }
   // Poisoned media: each firing poisons a few 64B lines of one replica of
   // the scrubbed region (deterministic line choice — no RNG draws outside
   // the planner). Repair is the scrubber's job, so the chaos-side repair
@@ -346,11 +363,16 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
   r.poisoned_lines_remaining = rack.pod().PoisonedLineCount();
   r.scrub = region.stats();
   for (int h = 0; h < 4; ++h) {
-    const Agent::Stats& as = orch.agent(HostId(h))->stats();
+    Agent* a = orch.agent(HostId(h));
+    const Agent::Stats& as = a->stats();
     r.dedup_hits += as.dedup_hits;
     r.watchdog_misses += as.watchdog_misses;
     r.flr_resets += as.flr_resets;
+    r.expired_at_device += as.expired_at_device;
+    r.rpc_shed += a->rpc_shed();
+    r.rpc_expired += a->rpc_expired();
   }
+  r.injections_by_class = chaos.injections_by_class();
   r.orch = orch.stats();
   r.quarantines = CounterValue(orch.metrics(), "orch.quarantines");
   r.quarantine_releases = CounterValue(orch.metrics(), "orch.quarantine_releases");
@@ -416,6 +438,11 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
                 (unsigned long long)r.watchdog_misses,
                 (unsigned long long)r.flr_resets,
                 (unsigned long long)r.dedup_hits);
+    std::printf("overload:          %llu admission sheds, %llu expired at "
+                "dequeue, %llu expired pre-BAR\n",
+                (unsigned long long)r.rpc_shed,
+                (unsigned long long)r.rpc_expired,
+                (unsigned long long)r.expired_at_device);
     std::printf("scrubber:          %llu lines swept, %llu repairs, %llu "
                 "unrecoverable, %llu poisoned lines left\n",
                 (unsigned long long)r.scrub.lines_scrubbed,
@@ -478,6 +505,9 @@ int main(int argc, char** argv) {
               "(%llu events) with tracing on and off\n",
               (unsigned long long)first.executed);
   CXLPOOL_CHECK(first.violations == 0);
+  // The overload fault class must actually have fired — a soak that never
+  // stalled an agent proves nothing about the backpressure stack.
+  CXLPOOL_CHECK(first.injections_by_class.count("overload-drain") == 1);
   // The fault storm must not have tricked any host into breaking the
   // publish/consume protocol or silently destroying unpublished bytes.
   CXLPOOL_CHECK(first.coherence_violations == 0);

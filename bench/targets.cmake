@@ -45,5 +45,7 @@ cxlpool_bench(coherence_ablation coherence_ablation.cc)
 target_link_libraries(coherence_ablation PRIVATE cxlpool_cxl cxlpool_msg)
 cxlpool_bench(chaos_soak chaos_soak.cc)
 target_link_libraries(chaos_soak PRIVATE cxlpool_core cxlpool_analysis)
+cxlpool_bench(overload_soak overload_soak.cc)
+target_link_libraries(overload_soak PRIVATE cxlpool_core)
 cxlpool_gbench(micro_primitives micro_primitives.cc)
 target_link_libraries(micro_primitives PRIVATE cxlpool_msg)

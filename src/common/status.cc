@@ -33,6 +33,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -89,6 +91,9 @@ Status DeadlineExceeded(std::string msg) {
 }
 Status DataLoss(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
+}
+Status Overloaded(std::string msg) {
+  return Status(StatusCode::kOverloaded, std::move(msg));
 }
 
 namespace status_internal {

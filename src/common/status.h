@@ -33,6 +33,12 @@ enum class StatusCode : uint8_t {
   // kUnavailable the data will NOT come back by retrying the same replica —
   // recovery requires another copy (scrub/repair path).
   kDataLoss,
+  // Explicit push-back from a backpressure point: a bounded queue refused
+  // the request or a load shedder dropped it. Distinct from
+  // kDeadlineExceeded (the peer may be perfectly healthy, just saturated)
+  // and deliberately NOT retryable — retrying into an overloaded path is
+  // retry amplification, the exact collapse the shedder exists to prevent.
+  kOverloaded,
 };
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).
@@ -80,6 +86,7 @@ Status Unimplemented(std::string msg);
 Status Aborted(std::string msg);
 Status DeadlineExceeded(std::string msg);
 Status DataLoss(std::string msg);
+Status Overloaded(std::string msg);
 
 // A value-or-error. `value()` aborts if called on an error result, so call
 // sites either check `ok()` first or use ASSIGN_OR_RETURN.

@@ -129,6 +129,33 @@ void Agent::RegisterMetrics() {
   reg.RegisterProbe("agent.migrations_executed", labels, [this] {
     return static_cast<int64_t>(stats_.migrations_executed);
   });
+  // Overload-protection surface: admission (queue-delay histograms +
+  // inflight gauge) and the per-server refusal counters, summed at sample
+  // time so late-spawned serve loops are covered.
+  admission_.BindMetrics(&reg, labels);
+  reg.RegisterProbe("agent.rpc_shed", labels,
+                    [this] { return static_cast<int64_t>(rpc_shed()); });
+  reg.RegisterProbe("agent.rpc_expired", labels,
+                    [this] { return static_cast<int64_t>(rpc_expired()); });
+  reg.RegisterProbe("agent.expired_at_device", labels, [this] {
+    return static_cast<int64_t>(stats_.expired_at_device);
+  });
+}
+
+uint64_t Agent::rpc_shed() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->stats().shed;
+  }
+  return total;
+}
+
+uint64_t Agent::rpc_expired() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->stats().expired;
+  }
+  return total;
 }
 
 void Agent::FlightNote(const char* category, const char* fmt, ...) {
@@ -170,10 +197,25 @@ uint32_t Agent::device_fault_episodes(PcieDeviceId id) const {
 
 sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
     uint16_t method, std::span<const std::byte> payload,
-    obs::TraceContext ctx) {
+    const msg::ServerContext& sctx) {
+  obs::TraceContext ctx = sctx.trace;
   bool is_write = method == kMethodMmioWrite;
   if (!is_write && method != kMethodMmioRead) {
     co_return Unimplemented("unknown forwarding method");
+  }
+  if (slow_drain_ > 0) {
+    // Chaos: a slow-draining agent. The stall sits BEFORE the deadline
+    // re-check so ops that die during it are shed, not applied late.
+    co_await sim::Delay(host_.loop(), slow_drain_);
+  }
+  // Pre-BAR deadline re-check. The RPC layer already shed requests that
+  // were dead on dequeue; this catches budgets that ran out between
+  // dequeue and here (slow drain, queued handler work). Past this point
+  // the op touches device state, so this is the last cheap exit.
+  if (sctx.deadline > 0 && host_.loop().now() >= sctx.deadline) {
+    ++stats_.expired_at_device;
+    FlightNote("mmio", "pre-BAR deadline expiry method=%u", method);
+    co_return DeadlineExceeded("op deadline expired before device BAR");
   }
   auto decoded = mmio_wire::Decode(payload, is_write);
   if (!decoded.ok()) {
@@ -274,11 +316,14 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleControl(
 
 void Agent::ServeForwarding(msg::Endpoint& endpoint, sim::StopToken& stop) {
   auto server = std::make_unique<msg::RpcServer>(
-      endpoint,
-      [this](uint16_t m, std::span<const std::byte> p, obs::TraceContext ctx) {
-        return HandleForwarding(m, p, ctx);
+      endpoint, [this](uint16_t m, std::span<const std::byte> p,
+                       const msg::ServerContext& sctx) {
+        return HandleForwarding(m, p, sctx);
       });
   server->BindTracer(tracer());
+  // Every forwarding loop shares the agent's one admission controller, so
+  // the inflight bound and the CoDel state span all remote users.
+  server->BindAdmission(&admission_);
   sim::Spawn(server->ServeSupervised(stop));
   servers_.push_back(std::move(server));
 }
@@ -362,9 +407,11 @@ sim::Task<> Agent::ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& st
     }
     std::vector<DeviceStatus> statuses = co_await ProbeDevices();
     // An empty report still goes out — it is the host's heartbeat.
+    // Reports are control plane: they jump client queues and are never
+    // shed, so heartbeats keep flowing through a data-plane storm.
     auto resp = co_await client.Call(
         kMethodReport, report_wire::Encode(host_.id(), statuses),
-        host_.loop().now() + config_.rpc_timeout);
+        host_.loop().now() + config_.rpc_timeout, {}, msg::kPriorityControl);
     if (resp.ok()) {
       ++stats_.reports_sent;
     }

@@ -84,6 +84,12 @@ class Agent {
     // ride the monitor cadence, so detection latency is roughly
     // wedge_miss_threshold * (monitor_interval + wedge stall).
     int wedge_miss_threshold = 2;
+    // Admission control for the forwarding serve loops: CoDel-style
+    // shedding on sustained queueing delay plus a per-agent inflight
+    // bound. Defaults shed data-plane ops only; control plane (probes,
+    // leases) is never shed, which is what keeps the watchdog honest
+    // under pure overload.
+    msg::AdmissionController::Options admission;
     // Shared observability bundle (null = disabled): device_bar spans on
     // forwarded ops, flight-recorder notes on anomalies (stale epoch,
     // dedup, FLR), and stats exported as registry probes.
@@ -91,7 +97,10 @@ class Agent {
   };
 
   Agent(cxl::HostAdapter& host, Config config)
-      : host_(host), config_(config), obs_(config.obs) {
+      : host_(host),
+        config_(config),
+        obs_(config.obs),
+        admission_(config.admission) {
     RegisterMetrics();
   }
   Agent(const Agent&) = delete;
@@ -142,8 +151,23 @@ class Agent {
     // once misses crossed wedge_miss_threshold.
     uint64_t watchdog_misses = 0;
     uint64_t flr_resets = 0;
+    // Deadline propagation: forwarded ops whose budget expired after
+    // dequeue but before the device BAR access (the pre-BAR re-check —
+    // the RPC layer's dequeue check catches the rest).
+    uint64_t expired_at_device = 0;
   };
   const Stats& stats() const { return stats_; }
+  // The shared admission controller the forwarding serve loops run under.
+  const msg::AdmissionController& admission() const { return admission_; }
+  // Sums of per-server RPC refusal stats across every serve loop this
+  // agent spawned (forwarding + control).
+  uint64_t rpc_shed() const;
+  uint64_t rpc_expired() const;
+
+  // Chaos hook: every forwarded op stalls `delay` inside the handler
+  // before its pre-BAR deadline re-check — a slow-draining home agent
+  // (GC pause, noisy neighbor). 0 restores normal drain.
+  void InjectSlowDrain(Nanos delay) { slow_drain_ = delay; }
 
   // The lease epoch this agent enforces for a local device (tests).
   uint64_t device_epoch(PcieDeviceId id) const;
@@ -169,7 +193,7 @@ class Agent {
 
   sim::Task<Result<std::vector<std::byte>>> HandleForwarding(
       uint16_t method, std::span<const std::byte> payload,
-      obs::TraceContext ctx);
+      const msg::ServerContext& sctx);
   sim::Task<Result<std::vector<std::byte>>> HandleControl(
       uint16_t method, std::span<const std::byte> payload);
   sim::Task<> ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& stop);
@@ -182,6 +206,8 @@ class Agent {
   cxl::HostAdapter& host_;
   Config config_;
   obs::Observability* obs_;
+  msg::AdmissionController admission_;
+  Nanos slow_drain_ = 0;
   std::map<PcieDeviceId, LocalDevice> devices_;
   MigrationHandler migration_handler_;
   std::vector<std::unique_ptr<msg::RpcServer>> servers_;

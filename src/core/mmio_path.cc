@@ -65,20 +65,45 @@ obs::Span ForwardedMmioPath::StartOpSpan(const char* name,
 }
 
 sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value,
-                                           obs::TraceContext parent) {
+                                           obs::TraceContext parent,
+                                           Nanos deadline) {
   // The seq is fixed BEFORE the first attempt: every retry re-sends the
   // same frame, so the home agent can recognize a duplicate of an already-
   // applied write and acknowledge without ringing the doorbell again.
   uint64_t seq = ++next_seq_;
   obs::Span op = StartOpSpan("mmio.write", parent);
-  // Pin the loop into this frame: rebind/failover may destroy this path
-  // while the call is in flight, so no member access after the co_await.
+  // Pin loop and breaker into this frame: rebind/failover may destroy this
+  // path while the call is in flight, so no member access after the
+  // co_await (the breaker is orchestrator-owned and outlives the path).
   sim::EventLoop& loop = loop_;
+  msg::CircuitBreaker* breaker = breaker_;
+  if (breaker != nullptr && !breaker->Allow(loop.now())) {
+    // Open breaker: fail fast without loading the wire. kOverloaded (not
+    // retryable) — the device is being given room to recover.
+    op.End(loop.now());
+    co_return Overloaded("circuit breaker open for device");
+  }
   auto request =
       mmio_wire::EncodeWrite(device_, epoch_, client_id_, seq, reg, value);
   auto resp = co_await retry_.Call(*client_, kMethodMmioWrite, request,
-                                   timeout_, loop, op.context());
+                                   timeout_, loop, op.context(), deadline,
+                                   msg::kPriorityData);
   op.End(loop.now());
+  if (breaker != nullptr) {
+    // Only transport-level failure inside a live budget trips the breaker:
+    // an explicit kOverloaded push-back means the peer is alive, and an op
+    // that died of its OWN deadline (budget elapsed — queue wait, shed
+    // downstream) says nothing about the device. Counting budget expiry
+    // would open breakers under pure overload and amputate capacity
+    // exactly when demand peaks.
+    bool budget_expired = deadline > 0 && loop.now() >= deadline;
+    if (resp.ok()) {
+      breaker->RecordSuccess(loop.now());
+    } else if (msg::CircuitBreaker::IsBreakerFailure(resp.status()) &&
+               !budget_expired) {
+      breaker->RecordFailure(loop.now());
+    }
+  }
   if (!resp.ok()) {
     co_return resp.status();
   }
@@ -86,17 +111,34 @@ sim::Task<Status> ForwardedMmioPath::Write(uint64_t reg, uint64_t value,
 }
 
 sim::Task<Result<uint64_t>> ForwardedMmioPath::Read(uint64_t reg,
-                                                    obs::TraceContext parent) {
+                                                    obs::TraceContext parent,
+                                                    Nanos deadline) {
   // Reads are idempotent; they carry a seq for wire uniformity but the
   // agent never dedups them (a retried read should observe fresh state).
   uint64_t seq = ++next_seq_;
   obs::Span op = StartOpSpan("mmio.read", parent);
   // Same frame-pinning as Write: `this` may die during the await.
   sim::EventLoop& loop = loop_;
+  msg::CircuitBreaker* breaker = breaker_;
+  if (breaker != nullptr && !breaker->Allow(loop.now())) {
+    op.End(loop.now());
+    co_return Overloaded("circuit breaker open for device");
+  }
   auto request = mmio_wire::EncodeRead(device_, epoch_, client_id_, seq, reg);
   auto resp = co_await retry_.Call(*client_, kMethodMmioRead, request, timeout_,
-                                   loop, op.context());
+                                   loop, op.context(), deadline,
+                                   msg::kPriorityData);
   op.End(loop.now());
+  if (breaker != nullptr) {
+    // Same rule as Write: budget expiry never blames the device.
+    bool budget_expired = deadline > 0 && loop.now() >= deadline;
+    if (resp.ok()) {
+      breaker->RecordSuccess(loop.now());
+    } else if (msg::CircuitBreaker::IsBreakerFailure(resp.status()) &&
+               !budget_expired) {
+      breaker->RecordFailure(loop.now());
+    }
+  }
   if (!resp.ok()) {
     co_return resp.status();
   }

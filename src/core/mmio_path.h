@@ -27,13 +27,20 @@ inline constexpr uint16_t kMethodMmioRead = 2;
 // `parent` (optional, zero = untraced) attaches the operation to an
 // existing trace; a traced ForwardedMmioPath also mints a root when the
 // caller passes none, so every forwarded op is traceable end to end.
+// `deadline` (optional, absolute, 0 = none) is the operation's total
+// budget, fixed at op origin: forwarded paths stamp it into the RPC wire
+// header so every downstream hop — client queue, home-agent dequeue, the
+// pre-BAR check — can shed the op the moment it is dead instead of doing
+// dead work. Retries never extend it.
 class MmioPath {
  public:
   virtual ~MmioPath() = default;
   virtual sim::Task<Status> Write(uint64_t reg, uint64_t value,
-                                  obs::TraceContext parent = {}) = 0;
+                                  obs::TraceContext parent = {},
+                                  Nanos deadline = 0) = 0;
   virtual sim::Task<Result<uint64_t>> Read(uint64_t reg,
-                                           obs::TraceContext parent = {}) = 0;
+                                           obs::TraceContext parent = {},
+                                           Nanos deadline = 0) = 0;
   // True when operations traverse the forwarding channel (diagnostics and
   // the E8 ablation).
   virtual bool is_remote() const = 0;
@@ -45,13 +52,17 @@ class LocalMmioPath : public MmioPath {
   explicit LocalMmioPath(pcie::PcieDevice* device) : device_(device) {}
 
   sim::Task<Status> Write(uint64_t reg, uint64_t value,
-                          obs::TraceContext parent = {}) override {
-    (void)parent;  // local BARs need no cross-host stitching
+                          obs::TraceContext parent = {},
+                          Nanos deadline = 0) override {
+    (void)parent;    // local BARs need no cross-host stitching
+    (void)deadline;  // a local BAR access cannot queue; nothing to shed
     return device_->MmioWrite(reg, value);
   }
   sim::Task<Result<uint64_t>> Read(uint64_t reg,
-                                   obs::TraceContext parent = {}) override {
+                                   obs::TraceContext parent = {},
+                                   Nanos deadline = 0) override {
     (void)parent;
+    (void)deadline;
     return device_->MmioRead(reg);
   }
   bool is_remote() const override { return false; }
@@ -102,14 +113,24 @@ class ForwardedMmioPath : public MmioPath {
     trace_host_ = host;
   }
 
+  // Shares the device's circuit breaker (owned by the orchestrator, one
+  // per device): ops fail fast with kOverloaded while it is open, and
+  // every final outcome feeds it. Null (default) = no breaker.
+  void BindBreaker(msg::CircuitBreaker* breaker) { breaker_ = breaker; }
+
   sim::Task<Status> Write(uint64_t reg, uint64_t value,
-                          obs::TraceContext parent = {}) override;
+                          obs::TraceContext parent = {},
+                          Nanos deadline = 0) override;
   sim::Task<Result<uint64_t>> Read(uint64_t reg,
-                                   obs::TraceContext parent = {}) override;
+                                   obs::TraceContext parent = {},
+                                   Nanos deadline = 0) override;
   bool is_remote() const override { return true; }
   uint64_t epoch() const { return epoch_; }
   uint64_t client_id() const { return client_id_; }
   const msg::RetryPolicy::Stats& retry_stats() const { return retry_.stats(); }
+  // The underlying RPC client (benches drive control-priority probes over
+  // the same channel as the data storm to prove they never starve).
+  msg::RpcClient& rpc_client() { return *client_; }
 
  private:
   // Root span when untraced callers hit a traced path; child span when the
@@ -124,6 +145,7 @@ class ForwardedMmioPath : public MmioPath {
   uint64_t client_id_;
   uint64_t next_seq_ = 0;  // assigned once per op; identical across retries
   msg::RetryPolicy retry_;
+  msg::CircuitBreaker* breaker_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   uint32_t trace_host_ = 0;
 };

@@ -20,6 +20,7 @@ void Orchestrator::RegisterMetrics() {
   quarantines_ = reg.GetCounter("orch.quarantines");
   quarantine_releases_ = reg.GetCounter("orch.quarantine_releases");
   quarantined_skips_ = reg.GetCounter("orch.quarantined_skips");
+  breaker_opens_ = reg.GetCounter("orch.breaker_opens");
   reg.RegisterProbe("orch.acquires", {},
                     [this] { return static_cast<int64_t>(stats_.acquires); });
   reg.RegisterProbe("orch.local_hits", {},
@@ -92,6 +93,21 @@ void Orchestrator::RegisterDevice(HostId home, pcie::PcieDevice* device,
   rec.device = device;
   rec.type = type;
   rec.home = home;
+  // One breaker per device, shared across every forwarded path to it. An
+  // open trip is a flap: it rides the same quarantine/probation machinery
+  // as watchdog FLR episodes instead of duplicating it.
+  rec.breaker = std::make_unique<msg::CircuitBreaker>(config_.breaker);
+  PcieDeviceId id = device->id();
+  rec.breaker->OnOpen([this, id] {
+    breaker_opens_->Inc();
+    FlightNote("breaker", "dev=%u circuit breaker opened", id.value());
+    NoteFlaps(id, 1);
+  });
+  metrics().RegisterProbe(
+      "breaker.state", {{"device", std::to_string(id.value())}},
+      [this, b = rec.breaker.get()] {
+        return static_cast<int64_t>(b->state(pod_.loop().now()));
+      });
   devices_.emplace(device->id(), std::move(rec));
 }
 
@@ -348,7 +364,8 @@ Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
   ASSIGN_OR_RETURN(auto channel, msg::Channel::Create(pod_.pool(), pod_.host(user),
                                                       pod_.host(rec.home)));
   home_agent->ServeForwarding(channel->end_b(), *stop_);
-  auto client = std::make_shared<msg::RpcClient>(channel->end_a());
+  auto client = std::make_shared<msg::RpcClient>(channel->end_a(),
+                                                 config_.mmio_client);
   client->BindTracer(tracer());
   // Each path gets a unique nonzero client_id: the home agent's dedup
   // window is keyed on it, so a timed-out-then-retried posted write is
@@ -357,6 +374,7 @@ Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
       client, device, rec.epoch, config_.rpc_timeout, pod_.loop(),
       ++next_path_client_id_, config_.mmio_retry);
   path->BindTracer(tracer(), user.value());
+  path->BindBreaker(rec.breaker.get());
   forwarding_channels_.push_back(std::move(channel));
   forwarding_clients_.push_back(std::move(client));
   return std::unique_ptr<MmioPath>(std::move(path));
@@ -416,7 +434,7 @@ sim::Task<> Orchestrator::MigrateLeases(PcieDeviceId from, bool failover) {
     auto resp = co_await retry_policy_.Call(
         *agent_it->second.control_client, kMethodMigrate,
         migrate_wire::Encode(from, target->device->id(), target->home),
-        config_.rpc_timeout, pod_.loop());
+        config_.rpc_timeout, pod_.loop(), {}, 0, msg::kPriorityControl);
     if (!resp.ok()) {
       ++stats_.abandoned_migrations;
       CXLPOOL_LOG(Warning) << "migrate RPC to host " << user
@@ -476,7 +494,8 @@ sim::Task<> Orchestrator::PushEpoch(HostId home, PcieDeviceId device,
   }
   auto resp = co_await retry_policy_.Call(
       *it->second.control_client, kMethodEpoch,
-      epoch_wire::Encode(device, epoch), config_.rpc_timeout, pod_.loop());
+      epoch_wire::Encode(device, epoch), config_.rpc_timeout, pod_.loop(), {},
+      0, msg::kPriorityControl);
   if (!resp.ok()) {
     CXLPOOL_LOG(Warning) << "epoch push for device " << device << " to host "
                          << home << " failed: " << resp.status();

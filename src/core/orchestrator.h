@@ -41,6 +41,15 @@ class Orchestrator {
     // a timeout-triggered duplicate into an acknowledged no-op instead of
     // a double-applied doorbell.
     msg::RetryPolicy::Options mmio_retry;
+    // Per-device circuit breaker shared by every forwarded MMIO path to
+    // that device: consecutive transport failures (never kOverloaded —
+    // push-back means the peer is alive) open it, open trips feed the
+    // quarantine flap accounting via NoteFlaps. failure_threshold = 0
+    // disables.
+    msg::CircuitBreaker::Options breaker;
+    // Client-side send-queue bound for forwarded MMIO paths (per
+    // (user host, device) path). Default unbounded (legacy).
+    msg::RpcClient::Options mmio_client;
     // Gray-failure quarantine: a device accumulating this many flaps
     // (watchdog FLR episodes + fail-stop repair cycles) is pulled from the
     // allocatable pool for an exponentially growing probation period.
@@ -85,6 +94,9 @@ class Orchestrator {
     Nanos probation_until = 0;
     // Quarantine entries so far; probation doubles with each one.
     uint32_t quarantine_level = 0;
+    // Shared by every forwarded path to this device (see Config::breaker);
+    // owned here so it survives path rebuilds across migrations.
+    std::unique_ptr<msg::CircuitBreaker> breaker;
   };
 
   // `home` is the host running the orchestrator container.
@@ -114,6 +126,12 @@ class Orchestrator {
 
   const DeviceRecord* record(PcieDeviceId device) const;
   const std::map<PcieDeviceId, DeviceRecord>& devices() const { return devices_; }
+  // The device's circuit breaker (null for unknown devices). Tests and
+  // benches assert on its state/stats.
+  msg::CircuitBreaker* breaker(PcieDeviceId device) {
+    auto it = devices_.find(device);
+    return it == devices_.end() ? nullptr : it->second.breaker.get();
+  }
 
   // False once the liveness sweep declared the host's agent dead; true
   // again after it re-registers by reporting.
@@ -203,6 +221,7 @@ class Orchestrator {
   obs::Counter* quarantines_ = nullptr;
   obs::Counter* quarantine_releases_ = nullptr;
   obs::Counter* quarantined_skips_ = nullptr;
+  obs::Counter* breaker_opens_ = nullptr;
   std::map<HostId, AgentEntry> agents_;
   std::map<PcieDeviceId, DeviceRecord> devices_;
   std::vector<std::unique_ptr<msg::Channel>> forwarding_channels_;

@@ -143,8 +143,11 @@ sim::Task<Result<uint16_t>> QueuePairDriver::SubmitAndWait(std::span<std::byte> 
                         static_cast<uint64_t>(config_.entries) * config_.cmd_size,
                         "sq-doorbell");
     }
+    // The doorbell inherits the command's absolute deadline: if it expires
+    // in a queue along the forwarded path, every hop sheds it instead of
+    // ringing a bell whose command the submitter has already given up on.
     Status bell_st = co_await mmio_->Write(config_.sq_doorbell_reg, value,
-                                           op.context());
+                                           op.context(), deadline);
     if (!bell_st.ok()) {
       op.End(host_.loop().now());
       co_return bell_st;

@@ -1,0 +1,156 @@
+#include "src/msg/backpressure.h"
+
+#include <cmath>
+
+namespace cxlpool::msg {
+
+AdmissionController::AdmissionController(Options options) : options_(options) {}
+
+void AdmissionController::BindMetrics(obs::Registry* registry,
+                                      const obs::Labels& labels) {
+  if (registry == nullptr) {
+    return;
+  }
+  obs::Labels control = labels;
+  control.emplace_back("priority", "control");
+  obs::Labels data = labels;
+  data.emplace_back("priority", "data");
+  control_hist_ = registry->GetHistogram("rpc.queue_delay_ns", control);
+  data_hist_ = registry->GetHistogram("rpc.queue_delay_ns", data);
+  inflight_gauge_ = registry->GetGauge("agent.inflight", labels);
+}
+
+bool AdmissionController::ShouldShed(Nanos sojourn, uint8_t priority,
+                                     Nanos now) {
+  ++stats_.observed;
+  if (priority == kPriorityControl) {
+    control_hist_->Add(sojourn);
+    return false;  // control plane is never shed, never drives CoDel state
+  }
+  data_hist_->Add(sojourn);
+  if (sojourn < options_.target) {
+    first_above_ = 0;
+    dropping_ = false;
+    return false;
+  }
+  if (first_above_ == 0) {
+    // First sojourn above target: arm the interval, shed nothing yet.
+    first_above_ = now + options_.interval;
+    return false;
+  }
+  if (!dropping_) {
+    if (now < first_above_) {
+      return false;  // above target but the interval hasn't elapsed
+    }
+    dropping_ = true;
+    drop_count_ = 0;
+    drop_next_ = now;
+  }
+  if (now >= drop_next_) {
+    ++drop_count_;
+    // Classic CoDel cadence: drop faster the longer the queue stays above
+    // target (interval / sqrt(count)).
+    drop_next_ =
+        now + static_cast<Nanos>(static_cast<double>(options_.interval) /
+                                 std::sqrt(static_cast<double>(drop_count_)));
+    ++stats_.shed;
+    return true;
+  }
+  return false;
+}
+
+bool AdmissionController::TryEnterServe() {
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    ++stats_.inflight_rejects;
+    return false;
+  }
+  ++inflight_;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(inflight_);
+  }
+  return true;
+}
+
+void AdmissionController::ExitServe() {
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->Set(inflight_);
+  }
+}
+
+bool CircuitBreaker::Allow(Nanos now) {
+  if (!enabled()) {
+    return true;
+  }
+  switch (state(now)) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      ++stats_.probes;
+      return true;
+    case State::kOpen:
+      ++stats_.fast_fails;
+      return false;
+  }
+  return true;
+}
+
+CircuitBreaker::State CircuitBreaker::state(Nanos now) {
+  if (state_ == State::kOpen && now >= opened_at_ + options_.open_duration) {
+    state_ = State::kHalfOpen;
+    half_open_streak_ = 0;
+  }
+  return state_;
+}
+
+void CircuitBreaker::Trip(Nanos now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  half_open_streak_ = 0;
+  ++stats_.opens;
+  if (on_open_) {
+    on_open_();
+  }
+}
+
+void CircuitBreaker::RecordSuccess(Nanos now) {
+  if (!enabled()) {
+    return;
+  }
+  switch (state(now)) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++half_open_streak_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      break;  // stale completion from before the trip; ignore
+  }
+}
+
+void CircuitBreaker::RecordFailure(Nanos now) {
+  if (!enabled()) {
+    return;
+  }
+  switch (state(now)) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        Trip(now);
+      }
+      break;
+    case State::kHalfOpen:
+      Trip(now);  // the probe failed; straight back to open
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+}  // namespace cxlpool::msg

@@ -1,0 +1,180 @@
+// Overload protection primitives for the pooled-I/O data plane.
+//
+// The forwarded-MMIO channel is a shared-memory queue: there is no TCP to
+// push back for it, so under overload an unprotected path degenerates into
+// unbounded queueing, timeout storms, and retry amplification. This header
+// collects the pieces every hop composes:
+//
+//   * Priority classes — control-plane probes/leases vs data-plane
+//     doorbells, carried on the RPC wire so a watchdog probe never starves
+//     behind a data storm (a wedged-detection false positive under pure
+//     overload is the failure mode these kill).
+//   * OverflowPolicy — what a bounded queue does when full: reject the
+//     arriving request (kOverloaded, caller backs off) or drop the oldest
+//     queued one (freshest-first under deadline pressure).
+//   * AdmissionController — CoDel-style load shedder at the home agent:
+//     sheds data-plane requests when queueing delay stays above target for
+//     a full interval, never sheds control plane, and bounds concurrent
+//     serves per agent.
+//   * CircuitBreaker — per-device closed/open/half-open breaker that
+//     fast-fails calls into a failing device and feeds the orchestrator's
+//     existing quarantine machinery through an on-open callback.
+//
+// All state is plain arithmetic on the one simulated clock — deterministic,
+// so chaos soaks over these policies replay bit-for-bit.
+#ifndef SRC_MSG_BACKPRESSURE_H_
+#define SRC_MSG_BACKPRESSURE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/obs/registry.h"
+#include "src/sim/stats.h"
+
+namespace cxlpool::msg {
+
+// Two-level priority carried in the RPC request header. Control plane
+// (watchdog probes, reports, leases, epoch pushes, migrations) is never
+// shed and jumps client-side send queues; data plane (forwarded doorbells)
+// is what backpressure acts on.
+inline constexpr uint8_t kPriorityControl = 0;
+inline constexpr uint8_t kPriorityData = 1;
+
+// What a bounded queue does with an arrival that would exceed its depth.
+enum class OverflowPolicy : uint8_t {
+  // Refuse the arriving request with kOverloaded. The caller learns
+  // immediately and can back off; queued work is untouched.
+  kRejectNew = 0,
+  // Evict the oldest *queued* (not in-flight) data-plane request with
+  // kOverloaded and admit the arrival. Under deadline pressure the oldest
+  // entry is the one most likely already dead — freshest-first wins.
+  kDropOldest = 1,
+};
+
+// CoDel-style admission control for a home agent's serve loops. The signal
+// is per-request sojourn time (send to dequeue — both ends share the sim
+// clock, so it is exact, no clock exchange needed). Sustained sojourn above
+// `target` for a full `interval` enters the dropping state; drops then
+// repeat on the classic interval/sqrt(count) cadence until the queue drains
+// below target. Control-plane requests are observed (histograms) but never
+// shed and never advance the CoDel state.
+class AdmissionController {
+ public:
+  struct Options {
+    // Queueing-delay target; sojourn persistently above this sheds.
+    Nanos target = 5 * kMicrosecond;
+    // How long sojourn must stay above target before the first shed.
+    Nanos interval = 100 * kMicrosecond;
+    // Bound on concurrently served requests across every serve loop bound
+    // to this controller (per home agent). 0 = unlimited.
+    uint32_t max_inflight = 0;
+  };
+
+  AdmissionController() : AdmissionController(Options()) {}
+  explicit AdmissionController(Options options);
+
+  // Routes the per-priority sojourn histograms and the inflight gauge into
+  // a shared registry (rpc.queue_delay_ns{priority=...}, agent.inflight).
+  void BindMetrics(obs::Registry* registry, const obs::Labels& labels);
+
+  // Records `sojourn` and decides whether to shed. Only data-priority
+  // requests are ever shed (and only they drive the CoDel state).
+  bool ShouldShed(Nanos sojourn, uint8_t priority, Nanos now);
+
+  // Inflight bound; false means reject with kOverloaded. Balance every
+  // successful TryEnterServe with ExitServe.
+  bool TryEnterServe();
+  void ExitServe();
+
+  struct Stats {
+    uint64_t observed = 0;          // requests seen (all priorities)
+    uint64_t shed = 0;              // CoDel drops
+    uint64_t inflight_rejects = 0;  // max_inflight refusals
+  };
+  const Stats& stats() const { return stats_; }
+  uint32_t inflight() const { return inflight_; }
+  const Options& options() const { return options_; }
+  const sim::Histogram& sojourn_hist(uint8_t priority) const {
+    return priority == kPriorityControl ? *control_hist_ : *data_hist_;
+  }
+
+ private:
+  Options options_;
+  Stats stats_;
+  uint32_t inflight_ = 0;
+  // CoDel state (data priority only).
+  Nanos first_above_ = 0;  // 0 = sojourn currently below target
+  bool dropping_ = false;
+  Nanos drop_next_ = 0;
+  uint32_t drop_count_ = 0;
+  // Default to internal histograms; BindMetrics repoints at registry-owned
+  // series so bench snapshots see them without extra plumbing.
+  sim::Histogram internal_control_, internal_data_;
+  sim::Histogram* control_hist_ = &internal_control_;
+  sim::Histogram* data_hist_ = &internal_data_;
+  obs::Gauge* inflight_gauge_ = nullptr;
+};
+
+// Per-device circuit breaker. Consecutive transport-level failures
+// (kDeadlineExceeded / kUnavailable — a peer that answers kOverloaded is
+// alive and must NOT trip the breaker) open it; while open every call
+// fast-fails without touching the wire. After `open_duration` the breaker
+// half-opens and lets probes through: enough successes close it, any
+// failure re-opens. The on-open callback is how it feeds the
+// orchestrator's quarantine/probation machinery instead of duplicating it.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  struct Options {
+    // Consecutive recordable failures that trip the breaker. 0 disables.
+    uint32_t failure_threshold = 5;
+    Nanos open_duration = 200 * kMicrosecond;
+    // Consecutive half-open successes required to close.
+    uint32_t half_open_successes = 2;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  // Invoked (synchronously) each time the breaker transitions to kOpen.
+  void OnOpen(std::function<void()> callback) { on_open_ = std::move(callback); }
+
+  // False = fail fast (open and not yet probe time). Lazily half-opens
+  // once open_duration has elapsed.
+  bool Allow(Nanos now);
+  void RecordSuccess(Nanos now);
+  void RecordFailure(Nanos now);
+  // True for the failure codes that should count against the breaker.
+  static bool IsBreakerFailure(const Status& status) {
+    return status.code() == StatusCode::kDeadlineExceeded ||
+           status.code() == StatusCode::kUnavailable;
+  }
+
+  State state(Nanos now);
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  struct Stats {
+    uint64_t opens = 0;
+    uint64_t fast_fails = 0;  // calls refused while open
+    uint64_t probes = 0;      // half-open attempts allowed through
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Trip(Nanos now);
+
+  Options options_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t half_open_streak_ = 0;
+  Nanos opened_at_ = 0;
+  std::function<void()> on_open_;
+  Stats stats_;
+};
+
+}  // namespace cxlpool::msg
+
+#endif  // SRC_MSG_BACKPRESSURE_H_

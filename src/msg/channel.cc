@@ -14,6 +14,7 @@ Result<std::unique_ptr<Channel>> Channel::Create(cxl::CxlPool& pool,
   a_to_b.slots = options.slots;
   a_to_b.poll_min = options.poll_min;
   a_to_b.poll_max = options.poll_max;
+  a_to_b.full_wait = options.full_wait;
 
   RingConfig b_to_a = a_to_b;
   b_to_a.base = seg.base + per_ring;

@@ -48,6 +48,9 @@ class Channel {
     uint32_t slots = 64;
     Nanos poll_min = 100;
     Nanos poll_max = 2 * kMicrosecond;
+    // Bounded-send policy for both rings: how long a Send may wait on a
+    // full ring before failing with kOverloaded. 0 = wait forever.
+    Nanos full_wait = 0;
     // Pin the backing segment to a specific MHD (tests); default balances.
     MhdId mhd;
   };

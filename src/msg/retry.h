@@ -31,12 +31,22 @@ class RetryPolicy {
     // turns a timeout-triggered duplicate into a dedup hit instead of an
     // error (see ForwardedMmioPath).
     double timeout_multiplier = 1.0;
+    // Token-bucket retry budget: each fresh Call earns `budget_ratio`
+    // tokens (capped at budget_burst) and every retry spends one, so
+    // sustained retries can never exceed that fraction of fresh load —
+    // the amplification bound that keeps a saturated path from feeding
+    // itself. 0 = unlimited (legacy). The bucket starts full (burst), so
+    // isolated failures still get their max_attempts.
+    double budget_ratio = 0.0;
+    double budget_burst = 10.0;
     uint64_t seed = 0x9e3779b97f4a7c15ULL;
   };
 
   RetryPolicy() : RetryPolicy(Options()) {}
   explicit RetryPolicy(Options options)
-      : options_(options), rng_(options.seed) {}
+      : options_(options),
+        rng_(options.seed),
+        budget_tokens_(options.budget_burst) {}
 
   // Transient failures worth retrying: the peer may come back (timeout) or
   // the path may heal (unavailable). Application errors are terminal.
@@ -51,27 +61,40 @@ class RetryPolicy {
 
   // RpcClient::Call with up to max_attempts attempts. Each attempt gets a
   // fresh deadline of now + attempt_timeout; retryable failures back off
-  // (exponential + jitter) between attempts. `ctx` is forwarded to every
-  // attempt, so retried attempts stay in the originating trace.
+  // (exponential + jitter) between attempts, gated by the retry budget.
+  // `ctx` is forwarded to every attempt, so retried attempts stay in the
+  // originating trace. `op_deadline` (absolute, 0 = none) caps the whole
+  // operation: attempt deadlines never exceed it and no retry starts past
+  // it — this is the deadline the wire header propagates downstream.
+  // `priority` rides every attempt's header (control jumps client queues
+  // and is never shed by home agents).
   sim::Task<Result<std::vector<std::byte>>> Call(RpcClient& client,
                                                  uint16_t method,
                                                  std::span<const std::byte> request,
                                                  Nanos attempt_timeout,
                                                  sim::EventLoop& loop,
-                                                 obs::TraceContext ctx = {});
+                                                 obs::TraceContext ctx = {},
+                                                 Nanos op_deadline = 0,
+                                                 uint8_t priority = kPriorityData);
 
   struct Stats {
     uint64_t calls = 0;
-    uint64_t retries = 0;    // attempts beyond the first
-    uint64_t exhausted = 0;  // calls that failed after max_attempts
+    uint64_t retries = 0;        // attempts beyond the first
+    uint64_t exhausted = 0;      // calls that failed after max_attempts
+    uint64_t budget_denied = 0;  // retries the token bucket refused
   };
   const Stats& stats() const { return stats_; }
   const Options& options() const { return options_; }
+  double budget_tokens() const { return budget_tokens_; }
 
  private:
+  // True (and spends a token) when the budget allows another retry.
+  bool SpendRetryToken();
+
   Options options_;
   sim::Rng rng_;
   Stats stats_;
+  double budget_tokens_;
 };
 
 }  // namespace cxlpool::msg

@@ -31,6 +31,8 @@ sim::Task<Status> RingSender::WaitForSpace(uint32_t chunks_needed) {
   if (chunks_needed > config_.slots) {
     co_return InvalidArgument("message needs more chunks than the ring has slots");
   }
+  Nanos give_up_at =
+      config_.full_wait > 0 ? host_.loop().now() + config_.full_wait : 0;
   while (head_ + chunks_needed - cached_tail_ > config_.slots) {
     // Ring looks full: refresh the consumer cursor from the pool.
     CO_RETURN_IF_ERROR(co_await host_.Invalidate(cursor_addr_, 8));
@@ -40,6 +42,10 @@ sim::Task<Status> RingSender::WaitForSpace(uint32_t chunks_needed) {
     if (head_ + chunks_needed - cached_tail_ <= config_.slots) {
       backoff_.Reset();
       break;
+    }
+    if (give_up_at != 0 && host_.loop().now() >= give_up_at) {
+      ++full_rejects_;
+      co_return Overloaded("ring full past full_wait");
     }
     co_await sim::Delay(host_.loop(), backoff_.NextDelay());
   }

@@ -55,6 +55,11 @@ struct RingConfig {
   // Receiver busy-poll cadence; decays by 2x to max while idle.
   Nanos poll_min = 100;
   Nanos poll_max = 2 * kMicrosecond;
+  // Bound on how long Send waits for free slots while the ring is full.
+  // 0 = wait forever (legacy). >0 turns a full ring into an explicit
+  // kOverloaded after that much simulated time — the innermost
+  // backpressure point of the whole forwarding path.
+  Nanos full_wait = 0;
 };
 
 // Producer endpoint. Exactly one sender and one receiver per ring (SPSC);
@@ -64,10 +69,15 @@ class RingSender {
   RingSender(cxl::HostAdapter& host, const RingConfig& config);
 
   // Publishes one message (<= kMaxMessageSize). Blocks (in simulated time)
-  // while the ring is full. Fails if the CXL path is unhealthy.
+  // while the ring is full — bounded by config.full_wait when nonzero, in
+  // which case a still-full ring yields kOverloaded. Fails if the CXL path
+  // is unhealthy.
   sim::Task<Status> Send(std::span<const std::byte> payload);
 
   uint64_t messages_sent() const { return head_; }
+  // Sends refused with kOverloaded because the ring stayed full past
+  // full_wait.
+  uint64_t full_rejects() const { return full_rejects_; }
   cxl::HostAdapter& host() { return host_; }
 
  private:
@@ -78,6 +88,7 @@ class RingSender {
   uint64_t cursor_addr_;
   uint64_t head_ = 0;         // next slot index to write
   uint64_t cached_tail_ = 0;  // last observed consumer cursor
+  uint64_t full_rejects_ = 0;
   sim::PollBackoff backoff_;
 };
 

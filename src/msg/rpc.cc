@@ -1,5 +1,7 @@
 #include "src/msg/rpc.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/msg/wire.h"
 #include "src/sim/logger.h"
@@ -7,43 +9,123 @@
 namespace cxlpool::msg {
 
 namespace {
-// Responses carry only [kind][call_id][method]; requests additionally carry
-// the trace triple (trace_id, parent_span, sent_at) — always present, zero
-// when untraced, so frame length is invariant to tracing state.
-constexpr size_t kRespHeaderSize = 1 + 8 + 2;
-constexpr size_t kReqHeaderSize = kRespHeaderSize + 8 + 8 + 8;
+// Responses carry [version][kind][call_id][method]; requests additionally
+// carry priority, deadline, and the trace triple (trace_id, parent_span,
+// sent_at) — every field always present, zero/default when unused, so
+// frame length is invariant to tracing state, deadlines, and priorities.
+constexpr size_t kRespHeaderSize = 1 + 1 + 8 + 2;
+constexpr size_t kReqHeaderSize = kRespHeaderSize + 1 + 8 + 8 + 8 + 8;
 }  // namespace
 
+size_t RpcClient::DataWaiters() const {
+  size_t n = 0;
+  for (const TurnWaiter* w : turn_queue_) {
+    if (w->priority != kPriorityControl) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+sim::Task<Status> RpcClient::AcquireTurn(uint8_t priority) {
+  if (!busy_ && turn_queue_.empty()) {
+    busy_ = true;
+    co_return OkStatus();
+  }
+  if (priority != kPriorityControl && options_.max_pending > 0 &&
+      DataWaiters() >= options_.max_pending) {
+    if (options_.overflow == OverflowPolicy::kRejectNew) {
+      ++stats_.rejected;
+      co_return Overloaded("client send queue full (reject-new)");
+    }
+    // kDropOldest: evict the oldest queued data-priority call. It wakes,
+    // sees `dropped`, and returns kOverloaded without ever holding the
+    // turn; the arriving call takes its place in line.
+    for (auto it = turn_queue_.begin(); it != turn_queue_.end(); ++it) {
+      if ((*it)->priority != kPriorityControl) {
+        TurnWaiter* victim = *it;
+        turn_queue_.erase(it);
+        victim->dropped = true;
+        victim->event.Set();
+        ++stats_.dropped_oldest;
+        break;
+      }
+    }
+  }
+  TurnWaiter waiter(endpoint_.loop());
+  waiter.priority = priority;
+  if (priority == kPriorityControl) {
+    // Ahead of every data waiter, behind earlier control waiters: control
+    // stays FIFO among itself but never queues behind a data storm.
+    auto pos = std::find_if(
+        turn_queue_.begin(), turn_queue_.end(),
+        [](const TurnWaiter* w) { return w->priority != kPriorityControl; });
+    turn_queue_.insert(pos, &waiter);
+  } else {
+    turn_queue_.push_back(&waiter);
+  }
+  co_await waiter.event.Wait();
+  if (waiter.dropped) {
+    co_return Overloaded("client send queue full (drop-oldest)");
+  }
+  co_return OkStatus();  // ReleaseTurn handed us the turn; busy_ stays true
+}
+
+void RpcClient::ReleaseTurn() {
+  if (turn_queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  TurnWaiter* next = turn_queue_.front();
+  turn_queue_.pop_front();
+  next->event.Set();  // turn passes directly; busy_ stays true
+}
+
 namespace {
-// Releases a semaphore on scope exit (co_return included).
+// Releases the client turn on scope exit (co_return included).
 class TurnGuard {
  public:
-  explicit TurnGuard(sim::Semaphore* sem) : sem_(sem) {}
-  ~TurnGuard() { sem_->Release(); }
+  using Release = void (RpcClient::*)();
+  TurnGuard(RpcClient* client, Release release)
+      : client_(client), release_(release) {}
+  ~TurnGuard() { (client_->*release_)(); }
   TurnGuard(const TurnGuard&) = delete;
   TurnGuard& operator=(const TurnGuard&) = delete;
 
  private:
-  sim::Semaphore* sem_;
+  RpcClient* client_;
+  Release release_;
 };
 }  // namespace
 
 sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
     uint16_t method, std::span<const std::byte> request, Nanos deadline,
-    obs::TraceContext ctx) {
-  co_await turn_.Acquire();
-  TurnGuard guard(&turn_);
-  uint64_t id = next_call_id_++;
+    obs::TraceContext ctx, uint8_t priority, Nanos op_deadline) {
+  if (op_deadline == kInheritCallDeadline) {
+    op_deadline = deadline;
+  }
+  CO_RETURN_IF_ERROR(co_await AcquireTurn(priority));
+  TurnGuard guard(this, &RpcClient::ReleaseTurn);
   sim::EventLoop& loop = endpoint_.loop();
+  // Waiting out the queue may have consumed the whole budget; sending a
+  // dead request just loads the ring with work every hop will shed anyway.
+  if (deadline > 0 && loop.now() >= deadline) {
+    ++stats_.expired_in_queue;
+    co_return DeadlineExceeded("deadline expired waiting in client queue");
+  }
+  uint64_t id = next_call_id_++;
   uint32_t host = endpoint_.host().id().value();
 
   Nanos sent_at = loop.now();
   std::vector<std::byte> frame;
   frame.reserve(kReqHeaderSize + request.size());
   wire::Writer w(&frame);
+  w.U8(kRpcWireVersion);
   w.U8(kRpcRequest);
   w.U64(id);
   w.U16(method);
+  w.U8(priority);
+  w.U64(static_cast<uint64_t>(op_deadline));
   w.U64(ctx.trace_id);
   w.U64(ctx.span_id);
   w.U64(static_cast<uint64_t>(sent_at));
@@ -67,6 +149,10 @@ sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
       co_return Internal("short RPC frame");
     }
     wire::Reader r(resp);
+    uint8_t version = r.U8();
+    if (version != kRpcWireVersion) {
+      co_return InvalidArgument("unsupported RPC wire version");
+    }
     uint8_t kind = r.U8();
     uint64_t got_id = r.U64();
     uint16_t code_or_method = r.U16();
@@ -84,6 +170,24 @@ sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
     co_return std::vector<std::byte>(rest.begin(), rest.end());
   }
 }
+
+namespace {
+// Serves guard: balances AdmissionController::TryEnterServe on every exit.
+class ServeSlot {
+ public:
+  explicit ServeSlot(AdmissionController* admission) : admission_(admission) {}
+  ~ServeSlot() {
+    if (admission_ != nullptr) {
+      admission_->ExitServe();
+    }
+  }
+  ServeSlot(const ServeSlot&) = delete;
+  ServeSlot& operator=(const ServeSlot&) = delete;
+
+ private:
+  AdmissionController* admission_;
+};
+}  // namespace
 
 sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
   sim::EventLoop& loop = endpoint_.loop();
@@ -104,19 +208,90 @@ sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
       co_return;
     }
     if (frame.size() < kReqHeaderSize) {
+      // Version check before the length check would misattribute truncated
+      // new-format frames; a frame long enough to carry a version byte but
+      // with the wrong one is the old format (or garbage) — typed reject.
+      if (!frame.empty() &&
+          static_cast<uint8_t>(frame[0]) != kRpcWireVersion) {
+        ++stats_.bad_version;
+      }
       continue;
     }
     wire::Reader r(frame);
+    uint8_t version = r.U8();
+    if (version != kRpcWireVersion) {
+      // Old-format frame: there is no call_id we can trust to reply to, so
+      // count and drop. The peer's call times out rather than misparses.
+      ++stats_.bad_version;
+      CXLPOOL_LOG(Warning) << "RPC frame with unsupported wire version "
+                           << static_cast<int>(version) << " dropped";
+      continue;
+    }
     uint8_t kind = r.U8();
     uint64_t id = r.U64();
     uint16_t method = r.U16();
-    obs::TraceContext wire_ctx;
-    wire_ctx.trace_id = r.U64();
-    wire_ctx.span_id = r.U64();
+    ServerContext sctx;
+    sctx.priority = r.U8();
+    sctx.deadline = static_cast<Nanos>(r.U64());
+    sctx.trace.trace_id = r.U64();
+    sctx.trace.span_id = r.U64();
     Nanos sent_at = static_cast<Nanos>(r.U64());
     if (kind != kRpcRequest) {
       continue;
     }
+    obs::TraceContext wire_ctx = sctx.trace;
+    Nanos now = loop.now();
+    Nanos sojourn = now - sent_at;
+
+    // Refuse dead or sheddable work BEFORE the handler touches anything
+    // expensive. The error reply is cheap (header-only) and tells the
+    // caller exactly why: kDeadlineExceeded = your budget ran out in our
+    // queue; kOverloaded = alive but saturated, back off.
+    Status refuse = OkStatus();
+    const char* refuse_span = nullptr;
+    if (sctx.deadline > 0 && now >= sctx.deadline) {
+      ++stats_.expired;
+      refuse = DeadlineExceeded("request expired before serve");
+      refuse_span = "rpc.expired";
+    } else if (admission_ != nullptr &&
+               admission_->ShouldShed(sojourn, sctx.priority, now)) {
+      ++stats_.shed;
+      refuse = Overloaded("shed by admission control");
+      refuse_span = "rpc.shed";
+    }
+    bool entered = false;
+    if (refuse.ok() && admission_ != nullptr &&
+        sctx.priority != kPriorityControl) {
+      // The inflight bound is a data-plane limit: control (probes, leases,
+      // reports) must get through a saturated agent, or overload turns
+      // into false wedge detections and dead heartbeats.
+      entered = admission_->TryEnterServe();
+      if (!entered) {
+        ++stats_.shed;
+        refuse = Overloaded("home agent at max inflight");
+        refuse_span = "rpc.shed";
+      }
+    }
+    if (!refuse.ok()) {
+      if (tracer_ != nullptr && wire_ctx.traced()) {
+        // The whole story of this request is its queue wait; record it as
+        // one retroactive span so sheds are visible in traces.
+        tracer_->RecordSpan(refuse_span, host, wire_ctx, sent_at, now);
+      }
+      std::vector<std::byte> resp;
+      wire::Writer w(&resp);
+      w.U8(kRpcWireVersion);
+      w.U8(kRpcErrorResponse);
+      w.U64(id);
+      w.U16(static_cast<uint16_t>(refuse.code()));
+      Status send_st = co_await endpoint_.Send(resp);
+      if (!send_st.ok()) {
+        ++stats_.serve_aborts;
+        co_return;
+      }
+      continue;
+    }
+    ServeSlot slot(entered ? admission_ : nullptr);
 
     // The flight span (sender's Send to our dequeue) is only knowable
     // here, after the fact — record it retroactively, then serve under it.
@@ -127,18 +302,20 @@ sim::Task<> RpcServer::Serve(sim::StopToken& stop) {
     }
     obs::Span serve = obs::MaybeStartSpan(tracer_, "rpc.serve", host,
                                           serve_parent, loop.now());
-    obs::TraceContext handler_ctx = serve.context();
+    sctx.trace = serve.context();
     Result<std::vector<std::byte>> result =
-        co_await handler_(method, r.Rest(), handler_ctx);
+        co_await handler_(method, r.Rest(), sctx);
     serve.End(loop.now());
     std::vector<std::byte> resp;
     wire::Writer w(&resp);
     if (result.ok()) {
+      w.U8(kRpcWireVersion);
       w.U8(kRpcResponse);
       w.U64(id);
       w.U16(method);
       w.Bytes(result.value());
     } else {
+      w.U8(kRpcWireVersion);
       w.U8(kRpcErrorResponse);
       w.U64(id);
       w.U16(static_cast<uint16_t>(result.status().code()));

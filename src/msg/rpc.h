@@ -3,25 +3,36 @@
 // are serialized (the control plane is low-rate by design — the hot
 // datapath uses rings directly).
 //
-// Wire format:
-//   request:  [u8 kind][u64 call_id][u16 method]
-//             [u64 trace_id][u64 parent_span][u64 sent_at][payload...]
-//   response: [u8 kind][u64 call_id][u16 method-or-code][payload...]
+// Wire format (version 2):
+//   request:  [u8 version][u8 kind][u64 call_id][u16 method][u8 priority]
+//             [u64 deadline][u64 trace_id][u64 parent_span][u64 sent_at]
+//             [payload...]
+//   response: [u8 version][u8 kind][u64 call_id][u16 method-or-code]
+//             [payload...]
 //
-// The three trace fields are ALWAYS present in requests — zero when the
-// call is untraced. This is load-bearing for determinism: frame size feeds
-// the ring slot count and therefore simulated timing, so tracing on/off
-// must not change the bytes-on-wire length (only the field values, which
-// the timing model never reads). `sent_at` lets the receiver materialize
-// the channel-flight span retroactively without any clock exchange — both
-// hosts share the one sim clock.
+// Every header field is ALWAYS present — zero/default when unused. This is
+// load-bearing for determinism: frame size feeds the ring slot count and
+// therefore simulated timing, so tracing on/off, deadlines, and priorities
+// must not change the bytes-on-wire length (only field values, which the
+// timing model never reads). `sent_at` lets the receiver materialize the
+// channel-flight span retroactively AND measure exact queueing delay for
+// admission control — both hosts share the one sim clock. `deadline`
+// (absolute, 0 = none) propagates the originating op's budget so every hop
+// can shed already-dead work; `priority` separates control-plane probes
+// and leases from data-plane doorbells so the former never starve.
+//
+// A frame whose version byte differs is rejected with a typed error
+// (request side: counted + dropped, we cannot parse a call_id to reply to;
+// response side: kInvalidArgument to the caller), never misparsed.
 #ifndef SRC_MSG_RPC_H_
 #define SRC_MSG_RPC_H_
 
+#include <deque>
 #include <functional>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/msg/backpressure.h"
 #include "src/msg/channel.h"
 #include "src/obs/trace.h"
 #include "src/sim/poll.h"
@@ -30,14 +41,29 @@
 
 namespace cxlpool::msg {
 
+inline constexpr uint8_t kRpcWireVersion = 2;
 inline constexpr uint8_t kRpcRequest = 0;
 inline constexpr uint8_t kRpcResponse = 1;
 inline constexpr uint8_t kRpcErrorResponse = 2;
 
+// Sentinel for RpcClient::Call's op_deadline: stamp the call's own wait
+// deadline into the wire (single-attempt callers, where attempt == op).
+inline constexpr Nanos kInheritCallDeadline = -1;
+
 class RpcClient {
  public:
-  explicit RpcClient(Endpoint& endpoint)
-      : endpoint_(endpoint), turn_(endpoint.loop(), 1) {}
+  struct Options {
+    // Bound on calls queued behind the in-flight one (per client — i.e.
+    // per (client host, device) forwarding path). 0 = unbounded (legacy).
+    // Control-priority calls are exempt: they jump the queue and are
+    // never counted against or evicted by the bound.
+    uint32_t max_pending = 0;
+    OverflowPolicy overflow = OverflowPolicy::kRejectNew;
+  };
+
+  explicit RpcClient(Endpoint& endpoint) : RpcClient(endpoint, Options()) {}
+  RpcClient(Endpoint& endpoint, Options options)
+      : endpoint_(endpoint), options_(options) {}
 
   // Enables client-side spans (rpc.enqueue) and on-wire propagation of
   // `ctx`. Null (the default) keeps every hook one branch.
@@ -45,19 +71,68 @@ class RpcClient {
 
   // Issues a call and waits for the response (until `deadline`, absolute).
   // Calls from concurrent coroutines are serialized internally (the
-  // channel carries one outstanding request at a time). `ctx` is the
-  // caller's trace context; it rides the request header so the server's
-  // spans attach to the same trace.
+  // channel carries one outstanding request at a time); control-priority
+  // calls jump ahead of queued data-priority calls so probes and leases
+  // never wait out a data storm. `ctx` is the caller's trace context; it
+  // rides the request header so the server's spans attach to the same
+  // trace.
+  //
+  // `op_deadline` is what gets STAMPED INTO THE WIRE for downstream hops
+  // to shed against: the originating operation's total budget, not this
+  // attempt's wait bound. kInheritCallDeadline (default) stamps `deadline`
+  // — right for single-attempt callers, where the two coincide. Retried
+  // callers (RetryPolicy) pass their op budget explicitly: a timed-out
+  // ATTEMPT's work is not dead — the home agent still applies it and the
+  // retry dedups — so the attempt deadline must never reach the wire.
   sim::Task<Result<std::vector<std::byte>>> Call(uint16_t method,
                                                  std::span<const std::byte> request,
                                                  Nanos deadline,
-                                                 obs::TraceContext ctx = {});
+                                                 obs::TraceContext ctx = {},
+                                                 uint8_t priority = kPriorityData,
+                                                 Nanos op_deadline = kInheritCallDeadline);
+
+  struct Stats {
+    uint64_t rejected = 0;          // kRejectNew refusals at the bound
+    uint64_t dropped_oldest = 0;    // queued calls evicted by kDropOldest
+    uint64_t expired_in_queue = 0;  // deadline passed while waiting to send
+  };
+  const Stats& stats() const { return stats_; }
+  // Calls currently waiting behind the in-flight one.
+  size_t pending() const { return turn_queue_.size(); }
 
  private:
+  struct TurnWaiter {
+    explicit TurnWaiter(sim::EventLoop& loop) : event(loop) {}
+    sim::Event event;
+    uint8_t priority = kPriorityData;
+    bool dropped = false;
+  };
+
+  // Serialization with priority: returns kOverloaded without the turn when
+  // the pending bound rejects or evicts this call; otherwise returns OK
+  // holding the turn (release with ReleaseTurn).
+  sim::Task<Status> AcquireTurn(uint8_t priority);
+  void ReleaseTurn();
+  size_t DataWaiters() const;
+
   Endpoint& endpoint_;
+  Options options_;
   uint64_t next_call_id_ = 1;
-  sim::Semaphore turn_;
+  bool busy_ = false;
+  std::deque<TurnWaiter*> turn_queue_;
+  Stats stats_;
   obs::Tracer* tracer_ = nullptr;
+};
+
+// Everything a handler may want to know about the request beyond its
+// payload: the caller's trace context (zero when untraced), the absolute
+// deadline it propagated (0 = none), and its priority class. Handlers that
+// do slow work re-check `deadline` right before the expensive step (e.g.
+// the home agent before touching a device BAR).
+struct ServerContext {
+  obs::TraceContext trace;
+  Nanos deadline = 0;
+  uint8_t priority = kPriorityData;
 };
 
 class RpcServer {
@@ -66,26 +141,34 @@ class RpcServer {
   // the caller as kRpcErrorResponse carrying the code).
   using Handler = std::function<sim::Task<Result<std::vector<std::byte>>>(
       uint16_t method, std::span<const std::byte> request)>;
-  // Trace-aware handler: additionally receives the request's trace context
-  // (zero when the caller was untraced) for spans under the serve span.
-  using TracedHandler = std::function<sim::Task<Result<std::vector<std::byte>>>(
+  // Context-aware handler: additionally receives the request's trace
+  // context, propagated deadline, and priority.
+  using ContextHandler = std::function<sim::Task<Result<std::vector<std::byte>>>(
       uint16_t method, std::span<const std::byte> request,
-      obs::TraceContext ctx)>;
+      const ServerContext& ctx)>;
 
   RpcServer(Endpoint& endpoint, Handler handler)
       : endpoint_(endpoint),
         handler_([h = std::move(handler)](uint16_t method,
                                           std::span<const std::byte> request,
-                                          obs::TraceContext) {
+                                          const ServerContext&) {
           return h(method, request);
         }) {}
-  RpcServer(Endpoint& endpoint, TracedHandler handler)
+  RpcServer(Endpoint& endpoint, ContextHandler handler)
       : endpoint_(endpoint), handler_(std::move(handler)) {}
 
   // Enables server-side spans: rpc.flight (recorded retroactively from the
   // request's sent_at), rpc.serve around the handler, rpc.reply around the
-  // response send.
+  // response send, plus rpc.shed / rpc.expired when admission control or
+  // deadline checks refuse a request.
   void BindTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  // Shares a per-home-agent admission controller across this server's
+  // serve loop: expired requests are refused with kDeadlineExceeded and
+  // CoDel-shed / inflight-rejected ones with kOverloaded, all BEFORE the
+  // handler (and therefore before any device BAR access). Null (default)
+  // disables shedding; expired requests are still refused.
+  void BindAdmission(AdmissionController* admission) { admission_ = admission; }
 
   // Serve loop; runs until `stop` fires. Spawn as a detached task. Exits
   // (and counts a serve_abort) when the channel path dies — e.g. the
@@ -104,15 +187,19 @@ class RpcServer {
     uint64_t calls_served = 0;
     uint64_t serve_aborts = 0;  // Serve exited on channel death
     uint64_t restarts = 0;      // ServeSupervised re-entered Serve
+    uint64_t expired = 0;       // refused: deadline already passed on dequeue
+    uint64_t shed = 0;          // refused: CoDel shed or inflight bound
+    uint64_t bad_version = 0;   // dropped: wire version mismatch
   };
   const Stats& stats() const { return stats_; }
   uint64_t calls_served() const { return stats_.calls_served; }
 
  private:
   Endpoint& endpoint_;
-  TracedHandler handler_;
+  ContextHandler handler_;
   Stats stats_;
   obs::Tracer* tracer_ = nullptr;
+  AdmissionController* admission_ = nullptr;
 };
 
 }  // namespace cxlpool::msg

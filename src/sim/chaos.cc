@@ -110,6 +110,7 @@ Task<> ChaosInjector::RunPlan(StopToken& stop) {
     Nanos failed_at = loop_.now();
     fault.fail();
     ++injections_;
+    ++injections_by_class_[fault.fault_class];
     Note("t=" + std::to_string(failed_at) + " fail " + fault.name +
          " outage=" + std::to_string(ev.outage));
 

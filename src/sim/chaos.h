@@ -95,6 +95,12 @@ class ChaosInjector {
     return mttr_by_class_;
   }
   uint64_t injections() const { return injections_; }
+  // Injections bucketed by fault_class, counted at fire time — harnesses
+  // assert a class actually fired (a class with zero injections silently
+  // proves nothing about the machinery it targets).
+  const std::map<std::string, uint64_t>& injections_by_class() const {
+    return injections_by_class_;
+  }
   uint64_t recoveries() const { return recoveries_; }
   uint64_t violations() const { return violations_; }
   const std::vector<std::string>& violation_log() const { return violation_log_; }
@@ -134,6 +140,7 @@ class ChaosInjector {
   Histogram mttr_;
   std::map<std::string, Histogram> mttr_by_class_;
   uint64_t injections_ = 0;
+  std::map<std::string, uint64_t> injections_by_class_;
   uint64_t recoveries_ = 0;
   uint64_t violations_ = 0;
   std::vector<std::string> violation_log_;

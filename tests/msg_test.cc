@@ -600,6 +600,563 @@ TEST(RetryPolicyTest, BackoffIsDeterministicSeededAndBounded) {
   }
 }
 
+// --- Wire versioning ---
+
+TEST_F(MsgTest, ServerDropsBadVersionRequest) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  int handler_calls = 0;
+  RpcServer server(c.end_b(),
+                   [&handler_calls](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     ++handler_calls;
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+
+  // A frame from a future (or corrupted) client: full-size header, wrong
+  // version byte. The server must count + drop it — it cannot even trust
+  // the call_id enough to reply — and keep serving.
+  auto send_old = [](Endpoint& e, sim::EventLoop& loop) -> Task<> {
+    std::vector<std::byte> frame;
+    wire::Writer w(&frame);
+    w.U8(kRpcWireVersion + 1);  // not ours
+    w.U8(kRpcRequest);
+    w.U64(77);                           // call_id
+    w.U16(1);                            // method
+    w.U8(kPriorityData);                 // priority
+    w.U64(0);                            // deadline
+    w.U64(0);                            // trace_id
+    w.U64(0);                            // parent_span
+    w.U64(static_cast<uint64_t>(loop.now()));  // sent_at
+    w.Bytes(Msg("boo"));
+    CXLPOOL_CHECK_OK(co_await e.Send(frame));
+  };
+  RunBlocking(loop_, send_old(c.end_a(), loop_));
+  loop_.RunFor(50 * kMicrosecond);
+  EXPECT_EQ(server.stats().bad_version, 1u);
+  EXPECT_EQ(handler_calls, 0);
+  EXPECT_EQ(server.calls_served(), 0u);
+
+  // The serve loop survived: a well-formed call still lands.
+  RpcClient client(c.end_a());
+  auto call = [](RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + kMillisecond);
+    co_return r.ok();
+  };
+  EXPECT_TRUE(RunBlocking(loop_, call(client, loop_)));
+  EXPECT_EQ(handler_calls, 1);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, ClientRejectsBadVersionResponse) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+
+  // A rogue responder: echoes the request's call_id back under an alien
+  // wire version. The client must fail the call typed, not misparse.
+  auto rogue = [](Endpoint& e, sim::EventLoop& loop) -> Task<> {
+    std::vector<std::byte> req;
+    CXLPOOL_CHECK_OK(co_await e.Recv(&req, loop.now() + kMillisecond));
+    wire::Reader r(req);
+    r.U8();  // version
+    r.U8();  // kind
+    uint64_t call_id = r.U64();
+    std::vector<std::byte> resp;
+    wire::Writer w(&resp);
+    w.U8(kRpcWireVersion + 5);
+    w.U8(kRpcResponse);
+    w.U64(call_id);
+    w.U16(1);
+    CXLPOOL_CHECK_OK(co_await e.Send(resp));
+  };
+  Spawn(rogue(c.end_b(), loop_));
+
+  RpcClient client(c.end_a());
+  auto call = [](RpcClient& cl, sim::EventLoop& loop) -> Task<StatusCode> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + kMillisecond);
+    co_return r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  EXPECT_EQ(RunBlocking(loop_, call(client, loop_)),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Deadline propagation ---
+
+TEST_F(MsgTest, ExpiredRequestRefusedBeforeHandler) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  int handler_calls = 0;
+  RpcServer server(c.end_b(),
+                   [&handler_calls](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     ++handler_calls;
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient client(c.end_a());
+
+  // op_deadline = "now" at origin: by the time the frame crosses the ring
+  // it is already dead. The server must refuse at dequeue — the handler
+  // (in production: the device BAR access) never runs for dead work.
+  loop_.RunFor(10 * kMicrosecond);  // off t=0: deadline 0 means "none"
+  auto call = [](RpcClient& cl, sim::EventLoop& loop) -> Task<StatusCode> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + kMillisecond, {},
+                              kPriorityData, /*op_deadline=*/loop.now());
+    co_return r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  EXPECT_EQ(RunBlocking(loop_, call(client, loop_)),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(handler_calls, 0);
+  EXPECT_EQ(server.stats().expired, 1u);
+  EXPECT_EQ(server.calls_served(), 0u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+// --- Priority and bounded client queues ---
+
+namespace {
+// Issues one call and appends `tag` to `order` when it completes.
+Task<> TaggedCall(RpcClient& cl, sim::EventLoop& loop, uint8_t priority,
+                  std::string tag, std::vector<std::string>& order,
+                  std::vector<std::string>& failed) {
+  auto r = co_await cl.Call(1, Msg("x"), loop.now() + 10 * kMillisecond, {},
+                            priority);
+  (r.ok() ? order : failed).push_back(std::move(tag));
+}
+}  // namespace
+
+TEST_F(MsgTest, ControlPriorityJumpsDataQueue) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [this](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_await sim::Delay(loop_, 5 * kMicrosecond);
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient client(c.end_a());
+
+  std::vector<std::string> order, failed;
+  auto drive = [&](RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    Spawn(TaggedCall(cl, loop, kPriorityData, "d1", order, failed));
+    co_await sim::Delay(loop, 1 * kMicrosecond);  // d1 now in flight
+    Spawn(TaggedCall(cl, loop, kPriorityData, "d2", order, failed));
+    Spawn(TaggedCall(cl, loop, kPriorityData, "d3", order, failed));
+    co_await sim::Delay(loop, 1 * kMicrosecond);  // d2, d3 queued
+    Spawn(TaggedCall(cl, loop, kPriorityControl, "ctl", order, failed));
+    co_return;
+  };
+  RunBlocking(loop_, drive(client, loop_));
+  loop_.RunFor(kMillisecond);
+  // The control call arrived last but runs right after the in-flight d1 —
+  // ahead of both queued data calls.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_TRUE(failed.empty());
+  EXPECT_EQ(order[0], "d1");
+  EXPECT_EQ(order[1], "ctl");
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, BoundedClientQueueRejectNew) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [this](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_await sim::Delay(loop_, 5 * kMicrosecond);
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient::Options opts;
+  opts.max_pending = 1;
+  opts.overflow = OverflowPolicy::kRejectNew;
+  RpcClient client(c.end_a(), opts);
+
+  std::vector<StatusCode> codes(4, StatusCode::kOk);
+  auto one = [&codes](RpcClient& cl, sim::EventLoop& loop, int i,
+                      uint8_t prio) -> Task<> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + 10 * kMillisecond, {},
+                              prio);
+    codes[static_cast<size_t>(i)] =
+        r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  auto drive = [&](RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    Spawn(one(cl, loop, 0, kPriorityData));  // in flight
+    co_await sim::Delay(loop, 1 * kMicrosecond);
+    Spawn(one(cl, loop, 1, kPriorityData));  // fills the 1-deep queue
+    Spawn(one(cl, loop, 2, kPriorityData));  // refused on arrival
+    // Control is exempt from the bound: admitted even with the queue full.
+    Spawn(one(cl, loop, 3, kPriorityControl));
+    co_return;
+  };
+  RunBlocking(loop_, drive(client, loop_));
+  loop_.RunFor(kMillisecond);
+  EXPECT_EQ(codes[0], StatusCode::kOk);
+  EXPECT_EQ(codes[1], StatusCode::kOk);
+  EXPECT_EQ(codes[2], StatusCode::kOverloaded);
+  EXPECT_EQ(codes[3], StatusCode::kOk);
+  EXPECT_EQ(client.stats().rejected, 1u);
+  EXPECT_EQ(client.stats().dropped_oldest, 0u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, BoundedClientQueueDropOldest) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [this](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_await sim::Delay(loop_, 5 * kMicrosecond);
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient::Options opts;
+  opts.max_pending = 1;
+  opts.overflow = OverflowPolicy::kDropOldest;
+  RpcClient client(c.end_a(), opts);
+
+  std::vector<StatusCode> codes(3, StatusCode::kOk);
+  auto one = [&codes](RpcClient& cl, sim::EventLoop& loop, int i) -> Task<> {
+    auto r = co_await cl.Call(1, Msg("x"), loop.now() + 10 * kMillisecond);
+    codes[static_cast<size_t>(i)] =
+        r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  auto drive = [&](RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    Spawn(one(cl, loop, 0));  // in flight
+    co_await sim::Delay(loop, 1 * kMicrosecond);
+    Spawn(one(cl, loop, 1));  // queued — the oldest waiter
+    Spawn(one(cl, loop, 2));  // evicts #1, takes its place
+    co_return;
+  };
+  RunBlocking(loop_, drive(client, loop_));
+  loop_.RunFor(kMillisecond);
+  EXPECT_EQ(codes[0], StatusCode::kOk);
+  EXPECT_EQ(codes[1], StatusCode::kOverloaded);  // freshest-first under load
+  EXPECT_EQ(codes[2], StatusCode::kOk);
+  EXPECT_EQ(client.stats().dropped_oldest, 1u);
+  EXPECT_EQ(client.stats().rejected, 0u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, RingSendOverloadedPastFullWait) {
+  Channel::Options copt;
+  copt.slots = 4;
+  copt.full_wait = 5 * kMicrosecond;
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1), copt);
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+
+  // Nobody receives: the sender fills the ring, then the bounded wait
+  // converts "stuck forever" into a typed kOverloaded push-back.
+  auto t = [](Endpoint& e, sim::EventLoop& loop) -> Task<StatusCode> {
+    for (;;) {
+      Status st = co_await e.Send(Msg("x"));
+      if (!st.ok()) {
+        co_return st.code();
+      }
+    }
+  };
+  Nanos start = loop_.now();
+  EXPECT_EQ(RunBlocking(loop_, t(c.end_a(), loop_)), StatusCode::kOverloaded);
+  EXPECT_GE(loop_.now() - start, 5 * kMicrosecond);
+}
+
+// --- AdmissionController ---
+
+TEST(AdmissionControllerTest, CoDelShedsOnlyAfterSustainedDelay) {
+  AdmissionController::Options o;
+  o.target = 5 * kMicrosecond;
+  o.interval = 100 * kMicrosecond;
+  AdmissionController ac(o);
+  Nanos t = 1 * kMillisecond;
+  Nanos high = 20 * kMicrosecond;
+
+  // A burst above target sheds nothing until it persists a full interval.
+  EXPECT_FALSE(ac.ShouldShed(high, kPriorityData, t));  // arms the interval
+  EXPECT_FALSE(ac.ShouldShed(high, kPriorityData, t + 50 * kMicrosecond));
+  EXPECT_TRUE(ac.ShouldShed(high, kPriorityData, t + 110 * kMicrosecond));
+  EXPECT_EQ(ac.stats().shed, 1u);
+
+  // In the dropping state the cadence is interval/sqrt(drop_count): the
+  // next shed comes only after that gap, then the gaps shrink.
+  Nanos t2 = t + 110 * kMicrosecond;
+  EXPECT_FALSE(ac.ShouldShed(high, kPriorityData, t2 + 10 * kMicrosecond));
+  EXPECT_TRUE(ac.ShouldShed(high, kPriorityData, t2 + 101 * kMicrosecond));
+  EXPECT_EQ(ac.stats().shed, 2u);
+
+  // One sojourn below target resets everything.
+  EXPECT_FALSE(
+      ac.ShouldShed(1 * kMicrosecond, kPriorityData, t2 + 200 * kMicrosecond));
+  EXPECT_FALSE(ac.ShouldShed(high, kPriorityData, t2 + 201 * kMicrosecond));
+  EXPECT_EQ(ac.stats().shed, 2u);
+}
+
+TEST(AdmissionControllerTest, ControlIsNeverShedAndNeverDrivesState) {
+  AdmissionController::Options o;
+  o.target = 5 * kMicrosecond;
+  o.interval = 100 * kMicrosecond;
+  AdmissionController ac(o);
+  // Hammer it with control-priority sojourns far above target, far past
+  // the interval: no shed, and the CoDel state stays disarmed.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ac.ShouldShed(kMillisecond, kPriorityControl,
+                               static_cast<Nanos>(i) * kMillisecond));
+  }
+  EXPECT_EQ(ac.stats().shed, 0u);
+  // The very next data sojourn above target only ARMS the interval — the
+  // control storm left no armed state behind.
+  EXPECT_FALSE(ac.ShouldShed(kMillisecond, kPriorityData, 60 * kMillisecond));
+  EXPECT_EQ(ac.stats().shed, 0u);
+}
+
+TEST(AdmissionControllerTest, InflightBound) {
+  AdmissionController::Options o;
+  o.max_inflight = 2;
+  AdmissionController ac(o);
+  EXPECT_TRUE(ac.TryEnterServe());
+  EXPECT_TRUE(ac.TryEnterServe());
+  EXPECT_FALSE(ac.TryEnterServe());
+  EXPECT_EQ(ac.stats().inflight_rejects, 1u);
+  ac.ExitServe();
+  EXPECT_TRUE(ac.TryEnterServe());
+  EXPECT_EQ(ac.inflight(), 2u);
+
+  AdmissionController unlimited{AdmissionController::Options{}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(unlimited.TryEnterServe());
+  }
+}
+
+// --- CircuitBreaker ---
+
+TEST(CircuitBreakerTest, TripOpenHalfOpenClose) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 3;
+  o.open_duration = 100 * kMicrosecond;
+  o.half_open_successes = 2;
+  CircuitBreaker cb(o);
+  int opens_seen = 0;
+  cb.OnOpen([&opens_seen] { ++opens_seen; });
+
+  Nanos t = 1 * kMillisecond;
+  cb.RecordFailure(t);
+  cb.RecordFailure(t);
+  EXPECT_EQ(cb.state(t), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.Allow(t));
+  cb.RecordFailure(t);  // third consecutive: trip
+  EXPECT_EQ(cb.state(t), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(opens_seen, 1);
+  EXPECT_FALSE(cb.Allow(t + 50 * kMicrosecond));
+  EXPECT_EQ(cb.stats().fast_fails, 1u);
+
+  // After open_duration the breaker half-opens and probes flow again.
+  Nanos probe_t = t + 150 * kMicrosecond;
+  EXPECT_TRUE(cb.Allow(probe_t));
+  EXPECT_EQ(cb.state(probe_t), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(cb.stats().probes, 1u);
+  cb.RecordSuccess(probe_t);
+  EXPECT_EQ(cb.state(probe_t), CircuitBreaker::State::kHalfOpen);
+  cb.RecordSuccess(probe_t + kMicrosecond);  // second success: close
+  EXPECT_EQ(cb.state(probe_t + kMicrosecond), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(cb.stats().opens, 1u);
+
+  // An intervening success in closed state resets the failure streak.
+  cb.RecordFailure(probe_t + 2 * kMicrosecond);
+  cb.RecordFailure(probe_t + 3 * kMicrosecond);
+  cb.RecordSuccess(probe_t + 4 * kMicrosecond);
+  cb.RecordFailure(probe_t + 5 * kMicrosecond);
+  cb.RecordFailure(probe_t + 6 * kMicrosecond);
+  EXPECT_EQ(cb.state(probe_t + 6 * kMicrosecond),
+            CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 2;
+  o.open_duration = 100 * kMicrosecond;
+  CircuitBreaker cb(o);
+  Nanos t = 0;
+  cb.RecordFailure(t);
+  cb.RecordFailure(t);
+  EXPECT_EQ(cb.state(t), CircuitBreaker::State::kOpen);
+  Nanos probe_t = t + 100 * kMicrosecond;
+  EXPECT_TRUE(cb.Allow(probe_t));  // half-open probe
+  cb.RecordFailure(probe_t);       // probe failed: straight back to open
+  EXPECT_EQ(cb.state(probe_t), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.stats().opens, 2u);
+  EXPECT_FALSE(cb.Allow(probe_t + kMicrosecond));
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisables) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 0;
+  CircuitBreaker cb(o);
+  for (int i = 0; i < 100; ++i) {
+    cb.RecordFailure(static_cast<Nanos>(i));
+  }
+  EXPECT_TRUE(cb.Allow(200));
+  EXPECT_EQ(cb.state(200), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(cb.stats().opens, 0u);
+}
+
+TEST(CircuitBreakerTest, OverloadedIsNotABreakerFailure) {
+  // A peer answering kOverloaded is alive — only transport silence
+  // (kDeadlineExceeded) or a dead path (kUnavailable) count.
+  EXPECT_FALSE(CircuitBreaker::IsBreakerFailure(Overloaded("busy")));
+  EXPECT_FALSE(CircuitBreaker::IsBreakerFailure(NotFound("app error")));
+  EXPECT_TRUE(CircuitBreaker::IsBreakerFailure(DeadlineExceeded("silence")));
+  EXPECT_TRUE(CircuitBreaker::IsBreakerFailure(Unavailable("dead path")));
+}
+
+// --- Retry budget ---
+
+TEST_F(MsgTest, RetryBudgetCapsAmplification) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  // Dead path (no server): without a budget every call would burn
+  // max_attempts - 1 retries. The token bucket caps total retries at
+  // ratio * calls + burst.
+  RetryPolicy::Options ro;
+  ro.max_attempts = 4;
+  ro.initial_backoff = 2 * kMicrosecond;
+  ro.max_backoff = 4 * kMicrosecond;
+  ro.budget_ratio = 0.1;
+  ro.budget_burst = 2.0;
+  RetryPolicy policy(ro);
+  RpcClient client(c.end_a());
+
+  // Dead-but-draining peer: consumes frames, never replies — otherwise the
+  // abandoned requests fill the 64-slot ring and senders wedge on it.
+  sim::StopToken stop;
+  auto sink = [](Endpoint& e, sim::EventLoop& loop, sim::StopToken& st) -> Task<> {
+    std::vector<std::byte> buf;
+    while (!st.stopped()) {
+      (void)co_await e.Recv(&buf, loop.now() + 50 * kMicrosecond);
+    }
+  };
+  Spawn(sink(c.end_b(), loop_, stop));
+
+  constexpr int kCalls = 30;
+  auto drive = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    for (int i = 0; i < kCalls; ++i) {
+      (void)co_await p.Call(cl, 1, Msg("x"), 5 * kMicrosecond, loop);
+    }
+  };
+  RunBlocking(loop_, drive(policy, client, loop_));
+  EXPECT_EQ(policy.stats().calls, static_cast<uint64_t>(kCalls));
+  EXPECT_GT(policy.stats().retries, 0u);
+  EXPECT_LE(static_cast<double>(policy.stats().retries),
+            ro.budget_ratio * kCalls + ro.budget_burst);
+  EXPECT_GT(policy.stats().budget_denied, 0u);
+  // Unbudgeted control: every call burns its full attempt allowance.
+  RetryPolicy::Options unlimited = ro;
+  unlimited.budget_ratio = 0.0;
+  RetryPolicy free_policy(unlimited);
+  RunBlocking(loop_, drive(free_policy, client, loop_));
+  EXPECT_EQ(free_policy.stats().retries, static_cast<uint64_t>(kCalls * 3));
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, TimeoutEscalationCutShortByBudget) {
+  // A server slow enough (10us/request) that only the THIRD escalated
+  // attempt (2us -> 8us -> 32us) can land — it must also outwait the
+  // backlog the abandoned attempts left behind (~30us total). With one
+  // retry token the escalation is cut off mid-ladder and the call fails;
+  // with a full bucket it succeeds. Retry budgets bound amplification even
+  // when escalation "would have worked eventually".
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+  sim::StopToken stop;
+  RpcServer server(c.end_b(),
+                   [this](uint16_t, std::span<const std::byte> req)
+                       -> Task<Result<std::vector<std::byte>>> {
+                     co_await sim::Delay(loop_, 10 * kMicrosecond);
+                     co_return std::vector<std::byte>(req.begin(), req.end());
+                   });
+  Spawn(server.Serve(stop));
+  RpcClient client(c.end_a());
+
+  RetryPolicy::Options ro;
+  ro.max_attempts = 3;
+  ro.timeout_multiplier = 4.0;
+  ro.initial_backoff = 1 * kMicrosecond;
+  ro.max_backoff = 2 * kMicrosecond;
+  ro.budget_ratio = 0.01;
+  ro.budget_burst = 1.0;  // one retry token: dies between attempts 2 and 3
+  RetryPolicy starved(ro);
+  auto call = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop) -> Task<bool> {
+    auto r = co_await p.Call(cl, 1, Msg("x"), 2 * kMicrosecond, loop);
+    co_return r.ok();
+  };
+  EXPECT_FALSE(RunBlocking(loop_, call(starved, client, loop_)));
+  EXPECT_EQ(starved.stats().retries, 1u);
+  EXPECT_EQ(starved.stats().budget_denied, 1u);
+
+  loop_.RunFor(100 * kMicrosecond);  // let the slow server drain
+  RetryPolicy::Options full = ro;
+  full.budget_burst = 10.0;
+  RetryPolicy healthy(full);
+  EXPECT_TRUE(RunBlocking(loop_, call(healthy, client, loop_)));
+  EXPECT_EQ(healthy.stats().retries, 2u);
+  EXPECT_EQ(healthy.stats().budget_denied, 0u);
+  stop.Stop();
+  loop_.RunFor(100 * kMicrosecond);
+}
+
+TEST_F(MsgTest, RetryBudgetRefillIsDeterministic) {
+  // Two identical policies driven through identical seeded runs must agree
+  // on every stat and on the residual token count — the budget arithmetic
+  // is part of the simulation's determinism contract.
+  auto ch1 = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  auto ch2 = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch1.ok());
+  ASSERT_TRUE(ch2.ok());
+  RetryPolicy::Options ro;
+  ro.max_attempts = 3;
+  ro.initial_backoff = 2 * kMicrosecond;
+  ro.budget_ratio = 0.25;
+  ro.budget_burst = 3.0;
+  ro.seed = 77;
+  RetryPolicy a(ro), b(ro);
+  RpcClient ca((*ch1)->end_a()), cb((*ch2)->end_a());
+
+  auto drive = [](RetryPolicy& p, RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    for (int i = 0; i < 12; ++i) {
+      (void)co_await p.Call(cl, 1, Msg("x"), 5 * kMicrosecond, loop);
+    }
+  };
+  // Interleave-free: run A fully, then B — both see dead channels and the
+  // same per-call timing structure.
+  RunBlocking(loop_, drive(a, ca, loop_));
+  RunBlocking(loop_, drive(b, cb, loop_));
+  EXPECT_EQ(a.stats().calls, b.stats().calls);
+  EXPECT_EQ(a.stats().retries, b.stats().retries);
+  EXPECT_EQ(a.stats().budget_denied, b.stats().budget_denied);
+  EXPECT_EQ(a.stats().exhausted, b.stats().exhausted);
+  EXPECT_DOUBLE_EQ(a.budget_tokens(), b.budget_tokens());
+}
+
 // --- Doorbell ---
 
 TEST_F(MsgTest, DoorbellWaitsAndWakes) {

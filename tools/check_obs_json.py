@@ -23,8 +23,14 @@ Two artifact shapes, both produced by src/obs/:
 
 Usage:
   tools/check_obs_json.py --bench BENCH_chaos.json [more.json...]
+  tools/check_obs_json.py --bench --require rpc.shed,mmio.retries x.json
   tools/check_obs_json.py --trace trace.json
   tools/check_obs_json.py file.json           # sniff the shape per file
+
+`--require` names series that MUST be present in every bench file — the
+overload/backpressure counters CI gates on: a refactor that silently
+drops the `rpc.shed` series would otherwise pass schema validation while
+the soak gate quietly stops measuring anything.
 
 Exit 0 = all files valid, 1 = violations (printed one per line).
 Stdlib only; runs on the bare CI runner.
@@ -89,6 +95,16 @@ def check_series(path, i, s, seen_keys, errors):
             _err(errors, path, where, "percentiles not monotone: %s" % ps)
     else:
         _err(errors, path, where, "unknown kind %r" % kind)
+
+
+def check_required(path, doc, required, errors):
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    names = {s.get("name") for s in metrics
+             if isinstance(s, dict)} if isinstance(metrics, list) else set()
+    for r in required:
+        if r not in names:
+            _err(errors, path, "require",
+                 "required series %r is absent from the snapshot" % r)
 
 
 def check_bench(path, doc, errors):
@@ -160,7 +176,13 @@ def main():
                       help="treat all files as BENCH metric snapshots")
     mode.add_argument("--trace", action="store_true",
                       help="treat all files as Chrome trace_event JSON")
+    ap.add_argument("--require", default="",
+                    help="comma-separated series names that must be present "
+                         "in every bench snapshot")
     args = ap.parse_args()
+    required = [r for r in args.require.split(",") if r]
+    if required and args.trace:
+        ap.error("--require only applies to bench snapshots")
 
     errors = []
     for path in args.files:
@@ -173,6 +195,8 @@ def main():
         shape = ("bench" if args.bench else
                  "trace" if args.trace else sniff(doc))
         (check_bench if shape == "bench" else check_trace)(path, doc, errors)
+        if shape == "bench" and required:
+            check_required(path, doc, required, errors)
         if not errors:
             if shape == "bench":
                 n = len(doc.get("metrics", []))

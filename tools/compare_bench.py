@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Tolerance diff between a committed BENCH_*.json snapshot and a fresh run.
+
+The simulator is deterministic per seed, but benchmarks evolve: phases get
+added, constants get re-tuned, scheduling order shifts when a subsystem
+grows a hop. A byte-exact diff would make every harmless change a red CI
+run and train everyone to ignore the gate. This compares at the level the
+numbers actually mean:
+
+  counters    |fresh - snap| <= tol * max(|snap|, floor)
+  gauges      same rule
+  histograms  same rule applied to count, p50, p99 (mean/min/max/p90/p999
+              are too jittery to gate on and ride along informationally)
+
+A series present in the snapshot but MISSING from the fresh run is always
+a regression — that is how a refactor silently stops measuring something.
+A series only in the fresh run is reported but tolerated (new phases and
+new counters land before their snapshot is refreshed).
+
+This is a SOFT gate in CI (continue-on-error): its job is to put a diff in
+front of a reviewer, not to block merges on a re-tuned constant. Refresh
+a snapshot deliberately by re-running the bench and committing the JSON.
+
+Usage:
+  tools/compare_bench.py SNAPSHOT.json FRESH.json [--tol 0.25] [--floor 16]
+
+Exit 0 = within tolerance, 1 = drift/missing series, 2 = usage error.
+Stdlib only; runs on the bare CI runner.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_HIST_FIELDS = ("count", "p50", "p99")
+
+
+def series_key(s):
+    return (s.get("name", "?"),
+            tuple(sorted((s.get("labels") or {}).items())))
+
+
+def load_series(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for s in doc.get("metrics", []):
+        if isinstance(s, dict):
+            out[series_key(s)] = s
+    return doc.get("bench", "?"), out
+
+
+def fmt_key(key):
+    name, labels = key
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % kv for kv in labels))
+
+
+def within(snap_v, fresh_v, tol, floor):
+    """|fresh - snap| <= tol * max(|snap|, floor).
+
+    The additive floor keeps tiny counters honest: a snapshot value of 2
+    must not fail because the fresh run saw 3 — at that magnitude the
+    difference is scheduling noise, not drift."""
+    return abs(fresh_v - snap_v) <= tol * max(abs(snap_v), floor)
+
+
+def compare(snap, fresh, tol, floor):
+    drifts, missing, extra = [], [], []
+    for key, s in sorted(snap.items()):
+        f = fresh.get(key)
+        if f is None:
+            missing.append(fmt_key(key))
+            continue
+        kind = s.get("kind")
+        if f.get("kind") != kind:
+            drifts.append("%s: kind changed %r -> %r"
+                          % (fmt_key(key), kind, f.get("kind")))
+            continue
+        if kind in ("counter", "gauge"):
+            fields = ("value",)
+        elif kind == "histogram":
+            fields = GATED_HIST_FIELDS
+        else:
+            continue
+        for field in fields:
+            sv, fv = s.get(field), f.get(field)
+            if not isinstance(sv, (int, float)) or not isinstance(
+                    fv, (int, float)):
+                continue
+            if not within(sv, fv, tol, floor):
+                drifts.append("%s: %s drifted %s -> %s (> %.0f%% of %s)"
+                              % (fmt_key(key), field, sv, fv, tol * 100,
+                                 max(abs(sv), floor)))
+    for key in sorted(fresh.keys() - snap.keys()):
+        extra.append(fmt_key(key))
+    return drifts, missing, extra
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("snapshot", help="committed BENCH_*.json baseline")
+    ap.add_argument("fresh", help="JSON from the run under test")
+    ap.add_argument("--tol", type=float, default=0.25,
+                    help="relative tolerance (default 0.25)")
+    ap.add_argument("--floor", type=float, default=16,
+                    help="additive floor for small values (default 16)")
+    args = ap.parse_args()
+
+    try:
+        snap_name, snap = load_series(args.snapshot)
+        fresh_name, fresh = load_series(args.fresh)
+    except (OSError, ValueError) as e:
+        print("compare_bench: %s" % e, file=sys.stderr)
+        return 2
+    if snap_name != fresh_name:
+        print("compare_bench: bench name mismatch: snapshot=%r fresh=%r"
+              % (snap_name, fresh_name), file=sys.stderr)
+        return 2
+
+    drifts, missing, extra = compare(snap, fresh, args.tol, args.floor)
+    for m in missing:
+        print("MISSING  %s  (in snapshot, absent from fresh run)" % m)
+    for d in drifts:
+        print("DRIFT    %s" % d)
+    for e in extra:
+        print("NEW      %s  (not in snapshot — refresh it when this lands)"
+              % e)
+    print("compare_bench: %s: %d series, %d drift(s), %d missing, %d new"
+          % (snap_name, len(snap), len(drifts), len(missing), len(extra)))
+    return 1 if drifts or missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

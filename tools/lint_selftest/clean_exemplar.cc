@@ -4,8 +4,11 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "src/cxl/host_adapter.h"
+#include "src/msg/channel.h"
+#include "src/msg/rpc.h"
 #include "src/msg/wire.h"
 #include "src/obs/trace.h"
 #include "src/sim/task.h"
@@ -86,6 +89,27 @@ inline sim::Task<Status> TracedStoreClean(cxl::HostAdapter& host,
 inline obs::Span HandOffSpan(obs::Tracer& tracer, uint32_t host, Nanos now) {
   obs::Span op = tracer.StartTrace("op", host, now);
   return op;  // moved to the caller, who owns the End
+}
+
+// Budgeted awaits the missing-deadline rule must accept: an absolute
+// deadline computed from now(), a deadline/timeout variable threaded
+// through, and a sanctioned unbounded wait with an explicit waiver.
+sim::Task<Status> RecvInto(msg::Endpoint& end, std::vector<std::byte>* frame,
+                           Nanos deadline);
+
+inline sim::Task<Status> BudgetedPoke(msg::RpcClient& client, sim::EventLoop& loop,
+                                      std::vector<std::byte> request,
+                                      Nanos op_deadline) {
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, request,
+                                   loop.now() + 100 * kMicrosecond, {},
+                                   msg::kPriorityData, op_deadline);
+  co_return resp.status();
+}
+
+inline sim::Task<Status> BudgetedDrain(msg::Endpoint& end, Nanos deadline) {
+  std::vector<std::byte> frame;
+  CO_RETURN_IF_ERROR(co_await end.Recv(&frame, deadline));
+  co_return co_await end.Recv(&frame);  // lint-tasks: allow(missing-deadline)
 }
 
 }  // namespace cxlpool::repro

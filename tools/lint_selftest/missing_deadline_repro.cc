@@ -1,0 +1,40 @@
+// Seeded reproduction of the missing-deadline bug class for
+// tools/lint_tasks.py --self-test. NOT part of the build. Do not "fix"
+// this — the self-test asserts the lint flags it.
+//
+// The shape: a co_await on an RPC Call / channel Recv whose argument
+// list carries no deadline. An op with no budget cannot be shed by any
+// hop: under overload it queues behind a wedged home agent and the
+// caller hangs for as long as the wedge lasts — backpressure degrades
+// into an unbounded wait. The overload work's whole contract is that a
+// deadline rides the wire so every hop (client queue, server dequeue,
+// pre-BAR re-check) can drop expired work; an undeadlined await opts
+// out of all of it silently.
+#include <cstdint>
+#include <vector>
+
+#include "src/msg/channel.h"
+#include "src/msg/rpc.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+// BUG: the Call has a context and a priority but no deadline — the
+// magic number 0 in deadline position means "none", so this op can
+// never be shed and the caller blocks until the peer answers.
+inline sim::Task<Status> PokeAgentForever(msg::RpcClient& client,
+                                          std::vector<std::byte> request) {
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, request,
+                                   /*deadline=*/0, {});
+  co_return resp.status();
+}
+
+// BUG: the Recv waits with no deadline argument at all; if the sender
+// died, this coroutine is pinned on the ring forever and its frame
+// (and everything it references) never unwinds.
+inline sim::Task<Status> DrainOne(msg::Endpoint& end) {
+  std::vector<std::byte> frame;
+  co_return co_await end.Recv(&frame);
+}
+
+}  // namespace cxlpool::repro

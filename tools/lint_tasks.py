@@ -40,6 +40,15 @@ Two bug classes this codebase has actually paid for:
     this rule at least guarantees the happy path ends the span.  Moving or
     returning the span transfers the obligation to the caller.
 
+(e) missing-deadline: `co_await` on an RPC/channel op (`Call`, `Recv`)
+    whose argument list carries no deadline-ish token (`deadline`,
+    `timeout`, `now() + ...`, ...).  An op with no budget waits forever:
+    under overload it queues behind a wedged peer and turns backpressure
+    into a hang — exactly the failure mode the deadline-propagation work
+    exists to prevent (every hop sheds expired work only if a deadline
+    rides the wire).  Test code is exempt: tests legitimately use
+    sentinel/infinite waits to pin ordering.
+
 Suppression: append `// lint-tasks: allow(<rule>)` to the offending line.
 
 Usage:
@@ -378,6 +387,60 @@ def check_leaked_span(path, text, findings):
             "std::move it to the new owner" % name))
 
 
+# An awaited RPC/channel op: `co_await <receiver-chain>Call(` / `Recv(`.
+# These are the two op shapes that cross a queue and therefore must carry
+# a budget; everything else awaited (Delay, WaitUntil, Acquire) either IS
+# the budget or holds no queue slot.
+DEADLINE_CALL_RE = re.compile(
+    r"\bco_await\b[ \t\n]*(?:[A-Za-z_]\w*(?:\.|->|::))*"
+    r"(?P<op>Call|Recv)[ \t\n]*\(")
+
+# Tokens that mark an argument list as budgeted: a deadline/timeout
+# variable by name, an absolute deadline computed from now(), or the
+# explicit inherit sentinel.
+DEADLINE_ARG_RE = re.compile(
+    r"deadline|timeout|expiry|until|budget|\bnow[ \t\n]*\(",
+    re.IGNORECASE)
+
+
+def is_test_path(path):
+    norm = path.replace(os.sep, "/")
+    return ("/tests/" in norm or "/test/" in norm
+            or re.search(r"_test\.(?:cc|cpp|h)$", norm) is not None)
+
+
+def check_missing_deadline(path, text, findings):
+    if is_test_path(path):
+        return
+    for m in DEADLINE_CALL_RE.finditer(text):
+        open_idx = text.find("(", m.end() - 1)
+        depth = 0
+        close = -1
+        for i in range(open_idx, len(text)):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+        if close == -1:
+            continue
+        args = text[open_idx + 1:close]
+        if DEADLINE_ARG_RE.search(args):
+            continue
+        stmt_end = text.find("\n", close)
+        stmt_end = len(text) if stmt_end == -1 else stmt_end
+        if "ALLOW(missing-deadline)" in text[m.start():stmt_end]:
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "missing-deadline",
+            "co_await %s() with no deadline/timeout argument waits forever "
+            "under overload; pass an absolute deadline (loop.now() + "
+            "budget) so every hop can shed the op once it expires"
+            % m.group("op")))
+
+
 def lint_paths(paths, must_use_roots):
     findings = []
     must_use = collect_must_use_functions(must_use_roots)
@@ -388,6 +451,7 @@ def lint_paths(paths, must_use_roots):
         check_discarded_result(path, text, must_use, findings)
         check_unstoppable_loop(path, text, findings)
         check_leaked_span(path, text, findings)
+        check_missing_deadline(path, text, findings)
     return findings
 
 
@@ -405,10 +469,11 @@ def self_test(repo_root):
     selftest_dir = os.path.join(repo_root, "tools", "lint_selftest")
     bad = os.path.join(selftest_dir, "dangling_repro.cc")
     leaky = os.path.join(selftest_dir, "leaked_span_repro.cc")
+    undeadlined = os.path.join(selftest_dir, "missing_deadline_repro.cc")
     good = os.path.join(selftest_dir, "clean_exemplar.cc")
     roots = [os.path.join(repo_root, "src"), selftest_dir]
 
-    flagged = lint_paths([bad, leaky], roots)
+    flagged = lint_paths([bad, leaky, undeadlined], roots)
     rules = sorted({f.rule for f in flagged})
     ok = True
     if "dangling-frame" not in rules:
@@ -422,6 +487,16 @@ def self_test(repo_root):
         ok = False
     if "leaked-span" not in rules:
         print("SELF-TEST FAIL: seeded leaked-span repro not flagged")
+        ok = False
+    if "missing-deadline" not in rules:
+        print("SELF-TEST FAIL: seeded missing-deadline repro not flagged")
+        ok = False
+    undeadlined_hits = [f for f in flagged
+                        if f.rule == "missing-deadline"
+                        and f.path == undeadlined]
+    if len(undeadlined_hits) != 2:
+        print("SELF-TEST FAIL: expected 2 missing-deadline findings in the "
+              "repro (Call and Recv), got %d" % len(undeadlined_hits))
         ok = False
     for f in flagged:
         print("  (expected) %s" % f)
