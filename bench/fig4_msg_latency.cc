@@ -46,6 +46,52 @@ Task<> Ping(msg::Channel& ch, sim::EventLoop& loop, sim::Histogram& hist,
   stop.Stop();
 }
 
+// --- Streaming phase: one-directional throughput, N concurrent senders ---
+// Exercises the hot-path batching machinery end to end: concurrent Sends
+// stage in the MPSC submission front, the drainer write-combines them into
+// multi-slot nt-store runs (RingSender::SendBatch), and the receiver
+// drains bursts from one windowed invalidate+load round.
+
+Task<> StreamSend(msg::Endpoint& ep, int count, int& live, sim::Event& done) {
+  std::vector<std::byte> payload(16, std::byte{0x5a});
+  for (int i = 0; i < count; ++i) {
+    CXLPOOL_CHECK_OK(co_await ep.Send(payload));
+  }
+  if (--live == 0) {
+    done.Set();
+  }
+}
+
+Task<> StreamDrain(msg::Endpoint& ep, sim::EventLoop& loop, int total) {
+  for (int i = 0; i < total; ++i) {
+    std::vector<std::byte> m;
+    CXLPOOL_CHECK_OK(co_await ep.Recv(&m, loop.now() + 10 * kMillisecond));
+    CXLPOOL_CHECK(m.size() == 16);
+  }
+}
+
+Task<> StreamPhase(cxl::CxlPod& pod, sim::EventLoop& loop, int producers,
+                   int per_producer, double* rate) {
+  msg::Channel::Options sopts;
+  sopts.poll_min = 50;
+  sopts.poll_max = 100;
+  sopts.submit.watermark = 8;  // opportunistic batching, no Nagle delay
+  auto sch = msg::Channel::Create(pod.pool(), pod.host(0), pod.host(1), sopts);
+  CXLPOOL_CHECK_OK(sch.status());
+  int live = producers;
+  sim::Event done(loop);
+  Nanos t0 = loop.now();
+  for (int p = 0; p < producers; ++p) {
+    sim::Spawn(StreamSend((*sch)->end_a(), per_producer, live, done));
+  }
+  co_await StreamDrain((*sch)->end_b(), loop, per_producer * producers);
+  while (live > 0) {
+    co_await done.Wait();
+  }
+  *rate = static_cast<double>(per_producer * producers) * 1e9 /
+          static_cast<double>(loop.now() - t0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,10 +137,27 @@ int main(int argc, char** argv) {
   std::printf("\nmedian %lld ns (paper: ~600 ns, sub-us overall); max %lld ns\n",
               static_cast<long long>(hist.Percentile(0.5)),
               static_cast<long long>(hist.max()));
+
+  // Streaming throughput: same rings, one direction, concurrent senders.
+  // The 8-producer row shows the MPSC front + SendBatch write-combining;
+  // the 1-producer row is the unbatched reference.
+  std::printf("\n=== streaming throughput (batched MPSC submission) ===\n");
+  double rate1 = 0;
+  double rate8 = 0;
+  sim::RunBlocking(loop, StreamPhase(pod, loop, 1, 8000, &rate1));
+  sim::RunBlocking(loop, StreamPhase(pod, loop, 8, 1000, &rate8));
+  std::printf("  %-9s %10s %14s\n", "producers", "msgs", "msgs/sec");
+  std::printf("  %9d %10d %14.0f\n", 1, 8000, rate1);
+  std::printf("  %9d %10d %14.0f\n", 8, 8000, rate8);
+
   if (!json_path.empty()) {
     obs::Registry reg;
     reg.GetHistogram("fig4.oneway_ns")->MergeFrom(hist);
     reg.GetGauge("fig4.floor_ns")->Set(t.cxl_write + t.cxl_read);
+    reg.GetGauge("fig4.msgs_per_sec", {{"producers", "1"}})
+        ->Set(static_cast<int64_t>(rate1));
+    reg.GetGauge("fig4.msgs_per_sec", {{"producers", "8"}})
+        ->Set(static_cast<int64_t>(rate8));
     CXLPOOL_CHECK_OK(
         obs::WriteBenchJson(json_path, "fig4_msg_latency", loop.now(), reg));
     std::printf("metrics snapshot: %s\n", json_path.c_str());

@@ -9,15 +9,24 @@
 // forwarded-vs-local gap decomposes into named phases instead of one
 // opaque number. `--trace <path>` exports Chrome/Perfetto trace_event
 // JSON; `--json <path>` writes the BENCH metrics snapshot.
+// The throughput section saturates one forwarded path with N concurrent
+// producers and compares a serialized client (max_inflight = 1, the old
+// stop-and-wait behavior) against the pipelined one (max_inflight = 8):
+// doorbells/sec with 8 producers must gain >= 3x from pipelining, since
+// overlapped requests hide the channel round trip behind the home agent's
+// service time. `--producers N` restricts the sweep to one producer count
+// (CI runs 1 and 8 separately).
 #include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/core/rack.h"
 #include "src/obs/obs.h"
 #include "src/sim/stats.h"
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 using namespace cxlpool;
@@ -59,16 +68,46 @@ Task<> MeasureReads(MmioPath& path, sim::EventLoop& loop, int count,
   }
 }
 
+struct Join {
+  Join(sim::EventLoop& loop, int total) : done(loop), total(total) {}
+  sim::Event done;
+  int finished = 0;
+  int total;
+};
+
+Task<> ProducerWrites(MmioPath& path, int count, Join& join) {
+  for (int i = 0; i < count; ++i) {
+    CXLPOOL_CHECK_OK(co_await path.Write(0x8, static_cast<uint64_t>(i)));
+  }
+  if (++join.finished == join.total) {
+    join.done.Set();
+  }
+}
+
+Task<> Saturate(sim::EventLoop& loop, MmioPath& path, int producers,
+                int per_producer) {
+  Join join(loop, producers);
+  for (int p = 0; p < producers; ++p) {
+    sim::Spawn(ProducerWrites(path, per_producer, join));
+  }
+  while (join.finished < join.total) {
+    co_await join.done.Wait();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
+  int producers_flag = 0;  // 0 = sweep the default {1, 8}
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      producers_flag = std::atoi(argv[++i]);
     }
   }
   std::printf("=== MMIO path ablation: local vs forwarded over CXL channel ===\n\n");
@@ -154,6 +193,58 @@ int main(int argc, char** argv) {
               "doorbells (rx_doorbell_batch) amortizes this on the datapath.\n",
               write_x);
 
+  // Freeze the unsaturated phase decomposition before the throughput storm
+  // below floods the tracer with queue-heavy spans.
+  auto phase_hists = tracer.PhaseHistograms();
+
+  // --- Saturated throughput: serialized vs pipelined client ---
+  std::printf("\n=== saturated forwarded-doorbell throughput ===\n");
+  std::printf("  %-10s %-9s %10s %14s\n", "client", "producers", "ops",
+              "doorbells/sec");
+  struct ModeSpec {
+    const char* name;
+    uint32_t max_inflight;
+  };
+  const ModeSpec kModes[] = {{"serialized", 1}, {"pipelined", 8}};
+  std::vector<int> producer_counts =
+      producers_flag > 0 ? std::vector<int>{producers_flag}
+                         : std::vector<int>{1, 8};
+  constexpr int kTotalOps = 4000;
+  obs::Registry& reg = obs.metrics();
+  double rate_at_8[2] = {0, 0};  // [mode] — for the pipelining-gain check
+  for (size_t m = 0; m < 2; ++m) {
+    for (int producers : producer_counts) {
+      msg::RpcClient::Options copt;
+      copt.max_inflight = kModes[m].max_inflight;
+      auto path =
+          rack.orchestrator().MakeMmioPath(HostId(2), PcieDeviceId(99), copt);
+      CXLPOOL_CHECK_OK(path.status());
+      int per_producer = kTotalOps / producers;
+      Nanos t0 = loop.now();
+      RunBlocking(loop, Saturate(loop, **path, producers, per_producer));
+      Nanos dt = loop.now() - t0;
+      CXLPOOL_CHECK(dt > 0);
+      double per_sec =
+          static_cast<double>(per_producer * producers) * 1e9 /
+          static_cast<double>(dt);
+      std::printf("  %-10s %9d %10d %14.0f\n", kModes[m].name, producers,
+                  per_producer * producers, per_sec);
+      reg.GetGauge("mmio.doorbells_per_sec",
+                   {{"mode", kModes[m].name},
+                    {"producers", std::to_string(producers)}})
+          ->Set(static_cast<int64_t>(per_sec));
+      if (producers == 8) {
+        rate_at_8[m] = per_sec;
+      }
+    }
+  }
+  if (rate_at_8[0] > 0 && rate_at_8[1] > 0) {
+    double gain = rate_at_8[1] / rate_at_8[0];
+    std::printf("\npipelining gain at 8 producers: %.2fx (required >= 3x)\n",
+                gain);
+    CXLPOOL_CHECK(gain >= 3.0);
+  }
+
   if (!trace_path.empty()) {
     CXLPOOL_CHECK_OK(tracer.WriteChromeTrace(trace_path));
     std::printf("chrome trace:      %s (%zu spans, %llu traces) — open in "
@@ -162,7 +253,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tracer.trace_count()));
   }
   if (!json_path.empty()) {
-    obs::Registry& reg = obs.metrics();
     reg.GetHistogram("mmio.latency_ns", {{"path", "local"}, {"op", "write"}})
         ->MergeFrom(local_w);
     reg.GetHistogram("mmio.latency_ns", {{"path", "local"}, {"op", "read"}})
@@ -171,7 +261,7 @@ int main(int argc, char** argv) {
         ->MergeFrom(remote_w);
     reg.GetHistogram("mmio.latency_ns", {{"path", "forwarded"}, {"op", "read"}})
         ->MergeFrom(remote_r);
-    for (const auto& [name, hist] : tracer.PhaseHistograms()) {
+    for (const auto& [name, hist] : phase_hists) {
       reg.GetHistogram("mmio.phase_ns", {{"phase", name}})->MergeFrom(hist);
     }
     CXLPOOL_CHECK_OK(

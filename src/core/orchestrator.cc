@@ -346,6 +346,11 @@ Status Orchestrator::Release(HostId user, PcieDeviceId device) {
 
 Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
                                                              PcieDeviceId device) {
+  return MakeMmioPath(user, device, config_.mmio_client);
+}
+
+Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(
+    HostId user, PcieDeviceId device, msg::RpcClient::Options client_options) {
   auto it = devices_.find(device);
   if (it == devices_.end()) {
     return NotFound("unknown device");
@@ -365,7 +370,7 @@ Result<std::unique_ptr<MmioPath>> Orchestrator::MakeMmioPath(HostId user,
                                                       pod_.host(rec.home)));
   home_agent->ServeForwarding(channel->end_b(), *stop_);
   auto client = std::make_shared<msg::RpcClient>(channel->end_a(),
-                                                 config_.mmio_client);
+                                                 client_options);
   client->BindTracer(tracer());
   // Each path gets a unique nonzero client_id: the home agent's dedup
   // window is keyed on it, so a timed-out-then-retried posted write is

@@ -47,9 +47,14 @@ class Orchestrator {
     // quarantine flap accounting via NoteFlaps. failure_threshold = 0
     // disables.
     msg::CircuitBreaker::Options breaker;
-    // Client-side send-queue bound for forwarded MMIO paths (per
-    // (user host, device) path). Default unbounded (legacy).
-    msg::RpcClient::Options mmio_client;
+    // Client-side send-queue bound and pipelining depth for forwarded
+    // MMIO paths (per (user host, device) path). Queue bound defaults
+    // unbounded (legacy); max_inflight defaults to 8 so independent
+    // producers on one path overlap their forwarded writes instead of
+    // serializing on the round trip. Exactly-once dedup at the home agent
+    // is keyed by (client_id, seq), not by arrival order, so pipelined
+    // completion reordering is safe.
+    msg::RpcClient::Options mmio_client{.max_inflight = 8};
     // Gray-failure quarantine: a device accumulating this many flaps
     // (watchdog FLR episodes + fail-stop repair cycles) is pulled from the
     // allocatable pool for an exponentially growing probation period.
@@ -121,8 +126,13 @@ class Orchestrator {
   Status Release(HostId user, PcieDeviceId device);
 
   // Builds the MMIO path a `user` host needs for `device`: direct when
-  // local, otherwise a fresh forwarding channel to the home agent.
+  // local, otherwise a fresh forwarding channel to the home agent. The
+  // two-argument form uses Config::mmio_client for the forwarding RPC
+  // client; the explicit form overrides it per path (benches compare
+  // serialized max_inflight = 1 against pipelined depths this way).
   Result<std::unique_ptr<MmioPath>> MakeMmioPath(HostId user, PcieDeviceId device);
+  Result<std::unique_ptr<MmioPath>> MakeMmioPath(HostId user, PcieDeviceId device,
+                                                 msg::RpcClient::Options client_options);
 
   const DeviceRecord* record(PcieDeviceId device) const;
   const std::map<PcieDeviceId, DeviceRecord>& devices() const { return devices_; }

@@ -28,7 +28,10 @@ VirtualNic::VirtualNic(cxl::HostAdapter& host, std::unique_ptr<MmioPath> mmio,
       mem_(host, config.rings_in_cxl),
       rx_backoff_(config.poll_min, config.poll_max),
       tx_backoff_(config.poll_min, config.poll_max),
-      rx_shadow_(config.rx_entries, 0) {}
+      rx_shadow_(config.rx_entries, 0),
+      rx_doorbell_(host.loop(),
+                   [this](uint64_t value) { return RxDoorbellWrite(value); },
+                   {.watermark = config.rx_doorbell_batch}) {}
 
 VirtualNic::~VirtualNic() {
   if (owns_segment_) {
@@ -174,18 +177,15 @@ sim::Task<Status> VirtualNic::PostRxBuffer(uint64_t buf_addr, uint32_t buf_len) 
   rx_shadow_[idx] = buf_addr;
   ++rx_posted_;
   ++stats_.rx_posted;
-  if (rx_posted_ - rx_doorbell_sent_ >= config_.rx_doorbell_batch) {
-    CO_RETURN_IF_ERROR(co_await FlushRxDoorbell());
-  }
-  co_return OkStatus();
+  co_return co_await rx_doorbell_.Offer(rx_posted_);
 }
 
 sim::Task<Status> VirtualNic::FlushRxDoorbell() {
-  if (rx_doorbell_sent_ == rx_posted_) {
-    co_return OkStatus();
-  }
-  CO_RETURN_IF_ERROR(co_await mmio_->Write(devices::kNicRegRxDoorbell, rx_posted_));
-  rx_doorbell_sent_ = rx_posted_;
+  co_return co_await rx_doorbell_.Flush();
+}
+
+sim::Task<Status> VirtualNic::RxDoorbellWrite(uint64_t value) {
+  CO_RETURN_IF_ERROR(co_await mmio_->Write(devices::kNicRegRxDoorbell, value));
   ++stats_.doorbell_writes;
   co_return OkStatus();
 }
@@ -228,7 +228,7 @@ sim::Task<Status> VirtualNic::Rebind(std::unique_ptr<MmioPath> mmio) {
   tx_published_.clear();
   tx_completed_cache_ = 0;
   rx_posted_ = 0;
-  rx_doorbell_sent_ = 0;
+  rx_doorbell_.Reset();  // the replacement NIC's doorbell state restarted
   rx_cpl_next_ = 0;
   std::fill(rx_shadow_.begin(), rx_shadow_.end(), 0);
   co_return co_await ProgramDevice();

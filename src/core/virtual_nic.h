@@ -23,6 +23,7 @@
 #include "src/core/placed_memory.h"
 #include "src/cxl/pool.h"
 #include "src/devices/nic.h"
+#include "src/msg/coalesce.h"
 #include "src/netsim/network.h"
 #include "src/sim/poll.h"
 
@@ -72,10 +73,15 @@ class VirtualNic {
   // Last observed completion count (no memory access).
   uint64_t tx_completed_cache() const { return tx_completed_cache_; }
 
-  // Hands a receive buffer to the NIC. Doorbells are batched per config;
-  // FlushRxDoorbell() forces one.
+  // Hands a receive buffer to the NIC. Doorbells are batched through a
+  // msg::DoorbellCoalescer at config.rx_doorbell_batch; FlushRxDoorbell()
+  // forces the pending value out.
   sim::Task<Status> PostRxBuffer(uint64_t buf_addr, uint32_t buf_len);
   sim::Task<Status> FlushRxDoorbell();
+  // Batching/fold stats for the RX doorbell (rings, coalesced, ...).
+  const msg::DoorbellCoalescer::Stats& rx_doorbell_stats() const {
+    return rx_doorbell_.stats();
+  }
 
   // Waits for the next received frame until `deadline` (absolute).
   sim::Task<Result<RxEvent>> PollRx(Nanos deadline);
@@ -99,6 +105,8 @@ class VirtualNic {
   void ComputeLayout(uint64_t base);
   // Programs ring registers + zeroes completion structures.
   sim::Task<Status> ProgramDevice();
+  // Ring action behind rx_doorbell_: one MMIO write of the folded value.
+  sim::Task<Status> RxDoorbellWrite(uint64_t value);
 
   cxl::HostAdapter& host_;
   std::unique_ptr<MmioPath> mmio_;
@@ -123,9 +131,12 @@ class VirtualNic {
   uint64_t tx_completed_cache_ = 0;
   uint64_t rebind_generation_ = 0;
   uint64_t rx_posted_ = 0;
-  uint64_t rx_doorbell_sent_ = 0;
   uint64_t rx_cpl_next_ = 0;
   std::vector<uint64_t> rx_shadow_;  // ring idx -> posted buffer addr
+  // RX doorbell MMIO writes, folded per rx_doorbell_batch. Watermark-only
+  // (max_delay = 0): rings happen synchronously inside PostRxBuffer /
+  // FlushRxDoorbell frames, so the `this` capture in the ring fn is safe.
+  msg::DoorbellCoalescer rx_doorbell_;
 
   Stats stats_;
   bool owns_segment_ = false;

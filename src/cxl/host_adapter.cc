@@ -382,8 +382,8 @@ sim::Task<Status> HostAdapter::StoreNt(uint64_t addr, std::span<const std::byte>
   // latency later. Same-line readers in the meantime are held to the
   // commit time (controller write buffer); other hosts simply cannot
   // observe the bytes before the commit.
-  Nanos visible_at = serial_done + JitterCxl(t.cxl_write);
-  pool_.RecordPendingCommit(addr, in.size(), visible_at, now);
+  Nanos visible_at = pool_.RecordPendingCommit(
+      addr, in.size(), serial_done + JitterCxl(t.cxl_write), now);
   // CXL 3.0 BI emulation: the device invalidates remote cached copies;
   // the writer pays one snoop round.
   int snoops = pool_.BackInvalidate(addr, in.size(), id_);
@@ -586,8 +586,8 @@ sim::Task<Status> HostAdapter::DmaWrite(uint64_t addr, std::span<const std::byte
   // Device DMA writes are posted like nt-stores: the engine moves on after
   // link serialization; media commit follows one write latency later and
   // same-line readers are held to the commit time.
-  Nanos visible_at = serial_done + JitterCxl(t.cxl_write);
-  pool_.RecordPendingCommit(addr, in.size(), visible_at, now);
+  Nanos visible_at = pool_.RecordPendingCommit(
+      addr, in.size(), serial_done + JitterCxl(t.cxl_write), now);
   int snoops = pool_.BackInvalidate(addr, in.size(), id_);
   loop_.ScheduleAt(visible_at,
                    [this, addr, data = std::vector<std::byte>(in.begin(), in.end())] {

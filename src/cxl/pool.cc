@@ -205,8 +205,8 @@ size_t CxlPool::PoisonedLineCount() const {
 
 namespace cxlpool::cxl {
 
-void CxlPool::RecordPendingCommit(uint64_t addr, uint64_t len, Nanos visible_at,
-                                  Nanos now) {
+Nanos CxlPool::RecordPendingCommit(uint64_t addr, uint64_t len, Nanos visible_at,
+                                   Nanos now) {
   // Opportunistic GC: drop entries that have already committed.
   if (pending_commits_.size() > 8192) {
     for (auto it = pending_commits_.begin(); it != pending_commits_.end();) {
@@ -219,10 +219,22 @@ void CxlPool::RecordPendingCommit(uint64_t addr, uint64_t len, Nanos visible_at,
   }
   uint64_t first = CachelineFloor(addr);
   uint64_t lines = CachelinesTouched(addr, len);
+  // Same-address ordering: the controller write buffer drains per-address
+  // FIFO, so a write accepted while an earlier same-line write is pending
+  // commits no earlier than it. (Equal times are safe: the event loop is
+  // FIFO among same-time events, so the later-issued write lands last.)
+  Nanos ordered = visible_at;
+  for (uint64_t i = 0; i < lines; ++i) {
+    auto it = pending_commits_.find(first + i * kCachelineSize);
+    if (it != pending_commits_.end() && it->second > now) {
+      ordered = std::max(ordered, it->second);
+    }
+  }
   for (uint64_t i = 0; i < lines; ++i) {
     Nanos& slot = pending_commits_[first + i * kCachelineSize];
-    slot = std::max(slot, visible_at);
+    slot = std::max(slot, ordered);
   }
+  return ordered;
 }
 
 Nanos CxlPool::PendingCommitTime(uint64_t addr, uint64_t len) const {

@@ -98,7 +98,12 @@ class CxlPool {
   // buffer: they complete no earlier than the commit and then observe the
   // new data. Unrelated lines are unaffected (CXL.mem has no cross-address
   // ordering).
-  void RecordPendingCommit(uint64_t addr, uint64_t len, Nanos visible_at, Nanos now);
+  // Returns the ORDERED commit time: never earlier than a still-pending
+  // commit to any of the same lines, so back-to-back posted writes to one
+  // address drain per-address FIFO (jitter must not let an older write
+  // land after — and silently revert — a newer one). Callers schedule
+  // their media write at the returned time, not the raw `visible_at`.
+  Nanos RecordPendingCommit(uint64_t addr, uint64_t len, Nanos visible_at, Nanos now);
   // Latest pending commit time overlapping [addr, addr+len), or 0.
   Nanos PendingCommitTime(uint64_t addr, uint64_t len) const;
 

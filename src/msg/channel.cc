@@ -15,14 +15,15 @@ Result<std::unique_ptr<Channel>> Channel::Create(cxl::CxlPool& pool,
   a_to_b.poll_min = options.poll_min;
   a_to_b.poll_max = options.poll_max;
   a_to_b.full_wait = options.full_wait;
+  a_to_b.recv_window = options.recv_window;
 
   RingConfig b_to_a = a_to_b;
   b_to_a.base = seg.base + per_ring;
 
   auto channel = std::unique_ptr<Channel>(new Channel());
   channel->segment_ = seg;
-  channel->end_a_ = std::make_unique<Endpoint>(a, a_to_b, b_to_a);
-  channel->end_b_ = std::make_unique<Endpoint>(b, b_to_a, a_to_b);
+  channel->end_a_ = std::make_unique<Endpoint>(a, a_to_b, b_to_a, options.submit);
+  channel->end_b_ = std::make_unique<Endpoint>(b, b_to_a, a_to_b, options.submit);
   return channel;
 }
 

@@ -12,17 +12,32 @@
 #include "src/cxl/host_adapter.h"
 #include "src/cxl/pool.h"
 #include "src/msg/ring.h"
+#include "src/msg/submit.h"
 
 namespace cxlpool::msg {
 
 // One side of a channel: sends on one ring, receives on the other.
+//
+// Sends are routed through an MPSC submission front: any number of
+// producer coroutines may call Send concurrently (the underlying SPSC
+// ring is fed by a single drainer that write-combines staged frames into
+// batched nt-stores). A lone producer drains itself immediately, so the
+// single-producer cost is unchanged. Code outside src/msg must use this
+// path, never RingSender::Send directly (enforced by lint_tasks.py's
+// direct-ring-send rule) — concurrent direct sends corrupt the shared
+// head across suspension points.
 class Endpoint {
  public:
-  Endpoint(cxl::HostAdapter& host, const RingConfig& tx, const RingConfig& rx)
-      : sender_(host, tx), receiver_(host, rx) {}
+  Endpoint(cxl::HostAdapter& host, const RingConfig& tx, const RingConfig& rx,
+           MpscSubmitter::Options submit = {})
+      : sender_(host, tx), receiver_(host, rx), submitter_(sender_, submit) {}
 
-  sim::Task<Status> Send(std::span<const std::byte> payload) {
-    return sender_.Send(payload);
+  // `priority` orders the frame within the submission front only (control
+  // jumps staged data frames and ignores the staging bound); it does not
+  // reach the wire — RPC priority rides in the frame header.
+  sim::Task<Status> Send(std::span<const std::byte> payload,
+                         uint8_t priority = kPriorityData) {
+    return submitter_.Submit(payload, priority);
   }
   sim::Task<Status> Recv(std::vector<std::byte>* out, Nanos deadline) {
     return receiver_.Recv(out, deadline);
@@ -33,12 +48,14 @@ class Endpoint {
 
   RingSender& sender() { return sender_; }
   RingReceiver& receiver() { return receiver_; }
+  MpscSubmitter& submitter() { return submitter_; }
   cxl::HostAdapter& host() { return sender_.host(); }
   sim::EventLoop& loop() { return sender_.host().loop(); }
 
  private:
   RingSender sender_;
   RingReceiver receiver_;
+  MpscSubmitter submitter_;
 };
 
 // A channel between two hosts of the same pod, backed by one pool segment.
@@ -51,6 +68,11 @@ class Channel {
     // Bounded-send policy for both rings: how long a Send may wait on a
     // full ring before failing with kOverloaded. 0 = wait forever.
     Nanos full_wait = 0;
+    // Receiver burst window (slots per fresh invalidate+load round).
+    uint32_t recv_window = 8;
+    // Submission-front batching for both endpoints (watermark, Nagle
+    // max_delay, staging bound). Defaults: opportunistic batching only.
+    MpscSubmitter::Options submit;
     // Pin the backing segment to a specific MHD (tests); default balances.
     MhdId mhd;
   };

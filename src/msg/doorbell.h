@@ -88,6 +88,7 @@ class DoorbellWatcher {
     for (;;) {
       auto v = co_await ReadValue();
       if (!v.ok()) {
+        backoff_.Reset();
         co_return v.status();
       }
       if (*v > last_seen) {
@@ -96,6 +97,12 @@ class DoorbellWatcher {
       }
       Nanos now = host_.loop().now();
       if (now >= deadline) {
+        // Reset on EVERY exit, not just success: a watcher that timed out
+        // at max backoff would otherwise start its next (unrelated) wait
+        // at max poll interval and see the first advance up to poll_max
+        // late — first-poll latency must not depend on the previous
+        // wait's outcome.
+        backoff_.Reset();
         co_return DeadlineExceeded("doorbell unchanged");
       }
       co_await sim::Delay(host_.loop(), std::min(backoff_.NextDelay(), deadline - now));

@@ -35,6 +35,7 @@ sim::Task<Status> RingSender::WaitForSpace(uint32_t chunks_needed) {
       config_.full_wait > 0 ? host_.loop().now() + config_.full_wait : 0;
   while (head_ + chunks_needed - cached_tail_ > config_.slots) {
     // Ring looks full: refresh the consumer cursor from the pool.
+    ++stats_.cursor_refreshes;
     CO_RETURN_IF_ERROR(co_await host_.Invalidate(cursor_addr_, 8));
     std::array<std::byte, 8> buf;
     CO_RETURN_IF_ERROR(co_await host_.Load(cursor_addr_, buf));
@@ -76,8 +77,89 @@ sim::Task<Status> RingSender::Send(std::span<const std::byte> payload) {
     // The whole line is published with one non-temporal store: payload and
     // the seq flag become visible atomically at cacheline granularity.
     CO_RETURN_IF_ERROR(co_await host_.StoreNt(slot_addr, line));
+    ++stats_.nt_store_runs;
     ++head_;
     offset += chunk_len;
+  }
+  co_return OkStatus();
+}
+
+namespace {
+uint32_t ChunksFor(size_t payload_size) {
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>((payload_size + kSlotPayload - 1) / kSlotPayload));
+}
+}  // namespace
+
+sim::Task<Status> RingSender::SendBatch(
+    std::span<const std::span<const std::byte>> payloads) {
+  if (payloads.empty()) {
+    co_return OkStatus();
+  }
+  if (payloads.size() == 1) {
+    co_return co_await Send(payloads[0]);
+  }
+  uint32_t total_chunks = 0;
+  for (const auto& p : payloads) {
+    if (p.size() > kMaxMessageSize) {
+      co_return InvalidArgument("message exceeds kMaxMessageSize");
+    }
+    total_chunks += ChunksFor(p.size());
+  }
+  if (total_chunks > config_.slots) {
+    // A batch bigger than the ring can never fit in one reservation;
+    // degrade to sequential sends rather than reject.
+    for (const auto& p : payloads) {
+      CO_RETURN_IF_ERROR(co_await Send(p));
+    }
+    co_return OkStatus();
+  }
+  // One reservation for the whole batch: at most one cursor refresh
+  // (amortized over every message) instead of one per Send.
+  CO_RETURN_IF_ERROR(co_await WaitForSpace(total_chunks));
+  ++stats_.batch_sends;
+  stats_.batched_messages += payloads.size();
+
+  // Materialize every slot line up front, in publish order.
+  std::vector<std::byte> lines(static_cast<size_t>(total_chunks) * kSlotSize,
+                               std::byte{0});
+  uint64_t seq_base = head_;
+  size_t chunk_idx = 0;
+  for (const auto& p : payloads) {
+    size_t offset = 0;
+    uint32_t chunks = ChunksFor(p.size());
+    for (uint32_t c = 0; c < chunks; ++c, ++chunk_idx) {
+      size_t chunk_len = std::min<size_t>(kSlotPayload, p.size() - offset);
+      std::byte* line = lines.data() + chunk_idx * kSlotSize;
+      wire::PutU32(line + kSeqOffset,
+                   static_cast<uint32_t>(seq_base + chunk_idx + 1));
+      wire::PutU16(line + kChunkLenOffset, static_cast<uint16_t>(chunk_len));
+      wire::PutU16(line + kMsgLenOffset, static_cast<uint16_t>(p.size()));
+      if (chunk_len > 0) {
+        std::memcpy(line + kPayloadOffset, p.data() + offset, chunk_len);
+      }
+      offset += chunk_len;
+    }
+  }
+
+  // Publish ring-contiguous runs with single multi-line non-temporal
+  // stores (write combining): the CXL write pays its first-line latency
+  // once per run and per_line_pipelined for each further line. Runs are
+  // awaited in order so the published prefix always grows monotonically —
+  // the receiver can never observe message k+1 without message k.
+  uint32_t published = 0;
+  while (published < total_chunks) {
+    uint64_t slot = (head_ % config_.slots);
+    uint32_t run = std::min<uint32_t>(total_chunks - published,
+                                      config_.slots - static_cast<uint32_t>(slot));
+    uint64_t run_addr = config_.base + slot * kSlotSize;
+    std::span<const std::byte> run_bytes(
+        lines.data() + static_cast<size_t>(published) * kSlotSize,
+        static_cast<size_t>(run) * kSlotSize);
+    CO_RETURN_IF_ERROR(co_await host_.StoreNt(run_addr, run_bytes));
+    ++stats_.nt_store_runs;
+    published += run;
+    head_ += run;
   }
   co_return OkStatus();
 }
@@ -92,17 +174,61 @@ RingReceiver::RingReceiver(cxl::HostAdapter& host, const RingConfig& config)
 
 sim::Task<Result<uint32_t>> RingReceiver::LoadSlot(
     uint64_t index, std::array<std::byte, kSlotSize>* line) {
-  uint64_t slot_addr = config_.base + (index % config_.slots) * kSlotSize;
+  // Burst drain: serve from the cached window when it covers this slot.
+  // Every cached slot was observed published, and a published slot is
+  // immutable until our cursor passes it, so no re-invalidation is needed.
+  if (win_valid_ > 0 && index >= win_start_ && index - win_start_ < win_valid_) {
+    ++stats_.window_hits;
+    std::memcpy(line->data(),
+                window_.data() + (index - win_start_) * kSlotSize, kSlotSize);
+    co_return wire::GetU32(line->data() + kSeqOffset);
+  }
+  win_valid_ = 0;
+  uint64_t slot = index % config_.slots;
+  uint32_t window =
+      std::min(std::max<uint32_t>(1, cur_window_),
+               std::max<uint32_t>(1, config_.recv_window));
+  window = static_cast<uint32_t>(
+      std::min<uint64_t>(window, config_.slots - slot));  // clamp at wrap
+  uint64_t slot_addr = config_.base + slot * kSlotSize;
+  if (window_.size() < static_cast<size_t>(window) * kSlotSize) {
+    window_.resize(static_cast<size_t>(window) * kSlotSize);
+  }
   // Software coherence: drop any cached copy before loading, or we would
-  // spin on a stale line forever.
-  Status st = co_await host_.Invalidate(slot_addr, kSlotSize);
+  // spin on a stale line forever. One invalidate+load covers the whole
+  // window — the CXL read pipelines the extra lines instead of paying the
+  // full first-line latency per slot.
+  Status st = co_await host_.Invalidate(slot_addr, window * kSlotSize);
   if (!st.ok()) {
     co_return st;
   }
-  st = co_await host_.Load(slot_addr, *line);
+  std::span<std::byte> bytes(window_.data(),
+                             static_cast<size_t>(window) * kSlotSize);
+  st = co_await host_.Load(slot_addr, bytes);
   if (!st.ok()) {
     co_return st;
   }
+  ++stats_.window_loads;
+  // Cache only the published prefix; an unpublished slot may be written
+  // at any moment and must be re-read fresh next time.
+  uint32_t valid = 0;
+  while (valid < window &&
+         wire::GetU32(window_.data() + static_cast<size_t>(valid) * kSlotSize +
+                      kSeqOffset) == static_cast<uint32_t>(index + valid + 1)) {
+    ++valid;
+  }
+  win_start_ = index;
+  win_valid_ = valid;
+  // Adapt: a fully-valid scan means the producer is ahead of us — widen
+  // the next load. A (near-)empty scan means we are caught up and paying
+  // for unpublished lines — fall back to single-slot loads.
+  if (valid == window) {
+    cur_window_ = std::min<uint32_t>(std::max<uint32_t>(1, cur_window_) * 2,
+                                     std::max<uint32_t>(1, config_.recv_window));
+  } else if (valid <= 1) {
+    cur_window_ = 1;
+  }
+  std::memcpy(line->data(), window_.data(), kSlotSize);
   co_return wire::GetU32(line->data() + kSeqOffset);
 }
 

@@ -60,6 +60,17 @@ struct RingConfig {
   // kOverloaded after that much simulated time — the innermost
   // backpressure point of the whole forwarding path.
   Nanos full_wait = 0;
+  // Receiver burst-window CAP: the most consecutive slots one fresh poll
+  // invalidates+loads at once. A published slot cannot be overwritten
+  // until the consumer cursor passes it, so the valid prefix of a window
+  // is immutable and safe to consume from cache without re-invalidating
+  // per message — this is what makes burst drain cheap (the CXL read
+  // pipelines extra lines at per_line_pipelined instead of paying the
+  // full first-line latency per slot). The actual window adapts between 1
+  // and this cap: it widens while scans come back fully valid (burst) and
+  // collapses to 1 when the receiver is caught up, so ping-pong traffic
+  // never pays for speculative lines. 1 = legacy slot-at-a-time.
+  uint32_t recv_window = 8;
 };
 
 // Producer endpoint. Exactly one sender and one receiver per ring (SPSC);
@@ -73,6 +84,24 @@ class RingSender {
   // which case a still-full ring yields kOverloaded. Fails if the CXL path
   // is unhealthy.
   sim::Task<Status> Send(std::span<const std::byte> payload);
+
+  // Publishes several messages with ONE space reservation (at most one
+  // consumer-cursor refresh) and write-combined non-temporal stores: runs
+  // of ring-contiguous slots go out as single multi-line StoreNt calls,
+  // paying the first-line CXL write latency once and per_line_pipelined
+  // for every further line. All-or-nothing on space: a ring that cannot
+  // fit the whole batch within full_wait rejects it with kOverloaded.
+  // Slots are published in order, so the receiver's valid-prefix scan
+  // never observes message k+1 before message k.
+  sim::Task<Status> SendBatch(std::span<const std::span<const std::byte>> payloads);
+
+  struct Stats {
+    uint64_t batch_sends = 0;      // SendBatch calls with >= 2 messages
+    uint64_t batched_messages = 0; // messages published via SendBatch
+    uint64_t nt_store_runs = 0;    // write-combined StoreNt issues
+    uint64_t cursor_refreshes = 0; // consumer-cursor invalidate+loads
+  };
+  const Stats& stats() const { return stats_; }
 
   uint64_t messages_sent() const { return head_; }
   // Sends refused with kOverloaded because the ring stayed full past
@@ -89,6 +118,7 @@ class RingSender {
   uint64_t head_ = 0;         // next slot index to write
   uint64_t cached_tail_ = 0;  // last observed consumer cursor
   uint64_t full_rejects_ = 0;
+  Stats stats_;
   sim::PollBackoff backoff_;
 };
 
@@ -107,10 +137,18 @@ class RingReceiver {
   sim::Task<Status> TryRecv(std::vector<std::byte>* out);
 
   uint64_t messages_received() const { return messages_; }
+
+  struct Stats {
+    uint64_t window_loads = 0;  // fresh windowed invalidate+load rounds
+    uint64_t window_hits = 0;   // slots consumed from the cached window
+  };
+  const Stats& stats() const { return stats_; }
   cxl::HostAdapter& host() { return host_; }
 
  private:
-  // Reads slot `index`'s line fresh from the pool. Returns seq.
+  // Reads slot `index`'s line, serving from the cached burst window when
+  // it covers the index; otherwise does a fresh windowed invalidate+load
+  // and caches the valid prefix. Returns seq.
   sim::Task<Result<uint32_t>> LoadSlot(uint64_t index,
                                        std::array<std::byte, kSlotSize>* line);
   sim::Task<Status> PublishCursor();
@@ -124,6 +162,20 @@ class RingReceiver {
   uint64_t tail_ = 0;  // next slot index to read
   uint64_t messages_ = 0;
   uint64_t last_published_cursor_ = 0;
+  Stats stats_;
+  // Burst-drain cache: slots [win_start_, win_start_ + win_valid_) were
+  // observed published (seq == index+1) by one windowed load. Published
+  // slots are immutable until the consumer cursor passes them, so these
+  // bytes can be consumed without touching the pool again. Slots that
+  // were NOT yet published are never cached — they must be re-read.
+  std::vector<std::byte> window_;
+  uint64_t win_start_ = 0;
+  uint32_t win_valid_ = 0;
+  // Adaptive window size in [1, recv_window]: doubles after a fully-valid
+  // scan (a burst is in progress — wider loads amortize), shrinks back to
+  // 1 after a scan that found at most one slot (ping-pong / idle, where
+  // extra lines per load would only add pipelined-read latency).
+  uint32_t cur_window_ = 1;
   sim::PollBackoff backoff_;
 };
 

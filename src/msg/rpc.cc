@@ -28,8 +28,12 @@ size_t RpcClient::DataWaiters() const {
 }
 
 sim::Task<Status> RpcClient::AcquireTurn(uint8_t priority) {
-  if (!busy_ && turn_queue_.empty()) {
-    busy_ = true;
+  uint32_t limit = std::max<uint32_t>(1, options_.max_inflight);
+  // Fast path requires an empty queue, not just a free slot: a freed slot
+  // always goes to the queue head first, so nobody overtakes. Invariant:
+  // a non-empty queue implies inflight_ == limit.
+  if (inflight_ < limit && turn_queue_.empty()) {
+    ++inflight_;
     co_return OkStatus();
   }
   if (priority != kPriorityControl && options_.max_pending > 0 &&
@@ -68,17 +72,17 @@ sim::Task<Status> RpcClient::AcquireTurn(uint8_t priority) {
   if (waiter.dropped) {
     co_return Overloaded("client send queue full (drop-oldest)");
   }
-  co_return OkStatus();  // ReleaseTurn handed us the turn; busy_ stays true
+  co_return OkStatus();  // ReleaseTurn handed us a slot; inflight_ unchanged
 }
 
 void RpcClient::ReleaseTurn() {
   if (turn_queue_.empty()) {
-    busy_ = false;
+    --inflight_;
     return;
   }
   TurnWaiter* next = turn_queue_.front();
   turn_queue_.pop_front();
-  next->event.Set();  // turn passes directly; busy_ stays true
+  next->event.Set();  // slot passes directly; inflight_ count unchanged
 }
 
 namespace {
@@ -133,41 +137,137 @@ sim::Task<Result<std::vector<std::byte>>> RpcClient::Call(
 
   obs::Span enqueue =
       obs::MaybeStartSpan(tracer_, "rpc.enqueue", host, ctx, sent_at);
-  Status st = co_await endpoint_.Send(frame);
+  Status st = co_await endpoint_.Send(frame, priority);
   enqueue.End(loop.now());
   if (!st.ok()) {
     co_return st;
   }
 
-  for (;;) {
-    std::vector<std::byte> resp;
-    st = co_await endpoint_.Recv(&resp, deadline);
-    if (!st.ok()) {
-      co_return st;
+  PendingCall call(loop);
+  call.deadline = deadline;
+  pending_calls_.emplace(id, &call);
+  // Response demux, leader/follower: whichever pending call finds no
+  // active reader pumps the receive ring for everyone. A pumping round
+  // that completes a FOLLOWER wakes it and the leader keeps pumping; a
+  // leader whose own call completes hands the pump to the oldest
+  // remaining call on the way out. Known slack: a call staged while the
+  // leader is mid-Recv against a later sibling deadline observes its own
+  // timeout only when that round returns (the bound is recomputed every
+  // round, so lateness is capped at one Recv).
+  while (!call.done) {
+    if (reader_active_) {
+      co_await call.event.Wait();
+      call.event.Reset();
+      continue;
     }
-    if (resp.size() < kRespHeaderSize) {
-      co_return Internal("short RPC frame");
+    reader_active_ = true;
+    co_await PumpResponses();
+    reader_active_ = false;
+  }
+  WakeNextReader();
+  if (!call.status.ok()) {
+    co_return std::move(call.status);
+  }
+  co_return std::move(call.payload);
+}
+
+void RpcClient::Complete(PendingCall* call, Status status) {
+  call->status = std::move(status);
+  call->done = true;
+  call->event.Set();
+}
+
+void RpcClient::FailOldest(Status status) {
+  if (pending_calls_.empty()) {
+    return;
+  }
+  PendingCall* oldest = pending_calls_.begin()->second;
+  pending_calls_.erase(pending_calls_.begin());
+  Complete(oldest, std::move(status));
+}
+
+void RpcClient::WakeNextReader() {
+  if (reader_active_ || pending_calls_.empty()) {
+    return;
+  }
+  pending_calls_.begin()->second->event.Set();
+}
+
+sim::Task<> RpcClient::PumpResponses() {
+  sim::EventLoop& loop = endpoint_.loop();
+  // Bound the wait by the earliest pending deadline so an expiring call
+  // is failed promptly even while later-deadline siblings keep arriving.
+  // All-unbounded pendings poll in slices (the stop-and-wait client could
+  // block forever here too, but a slice keeps the sweep responsive once
+  // bounded and unbounded calls share the wire).
+  Nanos wait_deadline = 0;
+  for (const auto& [pending_id, pending] : pending_calls_) {
+    if (pending->deadline > 0) {
+      wait_deadline = wait_deadline == 0
+                          ? pending->deadline
+                          : std::min(wait_deadline, pending->deadline);
     }
-    wire::Reader r(resp);
-    uint8_t version = r.U8();
-    if (version != kRpcWireVersion) {
-      co_return InvalidArgument("unsupported RPC wire version");
+  }
+  if (wait_deadline == 0) {
+    wait_deadline = loop.now() + 50 * kMicrosecond;
+  }
+  std::vector<std::byte> resp;
+  Status st = co_await endpoint_.Recv(&resp, wait_deadline);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // Sweep every call whose own wait bound has passed; the rest were
+      // only cut short by a sibling's earlier deadline (or the slice).
+      Nanos now = loop.now();
+      for (auto it = pending_calls_.begin(); it != pending_calls_.end();) {
+        PendingCall* pending = it->second;
+        if (pending->deadline > 0 && now >= pending->deadline) {
+          it = pending_calls_.erase(it);
+          ++stats_.expired_in_flight;
+          Complete(pending, st);
+        } else {
+          ++it;
+        }
+      }
+      co_return;
     }
-    uint8_t kind = r.U8();
-    uint64_t got_id = r.U64();
-    uint16_t code_or_method = r.U16();
-    if (got_id != id) {
-      continue;  // stale response from an abandoned call; drop
+    // Channel death: every in-flight call fails the same way.
+    std::map<uint64_t, PendingCall*> dead;
+    dead.swap(pending_calls_);
+    for (auto& [dead_id, pending] : dead) {
+      Complete(pending, st);
     }
-    if (kind == kRpcErrorResponse) {
-      co_return Status(static_cast<StatusCode>(code_or_method),
-                       "remote handler failed");
-    }
-    if (kind != kRpcResponse) {
-      co_return Internal("unexpected RPC frame kind");
-    }
+    co_return;
+  }
+  if (resp.size() < kRespHeaderSize) {
+    FailOldest(Internal("short RPC frame"));
+    co_return;
+  }
+  wire::Reader r(resp);
+  uint8_t version = r.U8();
+  if (version != kRpcWireVersion) {
+    FailOldest(InvalidArgument("unsupported RPC wire version"));
+    co_return;
+  }
+  uint8_t kind = r.U8();
+  uint64_t got_id = r.U64();
+  uint16_t code_or_method = r.U16();
+  auto it = pending_calls_.find(got_id);
+  if (it == pending_calls_.end()) {
+    // Response to a call that already expired or was abandoned.
+    ++stats_.stale_responses;
+    co_return;
+  }
+  PendingCall* pending = it->second;
+  pending_calls_.erase(it);
+  if (kind == kRpcErrorResponse) {
+    Complete(pending, Status(static_cast<StatusCode>(code_or_method),
+                             "remote handler failed"));
+  } else if (kind != kRpcResponse) {
+    Complete(pending, Internal("unexpected RPC frame kind"));
+  } else {
     auto rest = r.Rest();
-    co_return std::vector<std::byte>(rest.begin(), rest.end());
+    pending->payload.assign(rest.begin(), rest.end());
+    Complete(pending, OkStatus());
   }
 }
 

@@ -1,7 +1,10 @@
 // Minimal RPC over a Channel. Used by the pooling orchestrator/agents and
-// by the MMIO forwarding datapath (core/). One client per endpoint; calls
-// are serialized (the control plane is low-rate by design — the hot
-// datapath uses rings directly).
+// by the MMIO forwarding datapath (core/). One client per endpoint; up to
+// Options::max_inflight calls may be on the wire concurrently, with
+// responses matched back to their caller by call_id (the wire has carried
+// call_id since v1 exactly so the client never has to assume FIFO
+// completion). max_inflight = 1 (the default) degenerates to the classic
+// stop-and-wait client.
 //
 // Wire format (version 2):
 //   request:  [u8 version][u8 kind][u64 call_id][u16 method][u8 priority]
@@ -29,6 +32,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -53,12 +57,20 @@ inline constexpr Nanos kInheritCallDeadline = -1;
 class RpcClient {
  public:
   struct Options {
-    // Bound on calls queued behind the in-flight one (per client — i.e.
-    // per (client host, device) forwarding path). 0 = unbounded (legacy).
-    // Control-priority calls are exempt: they jump the queue and are
-    // never counted against or evicted by the bound.
+    // Bound on calls queued behind the in-flight window (per client —
+    // i.e. per (client host, device) forwarding path). 0 = unbounded
+    // (legacy). Control-priority calls are exempt: they jump the queue
+    // and are never counted against or evicted by the bound.
     uint32_t max_pending = 0;
     OverflowPolicy overflow = OverflowPolicy::kRejectNew;
+    // Calls allowed on the wire at once. 1 (default) = stop-and-wait:
+    // exactly the pre-pipelining client, every existing ordering holds.
+    // Larger values pipeline: the channel holds several requests while
+    // earlier responses are still in flight, hiding the round-trip under
+    // the server's service time. Control priority jumps the wait queue
+    // but still occupies an inflight slot — a control probe admitted
+    // past the data backlog is still one wire-visible call.
+    uint32_t max_inflight = 1;
   };
 
   explicit RpcClient(Endpoint& endpoint) : RpcClient(endpoint, Options()) {}
@@ -70,12 +82,14 @@ class RpcClient {
   void BindTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Issues a call and waits for the response (until `deadline`, absolute).
-  // Calls from concurrent coroutines are serialized internally (the
-  // channel carries one outstanding request at a time); control-priority
-  // calls jump ahead of queued data-priority calls so probes and leases
-  // never wait out a data storm. `ctx` is the caller's trace context; it
-  // rides the request header so the server's spans attach to the same
-  // trace.
+  // Calls from concurrent coroutines share the channel: up to
+  // max_inflight requests ride the wire at once and responses are
+  // demultiplexed by call_id (leader/follower — the oldest waiting call
+  // pumps the receive ring for everyone, so there is no detached reader
+  // task to supervise). Control-priority calls jump ahead of queued
+  // data-priority calls so probes and leases never wait out a data
+  // storm. `ctx` is the caller's trace context; it rides the request
+  // header so the server's spans attach to the same trace.
   //
   // `op_deadline` is what gets STAMPED INTO THE WIRE for downstream hops
   // to shed against: the originating operation's total budget, not this
@@ -92,13 +106,17 @@ class RpcClient {
                                                  Nanos op_deadline = kInheritCallDeadline);
 
   struct Stats {
-    uint64_t rejected = 0;          // kRejectNew refusals at the bound
-    uint64_t dropped_oldest = 0;    // queued calls evicted by kDropOldest
-    uint64_t expired_in_queue = 0;  // deadline passed while waiting to send
+    uint64_t rejected = 0;           // kRejectNew refusals at the bound
+    uint64_t dropped_oldest = 0;     // queued calls evicted by kDropOldest
+    uint64_t expired_in_queue = 0;   // deadline passed while waiting to send
+    uint64_t expired_in_flight = 0;  // timed out awaiting a response
+    uint64_t stale_responses = 0;    // responses matching no pending call
   };
   const Stats& stats() const { return stats_; }
-  // Calls currently waiting behind the in-flight one.
+  // Calls currently waiting behind the in-flight window.
   size_t pending() const { return turn_queue_.size(); }
+  // Calls currently holding an inflight slot (sending or awaiting reply).
+  size_t inflight() const { return inflight_; }
 
  private:
   struct TurnWaiter {
@@ -108,18 +126,41 @@ class RpcClient {
     bool dropped = false;
   };
 
-  // Serialization with priority: returns kOverloaded without the turn when
-  // the pending bound rejects or evicts this call; otherwise returns OK
-  // holding the turn (release with ReleaseTurn).
+  // A call that has been sent and is awaiting its response. Keyed by
+  // call_id in pending_calls_; call_ids are monotone, so map order is
+  // issue order and begin() is the oldest in-flight call.
+  struct PendingCall {
+    explicit PendingCall(sim::EventLoop& loop) : event(loop) {}
+    sim::Event event;
+    Nanos deadline = 0;  // this call's response-wait bound (0 = none)
+    Status status;
+    std::vector<std::byte> payload;
+    bool done = false;
+  };
+
+  // Inflight-window admission with priority: returns kOverloaded without
+  // a slot when the pending bound rejects or evicts this call; otherwise
+  // returns OK holding one inflight slot (release with ReleaseTurn).
   sim::Task<Status> AcquireTurn(uint8_t priority);
   void ReleaseTurn();
   size_t DataWaiters() const;
 
+  // One receive round: waits for a frame (bounded by the earliest pending
+  // deadline) and completes the matching call — or sweeps expired /
+  // fails all on channel death. Exactly one call runs this at a time
+  // (reader_active_).
+  sim::Task<> PumpResponses();
+  void Complete(PendingCall* call, Status status);
+  void FailOldest(Status status);
+  void WakeNextReader();
+
   Endpoint& endpoint_;
   Options options_;
   uint64_t next_call_id_ = 1;
-  bool busy_ = false;
+  uint32_t inflight_ = 0;
   std::deque<TurnWaiter*> turn_queue_;
+  std::map<uint64_t, PendingCall*> pending_calls_;
+  bool reader_active_ = false;
   Stats stats_;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cxl/pod.h"
 #include "src/msg/channel.h"
+#include "src/msg/coalesce.h"
 #include "src/msg/doorbell.h"
 #include "src/msg/retry.h"
 #include "src/msg/ring.h"
 #include "src/msg/rpc.h"
+#include "src/msg/submit.h"
 #include "src/msg/wire.h"
 #include "src/sim/stats.h"
 #include "src/sim/task.h"
@@ -1189,6 +1194,374 @@ TEST_F(MsgTest, DoorbellDeadline) {
     co_return v.ok() ? OkStatus() : v.status();
   };
   EXPECT_EQ(RunBlocking(loop_, t(watch, loop_)).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(MsgTest, DoorbellBackoffResetsAfterTimeout) {
+  // A watcher whose previous wait timed out at max backoff must start the
+  // next wait at poll_min again: first-detection latency cannot depend on
+  // the previous wait's outcome.
+  auto seg = pod_.pool().Allocate(kCachelineSize);
+  ASSERT_TRUE(seg.ok());
+  DoorbellSender bell(pod_.host(0), seg->base);
+  DoorbellWatcher watch(pod_.host(1), seg->base, /*poll_min=*/100,
+                        /*poll_max=*/20 * kMicrosecond);
+
+  // Drive the backoff to its (large) max with a wait nothing rings.
+  auto idle = [](DoorbellWatcher& w, sim::EventLoop& loop) -> Task<Status> {
+    auto v = co_await w.WaitBeyond(0, loop.now() + 100 * kMicrosecond);
+    co_return v.ok() ? OkStatus() : v.status();
+  };
+  EXPECT_EQ(RunBlocking(loop_, idle(watch, loop_)).code(),
+            StatusCode::kDeadlineExceeded);
+
+  auto ringer = [](DoorbellSender& b, sim::EventLoop& loop) -> Task<> {
+    co_await sim::Delay(loop, 500);
+    CXLPOOL_CHECK_OK(co_await b.Ring(1));
+  };
+  auto waiter = [](DoorbellWatcher& w, sim::EventLoop& loop,
+                   Nanos* took) -> Task<> {
+    Nanos start = loop.now();
+    auto v = co_await w.WaitBeyond(0, loop.now() + kMillisecond);
+    CXLPOOL_CHECK(v.ok());
+    *took = loop.now() - start;
+  };
+  Nanos took = 0;
+  Spawn(ringer(bell, loop_));
+  RunBlocking(loop_, waiter(watch, loop_, &took));
+  // Without the reset the first poll delay alone is poll_max (20 us);
+  // with it, detection stays near the store-commit latency.
+  EXPECT_LT(took, 10 * kMicrosecond);
+}
+
+// --- DoorbellCoalescer ---
+
+// Records every issued ring with its sim timestamp.
+struct RingLog {
+  sim::EventLoop* loop;
+  std::vector<std::pair<uint64_t, Nanos>> rung;
+  Task<Status> Ring(uint64_t v) {
+    rung.emplace_back(v, loop->now());
+    co_return OkStatus();
+  }
+};
+
+TEST_F(MsgTest, CoalescerWatermarkBeatsDeadline) {
+  RingLog log{&loop_, {}};
+  DoorbellCoalescer co(
+      loop_, [&log](uint64_t v) { return log.Ring(v); },
+      {.watermark = 3, .max_delay = 5 * kMicrosecond});
+  auto t = [](DoorbellCoalescer& c) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await c.Offer(1));
+    CXLPOOL_CHECK_OK(co_await c.Offer(2));
+    CXLPOOL_CHECK_OK(co_await c.Offer(3));  // watermark fires right here
+  };
+  RunBlocking(loop_, t(co));
+  ASSERT_EQ(log.rung.size(), 1u);
+  EXPECT_EQ(log.rung[0].first, 3u);          // the folded max, once
+  EXPECT_LT(log.rung[0].second, 5 * kMicrosecond);  // before the deadline
+  // The armed timer lapses on already-clean state: no second ring, no
+  // deadline flush counted.
+  loop_.RunFor(20 * kMicrosecond);
+  EXPECT_EQ(log.rung.size(), 1u);
+  EXPECT_EQ(co.stats().watermark_flushes, 1u);
+  EXPECT_EQ(co.stats().deadline_flushes, 0u);
+  EXPECT_EQ(co.stats().rings, 1u);
+  EXPECT_EQ(co.stats().coalesced, 2u);
+}
+
+TEST_F(MsgTest, CoalescerDeadlineBoundsTrickle) {
+  RingLog log{&loop_, {}};
+  DoorbellCoalescer co(
+      loop_, [&log](uint64_t v) { return log.Ring(v); },
+      {.watermark = 100, .max_delay = 5 * kMicrosecond});
+  auto t = [](DoorbellCoalescer& c, sim::EventLoop& loop) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await c.Offer(1));  // arms the timer at t=0
+    co_await sim::Delay(loop, kMicrosecond);
+    CXLPOOL_CHECK_OK(co_await c.Offer(2));  // folded into the same batch
+  };
+  RunBlocking(loop_, t(co, loop_));
+  EXPECT_TRUE(co.dirty());
+  EXPECT_EQ(log.rung.size(), 0u);  // still pending: watermark far away
+  loop_.RunFor(20 * kMicrosecond);
+  ASSERT_EQ(log.rung.size(), 1u);
+  EXPECT_EQ(log.rung[0].first, 2u);  // max of the folded values
+  // max_delay is the hard latency bound, anchored at the FIRST offer.
+  EXPECT_EQ(log.rung[0].second, 5 * kMicrosecond);
+  EXPECT_EQ(co.stats().deadline_flushes, 1u);
+  EXPECT_EQ(co.stats().watermark_flushes, 0u);
+  EXPECT_EQ(co.stats().coalesced, 1u);
+  EXPECT_FALSE(co.dirty());
+}
+
+TEST_F(MsgTest, CoalescerRungValuesStayMonotone) {
+  RingLog log{&loop_, {}};
+  DoorbellCoalescer co(loop_, [&log](uint64_t v) { return log.Ring(v); },
+                       {.watermark = 1});
+  auto t = [](DoorbellCoalescer& c) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await c.Offer(5));
+    CXLPOOL_CHECK_OK(co_await c.Offer(3));  // behind the last rung value
+    CXLPOOL_CHECK_OK(co_await c.Offer(7));
+  };
+  RunBlocking(loop_, t(co));
+  // The out-of-order offer is folded (max) and its flush skipped as stale:
+  // the wire only ever sees strictly increasing values.
+  ASSERT_EQ(log.rung.size(), 2u);
+  EXPECT_EQ(log.rung[0].first, 5u);
+  EXPECT_EQ(log.rung[1].first, 7u);
+  EXPECT_EQ(co.stats().skipped_stale, 1u);
+  EXPECT_EQ(co.stats().rings, 2u);
+  EXPECT_EQ(co.last_rung(), 7u);
+}
+
+// --- Batched ring transfer ---
+
+TEST_F(MsgTest, SendBatchPreservesOrderAndCountsStats) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+
+  auto t = [](RingSender& s, RingReceiver& r,
+              sim::EventLoop& loop) -> Task<std::vector<std::string>> {
+    std::vector<std::vector<std::byte>> msgs;
+    for (int i = 0; i < 6; ++i) {
+      msgs.push_back(Msg(std::string("m") + static_cast<char>('0' + i)));
+    }
+    msgs.push_back(std::vector<std::byte>(200, std::byte{0x7f}));  // 4 slots
+    std::vector<std::span<const std::byte>> views(msgs.begin(), msgs.end());
+    CXLPOOL_CHECK_OK(co_await s.SendBatch(views));
+    std::vector<std::string> got;
+    for (size_t i = 0; i < msgs.size(); ++i) {
+      std::vector<std::byte> m;
+      CXLPOOL_CHECK_OK(co_await r.Recv(&m, loop.now() + kMillisecond));
+      got.push_back(AsString(m));
+    }
+    co_return got;
+  };
+  auto got = RunBlocking(loop_, t(tx, rx, loop_));
+  ASSERT_EQ(got.size(), 7u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              std::string("m") + static_cast<char>('0' + i));
+  }
+  EXPECT_EQ(got[6].size(), 200u);  // the multi-slot straggler, intact
+  EXPECT_EQ(tx.stats().batch_sends, 1u);
+  EXPECT_EQ(tx.stats().batched_messages, 7u);
+  // Write-combining: far fewer nt-store issues than slots written.
+  EXPECT_GE(tx.stats().nt_store_runs, 1u);
+  EXPECT_LT(tx.stats().nt_store_runs, 10u);
+  EXPECT_LE(tx.stats().cursor_refreshes, 1u);
+  EXPECT_EQ(rx.messages_received(), 7u);
+  // Burst drain: the receiver served some slots from its cached window.
+  EXPECT_GE(rx.stats().window_hits, 1u);
+}
+
+// --- MPSC submission front ---
+
+TEST_F(MsgTest, MpscSubmitterFairnessUnderSaturation) {
+  RingConfig rc = MakeRing();
+  RingSender tx(pod_.host(0), rc);
+  RingReceiver rx(pod_.host(1), rc);
+  MpscSubmitter sub(tx, {.watermark = 8});
+  constexpr uint32_t kProducers = 4;
+  constexpr uint32_t kPer = 25;
+
+  auto producer = [](MpscSubmitter& s, uint32_t p) -> Task<> {
+    for (uint32_t i = 0; i < kPer; ++i) {
+      std::vector<std::byte> m;
+      wire::Writer w(&m);
+      w.U32(p);
+      w.U32(i);
+      CXLPOOL_CHECK_OK(co_await s.Submit(m));
+    }
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> got;
+  auto consumer = [&got](RingReceiver& r, sim::EventLoop& loop) -> Task<> {
+    for (uint32_t i = 0; i < kProducers * kPer; ++i) {
+      std::vector<std::byte> m;
+      CXLPOOL_CHECK_OK(co_await r.Recv(&m, loop.now() + 10 * kMillisecond));
+      wire::Reader rd(m);
+      uint32_t p = rd.U32();
+      uint32_t seq = rd.U32();
+      got.emplace_back(p, seq);
+    }
+  };
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    Spawn(producer(sub, p));
+  }
+  Spawn(consumer(rx, loop_));
+  loop_.Run();
+
+  ASSERT_EQ(got.size(), static_cast<size_t>(kProducers * kPer));
+  // Per-producer FIFO survives the shared staging queue.
+  std::vector<uint32_t> next(kProducers, 0);
+  for (const auto& [p, seq] : got) {
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next[p]);
+    ++next[p];
+  }
+  for (uint32_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], kPer);  // nobody starved
+  }
+  // Fairness under saturation: early output interleaves producers instead
+  // of draining one producer's whole backlog first.
+  std::set<uint32_t> early;
+  for (size_t i = 0; i < 16 && i < got.size(); ++i) {
+    early.insert(got[i].first);
+  }
+  EXPECT_GE(early.size(), 2u);
+  EXPECT_EQ(sub.stats().submitted, static_cast<uint64_t>(kProducers * kPer));
+  EXPECT_EQ(sub.stats().batched_frames,
+            static_cast<uint64_t>(kProducers * kPer));
+  EXPECT_GE(sub.stats().max_batch, 2u);   // real folding happened
+  EXPECT_LE(sub.stats().max_batch, 8u);   // and respected the watermark
+  EXPECT_GE(sub.stats().handoffs, 1u);    // no head-of-line combiner
+  EXPECT_GE(tx.stats().batch_sends, 1u);
+}
+
+// --- Pipelined RPC client ---
+
+namespace {
+// Reads the call_id out of a request frame.
+uint64_t RequestCallId(std::span<const std::byte> frame) {
+  wire::Reader r(frame);
+  r.U8();  // version
+  r.U8();  // kind
+  return r.U64();
+}
+}  // namespace
+
+TEST_F(MsgTest, PipelinedResponsesMatchOutOfOrder) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+
+  // Hand-rolled responder: takes both requests, then replies NEWEST first.
+  auto responder = [](Endpoint& e, sim::EventLoop& loop) -> Task<> {
+    std::vector<std::pair<uint64_t, std::vector<std::byte>>> reqs;
+    for (int i = 0; i < 2; ++i) {
+      std::vector<std::byte> f;
+      CXLPOOL_CHECK_OK(co_await e.Recv(&f, loop.now() + kMillisecond));
+      wire::Reader r(f);
+      r.U8();  // version
+      r.U8();  // kind
+      uint64_t id = r.U64();
+      r.U16();  // method
+      r.U8();   // priority
+      r.U64();  // op deadline
+      r.U64();  // trace id
+      r.U64();  // parent span
+      r.U64();  // sent_at
+      auto rest = r.Rest();
+      reqs.emplace_back(id, std::vector<std::byte>(rest.begin(), rest.end()));
+    }
+    for (int i = 1; i >= 0; --i) {
+      std::vector<std::byte> resp;
+      wire::Writer w(&resp);
+      w.U8(kRpcWireVersion);
+      w.U8(kRpcResponse);
+      w.U64(reqs[static_cast<size_t>(i)].first);
+      w.U16(1);
+      w.Bytes(reqs[static_cast<size_t>(i)].second);
+      CXLPOOL_CHECK_OK(co_await e.Send(resp));
+    }
+  };
+
+  RpcClient::Options opts;
+  opts.max_inflight = 2;
+  RpcClient client(c.end_a(), opts);
+  std::vector<std::string> done_order;
+  auto one = [&done_order](RpcClient& cl, sim::EventLoop& loop,
+                           std::string tag) -> Task<> {
+    auto r = co_await cl.Call(1, Msg(tag), loop.now() + kMillisecond);
+    CXLPOOL_CHECK(r.ok());
+    // Matched by call_id, not by arrival order: each echo is its own.
+    CXLPOOL_CHECK(AsString(*r) == tag);
+    done_order.push_back(std::move(tag));
+  };
+  Spawn(one(client, loop_, "first"));
+  Spawn(one(client, loop_, "second"));
+  Spawn(responder(c.end_b(), loop_));
+  loop_.Run();
+  ASSERT_EQ(done_order.size(), 2u);
+  EXPECT_EQ(done_order[0], "second");  // completed out of order...
+  EXPECT_EQ(done_order[1], "first");   // ...and both landed correctly
+  EXPECT_EQ(client.stats().stale_responses, 0u);
+  EXPECT_EQ(client.inflight(), 0u);
+}
+
+TEST_F(MsgTest, PipelinedMidFlightOverloadExpiryAndStale) {
+  auto ch = Channel::Create(pod_.pool(), pod_.host(0), pod_.host(1));
+  ASSERT_TRUE(ch.ok());
+  Channel& c = **ch;
+
+  // Responder script: refuse call 2 with kOverloaded while call 1 stays in
+  // flight; let call 1 expire client-side; send its response too late (a
+  // stale); then serve one more call normally.
+  auto responder = [](Endpoint& e, sim::EventLoop& loop) -> Task<> {
+    std::vector<std::byte> f1, f2;
+    CXLPOOL_CHECK_OK(co_await e.Recv(&f1, loop.now() + kMillisecond));
+    CXLPOOL_CHECK_OK(co_await e.Recv(&f2, loop.now() + kMillisecond));
+    uint64_t id1 = RequestCallId(f1);
+    uint64_t id2 = RequestCallId(f2);
+    std::vector<std::byte> busy;
+    wire::Writer wb(&busy);
+    wb.U8(kRpcWireVersion);
+    wb.U8(kRpcErrorResponse);
+    wb.U64(id2);
+    wb.U16(static_cast<uint16_t>(StatusCode::kOverloaded));
+    CXLPOOL_CHECK_OK(co_await e.Send(busy));
+    co_await sim::Delay(loop, 60 * kMicrosecond);  // outlive call 1's wait
+    std::vector<std::byte> late;
+    wire::Writer wl(&late);
+    wl.U8(kRpcWireVersion);
+    wl.U8(kRpcResponse);
+    wl.U64(id1);
+    wl.U16(1);
+    CXLPOOL_CHECK_OK(co_await e.Send(late));
+    std::vector<std::byte> f3;
+    CXLPOOL_CHECK_OK(co_await e.Recv(&f3, loop.now() + kMillisecond));
+    std::vector<std::byte> ok;
+    wire::Writer wo(&ok);
+    wo.U8(kRpcWireVersion);
+    wo.U8(kRpcResponse);
+    wo.U64(RequestCallId(f3));
+    wo.U16(1);
+    wo.Bytes(Msg("fresh"));
+    CXLPOOL_CHECK_OK(co_await e.Send(ok));
+  };
+
+  RpcClient::Options opts;
+  opts.max_inflight = 4;
+  RpcClient client(c.end_a(), opts);
+  StatusCode code1 = StatusCode::kOk;
+  StatusCode code2 = StatusCode::kOk;
+  auto call1 = [&code1](RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    auto r = co_await cl.Call(1, Msg("slow"), loop.now() + 30 * kMicrosecond);
+    code1 = r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  auto call2 = [&code2](RpcClient& cl, sim::EventLoop& loop) -> Task<> {
+    auto r = co_await cl.Call(1, Msg("busy"), loop.now() + kMillisecond);
+    code2 = r.ok() ? StatusCode::kOk : r.status().code();
+  };
+  Spawn(call1(client, loop_));
+  Spawn(call2(client, loop_));
+  Spawn(responder(c.end_b(), loop_));
+  loop_.RunFor(200 * kMicrosecond);
+  EXPECT_EQ(code1, StatusCode::kDeadlineExceeded);  // expired mid-flight
+  EXPECT_EQ(code2, StatusCode::kOverloaded);        // refused mid-flight
+  EXPECT_EQ(client.stats().expired_in_flight, 1u);
+  EXPECT_EQ(client.stats().stale_responses, 0u);  // late frame still queued
+
+  // The next call's pump drains the late response first: counted stale,
+  // never misdelivered, and the fresh call still completes.
+  auto call3 = [](RpcClient& cl, sim::EventLoop& loop) -> Task<std::string> {
+    auto r = co_await cl.Call(1, Msg("again"), loop.now() + kMillisecond);
+    CXLPOOL_CHECK(r.ok());
+    co_return AsString(*r);
+  };
+  EXPECT_EQ(RunBlocking(loop_, call3(client, loop_)), "fresh");
+  EXPECT_EQ(client.stats().stale_responses, 1u);
+  EXPECT_EQ(client.inflight(), 0u);
 }
 
 }  // namespace

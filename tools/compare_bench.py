@@ -12,6 +12,13 @@ numbers actually mean:
   histograms  same rule applied to count, p50, p99 (mean/min/max/p90/p999
               are too jittery to gate on and ride along informationally)
 
+Series have a DIRECTION. Latency and count series are two-sided: moving
+either way beyond tolerance is drift worth a look. Throughput-style series
+(name containing "per_sec", "goodput", or "throughput") are
+higher-is-better: only a DROP beyond tolerance flags; a gain is what the
+optimization work is for and is reported informationally, never as drift.
+Without this, every perf win would light up the gate it was meant to feed.
+
 A series present in the snapshot but MISSING from the fresh run is always
 a regression — that is how a refactor silently stops measuring something.
 A series only in the fresh run is reported but tolerated (new phases and
@@ -33,6 +40,15 @@ import json
 import sys
 
 GATED_HIST_FIELDS = ("count", "p50", "p99")
+
+# Substrings marking a series as higher-is-better. Matching is on the
+# series NAME only (not labels): a histogram of latencies stays two-sided
+# even when its labels mention a throughput phase.
+HIGHER_IS_BETTER_MARKERS = ("per_sec", "goodput", "throughput")
+
+
+def higher_is_better(name):
+    return any(m in name for m in HIGHER_IS_BETTER_MARKERS)
 
 
 def series_key(s):
@@ -67,7 +83,7 @@ def within(snap_v, fresh_v, tol, floor):
 
 
 def compare(snap, fresh, tol, floor):
-    drifts, missing, extra = [], [], []
+    drifts, missing, extra, gains = [], [], [], []
     for key, s in sorted(snap.items()):
         f = fresh.get(key)
         if f is None:
@@ -84,18 +100,25 @@ def compare(snap, fresh, tol, floor):
             fields = GATED_HIST_FIELDS
         else:
             continue
+        one_sided = higher_is_better(key[0])
         for field in fields:
             sv, fv = s.get(field), f.get(field)
             if not isinstance(sv, (int, float)) or not isinstance(
                     fv, (int, float)):
                 continue
-            if not within(sv, fv, tol, floor):
-                drifts.append("%s: %s drifted %s -> %s (> %.0f%% of %s)"
-                              % (fmt_key(key), field, sv, fv, tol * 100,
-                                 max(abs(sv), floor)))
+            if within(sv, fv, tol, floor):
+                continue
+            if one_sided and fv > sv:
+                gains.append("%s: %s improved %s -> %s"
+                             % (fmt_key(key), field, sv, fv))
+                continue
+            what = "dropped" if one_sided else "drifted"
+            drifts.append("%s: %s %s %s -> %s (> %.0f%% of %s)"
+                          % (fmt_key(key), field, what, sv, fv, tol * 100,
+                             max(abs(sv), floor)))
     for key in sorted(fresh.keys() - snap.keys()):
         extra.append(fmt_key(key))
-    return drifts, missing, extra
+    return drifts, missing, extra, gains
 
 
 def main():
@@ -119,16 +142,20 @@ def main():
               % (snap_name, fresh_name), file=sys.stderr)
         return 2
 
-    drifts, missing, extra = compare(snap, fresh, args.tol, args.floor)
+    drifts, missing, extra, gains = compare(snap, fresh, args.tol, args.floor)
     for m in missing:
         print("MISSING  %s  (in snapshot, absent from fresh run)" % m)
     for d in drifts:
         print("DRIFT    %s" % d)
+    for g in gains:
+        print("GAIN     %s  (higher-is-better series — not drift)" % g)
     for e in extra:
         print("NEW      %s  (not in snapshot — refresh it when this lands)"
               % e)
-    print("compare_bench: %s: %d series, %d drift(s), %d missing, %d new"
-          % (snap_name, len(snap), len(drifts), len(missing), len(extra)))
+    print("compare_bench: %s: %d series, %d drift(s), %d missing, "
+          "%d gain(s), %d new"
+          % (snap_name, len(snap), len(drifts), len(missing), len(gains),
+             len(extra)))
     return 1 if drifts or missing else 0
 
 

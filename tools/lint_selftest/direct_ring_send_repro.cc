@@ -1,0 +1,22 @@
+// Seeded repro for the direct-ring-send rule. Production code publishing
+// straight through RingSender skips the MPSC submission front: no
+// write-combined batching, no doorbell coalescing, no control-priority
+// jump, no staging-bound backpressure. Both bypass shapes appear below —
+// the accessor chain and a laundering typed reference — so the self-test
+// pins exactly two findings. Never compiled; linted by --self-test only.
+#include "src/msg/channel.h"
+
+namespace cxlpool {
+
+sim::Task<Status> BadChainSend(msg::Endpoint& ep,
+                               std::span<const std::byte> m) {
+  co_return co_await ep.sender().Send(m);
+}
+
+sim::Task<Status> BadTypedSend(msg::Endpoint& ep,
+                               std::span<const std::byte> m) {
+  msg::RingSender& raw = ep.sender();
+  co_return co_await raw.Send(m);
+}
+
+}  // namespace cxlpool

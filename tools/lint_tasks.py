@@ -49,6 +49,16 @@ Two bug classes this codebase has actually paid for:
     rides the wire).  Test code is exempt: tests legitimately use
     sentinel/infinite waits to pin ordering.
 
+(f) direct-ring-send: code outside src/msg/ calling `RingSender::Send` /
+    `SendBatch` directly — via a `.sender().Send(...)` accessor chain or a
+    RingSender-typed local/reference.  The ring's raw producer bypasses the
+    MPSC submission front (no write-combined batching, no doorbell
+    coalescing, no control-priority jump, no staging-bound backpressure),
+    so one "harmless" direct send on the hot path silently un-does the
+    throughput work.  `msg::Endpoint::Send` is the only sanctioned door;
+    src/msg/ itself and test code (which drives the ring on purpose) are
+    exempt.
+
 Suppression: append `// lint-tasks: allow(<rule>)` to the offending line.
 
 Usage:
@@ -441,6 +451,45 @@ def check_missing_deadline(path, text, findings):
             % m.group("op")))
 
 
+# A RingSender bound to a name: `RingSender s(...)`, `RingSender& raw = ...`,
+# `msg::RingSender& raw = ...`. The declaration itself is fine — only a
+# .Send()/.SendBatch() through it (outside src/msg/ and tests) is flagged.
+RING_SENDER_DECL_RE = re.compile(
+    r"\b(?:msg::)?RingSender[ \t\n]*&?[ \t\n]+(?P<name>[A-Za-z_]\w*)")
+
+# The accessor-chain bypass: `...sender().Send(` / `...sender().SendBatch(`.
+SENDER_CHAIN_RE = re.compile(
+    r"\bsender[ \t\n]*\([ \t\n]*\)[ \t\n]*\.[ \t\n]*"
+    r"Send(?:Batch)?[ \t\n]*\(")
+
+
+def check_direct_ring_send(path, text, findings):
+    norm = path.replace(os.sep, "/")
+    if "/src/msg/" in norm or is_test_path(norm):
+        return
+
+    def flag(idx):
+        stmt_end = text.find("\n", idx)
+        stmt_end = len(text) if stmt_end == -1 else stmt_end
+        line_start = text.rfind("\n", 0, idx) + 1
+        if "ALLOW(direct-ring-send)" in text[line_start:stmt_end]:
+            return
+        findings.append(Finding(
+            path, line_of(text, idx), "direct-ring-send",
+            "direct RingSender::Send bypasses the MPSC submission front "
+            "(batching, doorbell coalescing, priority, backpressure) — "
+            "publish through msg::Endpoint::Send instead"))
+
+    for m in SENDER_CHAIN_RE.finditer(text):
+        flag(m.start())
+    names = {m.group("name") for m in RING_SENDER_DECL_RE.finditer(text)}
+    for name in names - DECL_KEYWORDS:
+        for m in re.finditer(
+                r"\b%s[ \t\n]*\.[ \t\n]*Send(?:Batch)?[ \t\n]*\("
+                % re.escape(name), text):
+            flag(m.start())
+
+
 def lint_paths(paths, must_use_roots):
     findings = []
     must_use = collect_must_use_functions(must_use_roots)
@@ -452,6 +501,7 @@ def lint_paths(paths, must_use_roots):
         check_unstoppable_loop(path, text, findings)
         check_leaked_span(path, text, findings)
         check_missing_deadline(path, text, findings)
+        check_direct_ring_send(path, text, findings)
     return findings
 
 
@@ -470,10 +520,11 @@ def self_test(repo_root):
     bad = os.path.join(selftest_dir, "dangling_repro.cc")
     leaky = os.path.join(selftest_dir, "leaked_span_repro.cc")
     undeadlined = os.path.join(selftest_dir, "missing_deadline_repro.cc")
+    ring_bypass = os.path.join(selftest_dir, "direct_ring_send_repro.cc")
     good = os.path.join(selftest_dir, "clean_exemplar.cc")
     roots = [os.path.join(repo_root, "src"), selftest_dir]
 
-    flagged = lint_paths([bad, leaky, undeadlined], roots)
+    flagged = lint_paths([bad, leaky, undeadlined, ring_bypass], roots)
     rules = sorted({f.rule for f in flagged})
     ok = True
     if "dangling-frame" not in rules:
@@ -497,6 +548,13 @@ def self_test(repo_root):
     if len(undeadlined_hits) != 2:
         print("SELF-TEST FAIL: expected 2 missing-deadline findings in the "
               "repro (Call and Recv), got %d" % len(undeadlined_hits))
+        ok = False
+    bypass_hits = [f for f in flagged
+                   if f.rule == "direct-ring-send" and f.path == ring_bypass]
+    if len(bypass_hits) != 2:
+        print("SELF-TEST FAIL: expected 2 direct-ring-send findings in the "
+              "repro (accessor chain and typed reference), got %d"
+              % len(bypass_hits))
         ok = False
     for f in flagged:
         print("  (expected) %s" % f)
