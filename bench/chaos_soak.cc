@@ -324,17 +324,17 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
   for (int h = 1; h < 4; ++h) {
     // Orchestrator-driven migration rebinds the live lease in place.
     orch.agent(HostId(h))->SetMigrationHandler(
-        [&orch, &leases, &retired_paths, h](
+        [orch = &orch, leases = &leases, retired = &retired_paths, h](
             PcieDeviceId old_dev, PcieDeviceId new_dev,
             HostId new_home) -> Task<> {
-          auto& lease = leases[h];
+          auto& lease = (*leases)[h];
           if (lease != nullptr && lease->assignment.device == old_dev) {
-            auto path = orch.MakeMmioPath(HostId(h), new_dev);
+            auto path = orch->MakeMmioPath(HostId(h), new_dev);
             if (path.ok()) {
               lease->assignment.device = new_dev;
               lease->assignment.home = new_home;
               lease->assignment.local = new_home == HostId(h);
-              retired_paths.push_back(std::move(lease->mmio));
+              retired->push_back(std::move(lease->mmio));
               lease->mmio = std::move(*path);
             }
           }

@@ -113,17 +113,19 @@ int main() {
   Nanos migration_done = -1;
   PcieDeviceId new_device;
   rack.orchestrator().agent(HostId(1))->SetMigrationHandler(
-      [&](PcieDeviceId old_dev, PcieDeviceId new_dev, HostId) -> Task<> {
-        auto path = rack.orchestrator().MakeMmioPath(HostId(1), new_dev);
+      [rack = &rack, srv = &server, server_mac, loop = &loop,
+       new_device = &new_device, migration_done = &migration_done](
+          PcieDeviceId old_dev, PcieDeviceId new_dev, HostId) -> Task<> {
+        auto path = rack->orchestrator().MakeMmioPath(HostId(1), new_dev);
         CXLPOOL_CHECK_OK(path.status());
-        CXLPOOL_CHECK_OK(co_await server.stack->HandleMigration(std::move(*path)));
+        CXLPOOL_CHECK_OK(co_await srv->stack->HandleMigration(std::move(*path)));
         // MAC takeover: the server address moves to the replacement port.
-        devices::Nic* old_nic = rack.nic(old_dev);
-        devices::Nic* new_nic = rack.nic(new_dev);
+        devices::Nic* old_nic = rack->nic(old_dev);
+        devices::Nic* new_nic = rack->nic(new_dev);
         old_nic->DisconnectNetwork();
-        CXLPOOL_CHECK_OK(rack.network().Attach(server_mac, new_nic));
-        new_device = new_dev;
-        migration_done = loop.now();
+        CXLPOOL_CHECK_OK(rack->network().Attach(server_mac, new_nic));
+        *new_device = new_dev;
+        *migration_done = loop->now();
       });
 
   std::vector<Nanos> responses;

@@ -108,23 +108,24 @@ int main() {
   for (auto& c : clients) {
     Client* cp = c.get();
     rack.orchestrator().agent(cp->host)->SetMigrationHandler(
-        [&rack, cp, &first_rebalance, &loop, &drained](
-            PcieDeviceId, PcieDeviceId new_dev, HostId) -> Task<> {
+        [rack = &rack, cp, first_rebalance = &first_rebalance, loop = &loop,
+         drained = &drained](PcieDeviceId, PcieDeviceId new_dev,
+                             HostId) -> Task<> {
           devices::Accelerator* target =
-              rack.accel(new_dev == rack.accel(0)->id() ? 0 : 1);
+              rack->accel(new_dev == rack->accel(0)->id() ? 0 : 1);
           auto qp = target->AllocateQueuePair();
           CXLPOOL_CHECK_OK(qp.status());
-          auto path = rack.orchestrator().MakeMmioPath(cp->host, new_dev);
+          auto path = rack->orchestrator().MakeMmioPath(cp->host, new_dev);
           CXLPOOL_CHECK_OK(path.status());
           VirtualAccel::Config vc;
-          auto va = co_await VirtualAccel::Create(rack.pod().host(cp->host),
+          auto va = co_await VirtualAccel::Create(rack->pod().host(cp->host),
                                                   std::move(*path), vc, *qp);
           CXLPOOL_CHECK_OK(va.status());
-          drained.push_back(std::move(cp->accel));  // let in-flight jobs finish
+          drained->push_back(std::move(cp->accel));  // let in-flight jobs finish
           cp->accel = std::move(*va);
           cp->qp = *qp;
-          if (first_rebalance < 0) {
-            first_rebalance = loop.now();
+          if (*first_rebalance < 0) {
+            *first_rebalance = loop->now();
           }
         });
   }

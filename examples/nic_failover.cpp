@@ -76,18 +76,22 @@ int main() {
   }(srv, loop, rack.stop_token()));
 
   // The migration handler IS the failover story: rebind + MAC takeover.
+  // Pointer init-captures, not `[&]`: the handler coroutine can outlive
+  // this scope's stack frame conceptually, so every captured object is
+  // named and its lifetime auditable (all live in main() past Shutdown).
   rack.orchestrator().agent(HostId(1))->SetMigrationHandler(
-      [&](PcieDeviceId old_dev, PcieDeviceId new_dev, HostId new_home) -> Task<> {
+      [rack = &rack, loop = &loop, srv = &server, server_mac](
+          PcieDeviceId old_dev, PcieDeviceId new_dev, HostId new_home) -> Task<> {
         std::printf("[t=%.1f us] orchestrator: migrate NIC %u -> NIC %u "
-                    "(home host %u)\n", loop.now() / 1000.0, old_dev.value(),
+                    "(home host %u)\n", loop->now() / 1000.0, old_dev.value(),
                     new_dev.value(), new_home.value());
-        auto path = rack.orchestrator().MakeMmioPath(HostId(1), new_dev);
+        auto path = rack->orchestrator().MakeMmioPath(HostId(1), new_dev);
         CXLPOOL_CHECK_OK(path.status());
-        CXLPOOL_CHECK_OK(co_await server.stack->HandleMigration(std::move(*path)));
-        rack.nic(old_dev)->DisconnectNetwork();
-        CXLPOOL_CHECK_OK(rack.network().Attach(server_mac, rack.nic(new_dev)));
+        CXLPOOL_CHECK_OK(co_await srv->stack->HandleMigration(std::move(*path)));
+        rack->nic(old_dev)->DisconnectNetwork();
+        CXLPOOL_CHECK_OK(rack->network().Attach(server_mac, rack->nic(new_dev)));
         std::printf("[t=%.1f us] stack rebound; MAC moved to the new port\n",
-                    loop.now() / 1000.0);
+                    loop->now() / 1000.0);
       });
 
   // Client pings once per 100 us and reports successes.

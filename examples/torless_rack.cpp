@@ -111,9 +111,9 @@ int main() {
     netsim::Network* pb = &plane_b;
     std::vector<std::unique_ptr<devices::Nic>>* all_nics = &nics;
     rack.orchestrator().agent(HostId(h))->SetMigrationHandler(
-        [&rack, node, pa, pb, all_nics, h](PcieDeviceId, PcieDeviceId new_dev,
-                                           HostId) -> Task<> {
-          auto path = rack.orchestrator().MakeMmioPath(HostId(h), new_dev);
+        [rack = &rack, node, pa, pb, all_nics, h](
+            PcieDeviceId, PcieDeviceId new_dev, HostId) -> Task<> {
+          auto path = rack->orchestrator().MakeMmioPath(HostId(h), new_dev);
           CXLPOOL_CHECK_OK(path.status());
           CXLPOOL_CHECK_OK(co_await node->stack->HandleMigration(std::move(*path)));
           netsim::Network* target_net = new_dev.value() % 2 == 0 ? pa : pb;

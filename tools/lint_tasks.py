@@ -1,597 +1,33 @@
 #!/usr/bin/env python3
-"""Repo-specific static checks for coroutine lifetimes and discarded results.
+"""Compatibility shim: lint_tasks.py is now simlint.
 
-Two bug classes this codebase has actually paid for:
+The line-regex engine that used to live here (six rules, one regex per
+rule, per-line matching with hand-rolled workarounds for continuation
+lines and string literals) has been replaced by ``tools/simlint`` — a
+token-stream, cross-file analyzer with a real C++ lexer, a brace/scope
+tracker, and a repo-wide symbol index. All six original rules were
+ported (same names, same suppression comments — ``// lint-tasks:
+allow(<rule>)`` is still honored) and four new coroutine/contract rules
+were added. See tools/simlint/ and the "Static analysis" section of
+DESIGN.md.
 
-(a) dangling-frame: a NON-coroutine function that returns a `sim::Task`
-    built by calling a coroutine with arguments referencing locals of the
-    returning function.  The returned task is lazy; by the time the caller
-    awaits it, the forwarding function's frame is gone and every
-    reference/span argument dangles.  PR 1 hit this twice (DoorbellSender::
-    Ring and the RPC reply path), both found only at runtime under ASan.
-    The fix is always the same: make the forwarder itself a coroutine
-    (`co_return co_await ...`) so its frame lives until the task completes.
-    Forwarding *parameters* is fine — the caller owns those — so only
-    locals declared inside the body count.
+This shim keeps old invocations working:
 
-(b) discarded-result: a bare statement calling a repo function that
-    returns `sim::Task`/`Status`/`Result`.  A dropped Task never runs
-    (lazy coroutines start suspended); a dropped Status swallows an error.
-    `[[nodiscard]]` on those types makes the compiler catch most of this;
-    the lint also covers macro-heavy code paths and non-compiled targets
-    (e.g. files gated out of the build) that the compiler never sees.
+    python3 tools/lint_tasks.py [--self-test] [paths...]
 
-(c) unstoppable-loop: `Spawn(SomethingLoop(...))` with no stop token among
-    the arguments.  Detached periodic loops (ScrubLoop, ReportLoop,
-    RebalanceLoop, the agent watchdog) are the one coroutine shape that
-    outlives its spawner by design; without a StopToken they keep waking
-    after Shutdown(), touching freed rack state — exactly the lifetime
-    hole the PR 3 lint suite was built around.  Convention: every
-    `*Loop` coroutine takes a `sim::StopToken&`, so a spawn whose
-    argument list never mentions a stop token is a supervision bug.
+is exactly
 
-(d) leaked-span: an `obs::Span` local bound from StartTrace/StartSpan (or
-    the MaybeStart*/StartOpSpan wrappers) with no `.End(...)` call in the
-    enclosing body.  Spans are explicit-End by design — the destructor
-    deliberately abandons (and counts) un-ended spans instead of guessing
-    an end time, so a span that is never End()ed silently vanishes from
-    the trace and inflates Tracer::dropped_spans().  Every early-return
-    path between StartTrace and End is a leak the type system can't see;
-    this rule at least guarantees the happy path ends the span.  Moving or
-    returning the span transfers the obligation to the caller.
-
-(e) missing-deadline: `co_await` on an RPC/channel op (`Call`, `Recv`)
-    whose argument list carries no deadline-ish token (`deadline`,
-    `timeout`, `now() + ...`, ...).  An op with no budget waits forever:
-    under overload it queues behind a wedged peer and turns backpressure
-    into a hang — exactly the failure mode the deadline-propagation work
-    exists to prevent (every hop sheds expired work only if a deadline
-    rides the wire).  Test code is exempt: tests legitimately use
-    sentinel/infinite waits to pin ordering.
-
-(f) direct-ring-send: code outside src/msg/ calling `RingSender::Send` /
-    `SendBatch` directly — via a `.sender().Send(...)` accessor chain or a
-    RingSender-typed local/reference.  The ring's raw producer bypasses the
-    MPSC submission front (no write-combined batching, no doorbell
-    coalescing, no control-priority jump, no staging-bound backpressure),
-    so one "harmless" direct send on the hot path silently un-does the
-    throughput work.  `msg::Endpoint::Send` is the only sanctioned door;
-    src/msg/ itself and test code (which drives the ring on purpose) are
-    exempt.
-
-Suppression: append `// lint-tasks: allow(<rule>)` to the offending line.
-
-Usage:
-  tools/lint_tasks.py [--root DIR] [paths...]   # lint src/ (default) or paths
-  tools/lint_tasks.py --self-test               # must flag the seeded repros
-
-Exit code 0 = clean, 1 = findings, 2 = usage/self-test failure.
-Stdlib only: the container has no libclang, so this is a pattern pass —
-conservative by construction (prefers false negatives over noise).
+    python3 tools/simlint [--self-test] [paths...]
 """
 
-import argparse
 import os
-import re
 import sys
 
-TASK_RETURN_RE = re.compile(
-    r"(?:^|\n)[ \t]*(?:static[ \t]+|inline[ \t]+|virtual[ \t]+)*"
-    r"(?:sim::)?Task<[^;{}]*?>[ \t\n]+"          # return type
-    r"(?P<name>[A-Za-z_][\w:]*)[ \t\n]*\("        # function name + params
-)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Statement-initial call whose result is dropped: `Foo(...)` or
-# `obj.Foo(...)` / `ptr->Foo(...);` at the start of a statement.
-CALL_STMT_RE = re.compile(
-    r"^[ \t]*(?:[A-Za-z_]\w*(?:\.|->|::))*(?P<callee>[A-Za-z_]\w*)\(")
-
-# Declarations whose names can be captured by reference/span/pointer in a
-# returned call: `Type name;`, `Type name(...)`, `Type name = ...`,
-# `Type name{...}`. One declarator per statement covers this codebase.
-LOCAL_DECL_RE = re.compile(
-    r"^[ \t]*(?:const[ \t]+)?"
-    r"(?:auto|std::\w+(?:<[^;=]*>)?|[A-Za-z_][\w:]*(?:<[^;=]*>)?)"
-    r"[ \t]+[&*]?(?P<name>[A-Za-z_]\w*)[ \t]*(?:[;={(\[]|$)")
-
-DECL_KEYWORDS = {
-    "return", "co_return", "co_await", "co_yield", "if", "else", "for",
-    "while", "do", "switch", "case", "break", "continue", "goto", "using",
-    "typedef", "delete", "new", "throw", "public", "private", "protected",
-}
-
-# Macros that consume a Status/Task/Result expression by design.
-CONSUMING_MACROS = {
-    "RETURN_IF_ERROR", "CO_RETURN_IF_ERROR", "ASSIGN_OR_RETURN",
-    "CXLPOOL_CHECK_OK", "CXLPOOL_CHECK", "EXPECT_TRUE", "EXPECT_FALSE",
-    "EXPECT_EQ", "ASSERT_TRUE", "ASSERT_EQ", "EXPECT_OK", "ASSERT_OK",
-}
-
-
-def strip_comments_and_strings(text):
-    """Blanks out comments and string/char literals, preserving newlines
-    and an `ALLOW(<rule>)` token for lint suppressions so line numbers and
-    brace structure survive."""
-    out = []
-    i = 0
-    n = len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            comment = text[i:j]
-            m = re.search(r"lint-tasks:\s*allow\((?P<r>[\w-]+)\)", comment)
-            out.append("ALLOW(%s)" % m.group("r") if m else "")
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            out.append("\n" * text.count("\n", i, j + 2))
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote:
-                    break
-                j += 1
-            out.append(quote + quote)
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def matching_brace(text, open_idx):
-    """Index just past the `}` matching the `{` at open_idx, or -1."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return -1
-
-
-def line_of(text, idx):
-    return text.count("\n", 0, idx) + 1
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
-                                   self.message)
-
-
-def split_statements(body):
-    """Yields (offset, statement) pairs for top-level-ish statements; good
-    enough for scanning declarations and returns."""
-    start = 0
-    depth = 0
-    for i, c in enumerate(body):
-        if c == "{":
-            depth += 1
-        elif c == "}":
-            depth -= 1
-            start = i + 1
-        elif c == ";" and depth >= 0:
-            yield start, body[start:i + 1]
-            start = i + 1
-
-
-def check_dangling_frame(path, text, findings):
-    for m in TASK_RETURN_RE.finditer(text):
-        # Find the parameter list's closing paren, then the body brace.
-        paren = text.find("(", m.end() - 1)
-        depth = 0
-        close = -1
-        for i in range(paren, len(text)):
-            if text[i] == "(":
-                depth += 1
-            elif text[i] == ")":
-                depth -= 1
-                if depth == 0:
-                    close = i
-                    break
-        if close == -1:
-            continue
-        # Skip declarations (`;`) — only definitions have bodies.
-        brace = None
-        for i in range(close + 1, min(close + 120, len(text))):
-            if text[i] == "{":
-                brace = i
-                break
-            if text[i] == ";":
-                break
-        if brace is None:
-            continue
-        end = matching_brace(text, brace)
-        if end == -1:
-            continue
-        body = text[brace + 1:end - 1]
-        if re.search(r"\bco_(?:await|return|yield)\b", body):
-            continue  # a real coroutine: its frame outlives the task
-        locals_declared = set()
-        for off, stmt in split_statements(body):
-            first_line = stmt.strip().splitlines()[0] if stmt.strip() else ""
-            dm = LOCAL_DECL_RE.match(first_line)
-            if dm and dm.group("name") not in DECL_KEYWORDS:
-                head = first_line.split(dm.group("name"))[0].strip()
-                if head and head.split()[0].rstrip("<") not in DECL_KEYWORDS:
-                    locals_declared.add(dm.group("name"))
-            rm = re.match(r"[ \t\n]*return\b(?P<expr>[^;]*)", stmt)
-            if rm is None:
-                continue
-            if "ALLOW(dangling-frame)" in stmt:
-                continue
-            expr = rm.group("expr")
-            if "(" not in expr:
-                continue  # returning a variable/default, not building a task
-            used = [v for v in locals_declared
-                    if re.search(r"\b%s\b" % re.escape(v), expr)]
-            if used:
-                line = line_of(text, brace + 1 + off)
-                findings.append(Finding(
-                    path, line, "dangling-frame",
-                    "non-coroutine returns a Task built from local(s) %s; "
-                    "the frame dies before the task runs — make this a "
-                    "coroutine (co_return co_await ...)"
-                    % ", ".join(sorted(used))))
-
-
-def collect_must_use_functions(roots):
-    """Names of repo functions returning Task/Status/Result, from headers.
-
-    A name is must-use only if EVERY function of that name in the scanned
-    headers returns a must-use type: names shared with a void/other
-    overload anywhere (`Free`, `Release`, `Read`, ...) are ambiguous at a
-    call site without type resolution, so they are dropped entirely —
-    false negatives over noise."""
-    sig = re.compile(
-        r"(?:^|\n)[ \t]*(?:static[ \t]+|inline[ \t]+|virtual[ \t]+|"
-        r"constexpr[ \t]+|explicit[ \t]+)*"
-        r"(?P<ret>[A-Za-z_][\w:]*(?:<[^;{}()]*?>)?)[ \t&*\n]+"
-        r"(?P<name>[A-Za-z_]\w*)[ \t\n]*\(")
-    must_use_ret = re.compile(r"^(?:sim::)?(?:Task<|Status$|Result<)")
-    must, other = set(), set()
-    for root in roots:
-        for dirpath, _, files in os.walk(root):
-            for f in files:
-                if not f.endswith(".h"):
-                    continue
-                text = strip_comments_and_strings(
-                    open(os.path.join(dirpath, f), encoding="utf-8").read())
-                for m in sig.finditer(text):
-                    ret, name = m.group("ret"), m.group("name")
-                    if ret in DECL_KEYWORDS or name in DECL_KEYWORDS:
-                        continue
-                    (must if must_use_ret.match(ret) else other).add(name)
-    return must - other - {"Status", "Result", "Task", "status", "ok"}
-
-
-def check_discarded_result(path, text, must_use, findings):
-    prev = ""
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        stripped = line.strip()
-        # A continuation of the previous statement (assignment or argument
-        # list split across lines) is consumed by its first line.
-        if prev.endswith(("=", "(", ",", "&&", "||", "return")):
-            prev = stripped or prev
-            continue
-        prev = stripped or prev
-        if "ALLOW(discarded-result)" in line:
-            continue
-        m = CALL_STMT_RE.match(line)
-        if m is None or not stripped.endswith(";"):
-            continue
-        callee = m.group("callee")
-        if callee not in must_use or callee in CONSUMING_MACROS:
-            continue
-        # A continuation of a multi-line call (e.g. an argument inside
-        # ASSIGN_OR_RETURN) closes more parens than it opens — skip it.
-        if line.count(")") > line.count("("):
-            continue
-        # Assigned, awaited, returned, voided, or compared → consumed.
-        if re.search(r"(=|\breturn\b|\bco_return\b|\bco_await\b|\(void\)|"
-                     r"==|!=|&&|\|\|)", line.split(callee)[0] + " "):
-            continue
-        # A call spanning multiple statements on one line is out of scope.
-        findings.append(Finding(
-            path, lineno, "discarded-result",
-            "result of %s() (Task/Status/Result) is discarded; assign, "
-            "await, check, or cast to (void)" % callee))
-
-
-# `Spawn(` or `sim::Spawn(` — the detachment point for background tasks.
-SPAWN_RE = re.compile(r"\b(?:sim::)?Spawn[ \t\n]*\(")
-
-# A stop token among the spawned call's arguments, by naming convention:
-# `stop`, `stop_`, `stop_token()`, `rack.stop_token()`, `StopToken`, ...
-STOP_ARG_RE = re.compile(r"\bstop\w*\b|\bStopToken\b", re.IGNORECASE)
-
-
-def check_unstoppable_loop(path, text, findings):
-    for m in SPAWN_RE.finditer(text):
-        open_idx = text.find("(", m.start())
-        depth = 0
-        close = -1
-        for i in range(open_idx, len(text)):
-            if text[i] == "(":
-                depth += 1
-            elif text[i] == ")":
-                depth -= 1
-                if depth == 0:
-                    close = i
-                    break
-        if close == -1:
-            continue
-        args = text[open_idx + 1:close]
-        # Only the convention-named periodic loops: anything else spawned
-        # detached (one-shot repair, migration) legitimately runs to
-        # completion without supervision.
-        call = re.search(r"\b[A-Za-z_]\w*Loop[ \t\n]*\(", args)
-        if call is None:
-            continue
-        if STOP_ARG_RE.search(args):
-            continue
-        stmt_end = text.find("\n", close)
-        stmt_end = len(text) if stmt_end == -1 else stmt_end
-        if "ALLOW(unstoppable-loop)" in text[m.start():stmt_end]:
-            continue
-        findings.append(Finding(
-            path, line_of(text, m.start()), "unstoppable-loop",
-            "detached *Loop spawned without a stop token; it outlives "
-            "Shutdown() and wakes against freed state — thread a "
-            "sim::StopToken& through it"))
-
-
-# A Span local bound from a span-starting call: `obs::Span op = ...Start*(`.
-# Matches the factory methods (StartTrace/StartSpan), the null-safe wrappers
-# (MaybeStartTrace/MaybeStartSpan), and repo-local helpers by the naming
-# convention that span factories contain "Start" (e.g. StartOpSpan).
-SPAN_DECL_RE = re.compile(
-    r"(?:obs::)?Span[ \t\n]+(?P<name>[A-Za-z_]\w*)[ \t\n]*=[ \t\n]*"
-    r"(?:[A-Za-z_][\w:]*(?:\.|->|::))*(?:Maybe)?Start\w*[ \t\n]*\(")
-
-
-def check_leaked_span(path, text, findings):
-    for m in SPAN_DECL_RE.finditer(text):
-        name = m.group("name")
-        stmt_end = text.find("\n", m.end())
-        stmt_end = len(text) if stmt_end == -1 else stmt_end
-        if "ALLOW(leaked-span)" in text[m.start():stmt_end]:
-            continue
-        # Scope approximation: from the declaration to the next
-        # column-0 `}` — the end of the enclosing free function in this
-        # codebase's style (a superset of the true scope for in-class
-        # bodies, which only risks false negatives, never noise).
-        close = text.find("\n}", m.end())
-        body = text[m.end():close if close != -1 else len(text)]
-        if re.search(r"\b%s[ \t\n]*\.[ \t\n]*End[ \t\n]*\(" % re.escape(name),
-                     body):
-            continue
-        # Ownership handed off: the callee/caller now owns the End.
-        if re.search(r"std::move[ \t\n]*\([ \t\n]*%s[ \t\n]*\)|"
-                     r"\b(?:co_)?return[ \t\n]+%s[ \t\n]*;"
-                     % (re.escape(name), re.escape(name)), body):
-            continue
-        findings.append(Finding(
-            path, line_of(text, m.start()), "leaked-span",
-            "span '%s' is started but never .End()ed in this scope; the "
-            "destructor abandons it (dropped from the trace, counted in "
-            "Tracer::dropped_spans()) — End() it on every exit path or "
-            "std::move it to the new owner" % name))
-
-
-# An awaited RPC/channel op: `co_await <receiver-chain>Call(` / `Recv(`.
-# These are the two op shapes that cross a queue and therefore must carry
-# a budget; everything else awaited (Delay, WaitUntil, Acquire) either IS
-# the budget or holds no queue slot.
-DEADLINE_CALL_RE = re.compile(
-    r"\bco_await\b[ \t\n]*(?:[A-Za-z_]\w*(?:\.|->|::))*"
-    r"(?P<op>Call|Recv)[ \t\n]*\(")
-
-# Tokens that mark an argument list as budgeted: a deadline/timeout
-# variable by name, an absolute deadline computed from now(), or the
-# explicit inherit sentinel.
-DEADLINE_ARG_RE = re.compile(
-    r"deadline|timeout|expiry|until|budget|\bnow[ \t\n]*\(",
-    re.IGNORECASE)
-
-
-def is_test_path(path):
-    norm = path.replace(os.sep, "/")
-    return ("/tests/" in norm or "/test/" in norm
-            or re.search(r"_test\.(?:cc|cpp|h)$", norm) is not None)
-
-
-def check_missing_deadline(path, text, findings):
-    if is_test_path(path):
-        return
-    for m in DEADLINE_CALL_RE.finditer(text):
-        open_idx = text.find("(", m.end() - 1)
-        depth = 0
-        close = -1
-        for i in range(open_idx, len(text)):
-            if text[i] == "(":
-                depth += 1
-            elif text[i] == ")":
-                depth -= 1
-                if depth == 0:
-                    close = i
-                    break
-        if close == -1:
-            continue
-        args = text[open_idx + 1:close]
-        if DEADLINE_ARG_RE.search(args):
-            continue
-        stmt_end = text.find("\n", close)
-        stmt_end = len(text) if stmt_end == -1 else stmt_end
-        if "ALLOW(missing-deadline)" in text[m.start():stmt_end]:
-            continue
-        findings.append(Finding(
-            path, line_of(text, m.start()), "missing-deadline",
-            "co_await %s() with no deadline/timeout argument waits forever "
-            "under overload; pass an absolute deadline (loop.now() + "
-            "budget) so every hop can shed the op once it expires"
-            % m.group("op")))
-
-
-# A RingSender bound to a name: `RingSender s(...)`, `RingSender& raw = ...`,
-# `msg::RingSender& raw = ...`. The declaration itself is fine — only a
-# .Send()/.SendBatch() through it (outside src/msg/ and tests) is flagged.
-RING_SENDER_DECL_RE = re.compile(
-    r"\b(?:msg::)?RingSender[ \t\n]*&?[ \t\n]+(?P<name>[A-Za-z_]\w*)")
-
-# The accessor-chain bypass: `...sender().Send(` / `...sender().SendBatch(`.
-SENDER_CHAIN_RE = re.compile(
-    r"\bsender[ \t\n]*\([ \t\n]*\)[ \t\n]*\.[ \t\n]*"
-    r"Send(?:Batch)?[ \t\n]*\(")
-
-
-def check_direct_ring_send(path, text, findings):
-    norm = path.replace(os.sep, "/")
-    if "/src/msg/" in norm or is_test_path(norm):
-        return
-
-    def flag(idx):
-        stmt_end = text.find("\n", idx)
-        stmt_end = len(text) if stmt_end == -1 else stmt_end
-        line_start = text.rfind("\n", 0, idx) + 1
-        if "ALLOW(direct-ring-send)" in text[line_start:stmt_end]:
-            return
-        findings.append(Finding(
-            path, line_of(text, idx), "direct-ring-send",
-            "direct RingSender::Send bypasses the MPSC submission front "
-            "(batching, doorbell coalescing, priority, backpressure) — "
-            "publish through msg::Endpoint::Send instead"))
-
-    for m in SENDER_CHAIN_RE.finditer(text):
-        flag(m.start())
-    names = {m.group("name") for m in RING_SENDER_DECL_RE.finditer(text)}
-    for name in names - DECL_KEYWORDS:
-        for m in re.finditer(
-                r"\b%s[ \t\n]*\.[ \t\n]*Send(?:Batch)?[ \t\n]*\("
-                % re.escape(name), text):
-            flag(m.start())
-
-
-def lint_paths(paths, must_use_roots):
-    findings = []
-    must_use = collect_must_use_functions(must_use_roots)
-    for path in paths:
-        raw = open(path, encoding="utf-8").read()
-        text = strip_comments_and_strings(raw)
-        check_dangling_frame(path, text, findings)
-        check_discarded_result(path, text, must_use, findings)
-        check_unstoppable_loop(path, text, findings)
-        check_leaked_span(path, text, findings)
-        check_missing_deadline(path, text, findings)
-        check_direct_ring_send(path, text, findings)
-    return findings
-
-
-def source_files(root):
-    out = []
-    for dirpath, _, files in os.walk(root):
-        for f in sorted(files):
-            if f.endswith((".cc", ".h", ".cpp")):
-                out.append(os.path.join(dirpath, f))
-    return out
-
-
-def self_test(repo_root):
-    """The seeded repros MUST be flagged; the clean exemplar MUST NOT be."""
-    selftest_dir = os.path.join(repo_root, "tools", "lint_selftest")
-    bad = os.path.join(selftest_dir, "dangling_repro.cc")
-    leaky = os.path.join(selftest_dir, "leaked_span_repro.cc")
-    undeadlined = os.path.join(selftest_dir, "missing_deadline_repro.cc")
-    ring_bypass = os.path.join(selftest_dir, "direct_ring_send_repro.cc")
-    good = os.path.join(selftest_dir, "clean_exemplar.cc")
-    roots = [os.path.join(repo_root, "src"), selftest_dir]
-
-    flagged = lint_paths([bad, leaky, undeadlined, ring_bypass], roots)
-    rules = sorted({f.rule for f in flagged})
-    ok = True
-    if "dangling-frame" not in rules:
-        print("SELF-TEST FAIL: seeded PR-1 dangling-span repro not flagged")
-        ok = False
-    if "discarded-result" not in rules:
-        print("SELF-TEST FAIL: seeded discarded-result repro not flagged")
-        ok = False
-    if "unstoppable-loop" not in rules:
-        print("SELF-TEST FAIL: seeded unsupervised-loop repro not flagged")
-        ok = False
-    if "leaked-span" not in rules:
-        print("SELF-TEST FAIL: seeded leaked-span repro not flagged")
-        ok = False
-    if "missing-deadline" not in rules:
-        print("SELF-TEST FAIL: seeded missing-deadline repro not flagged")
-        ok = False
-    undeadlined_hits = [f for f in flagged
-                        if f.rule == "missing-deadline"
-                        and f.path == undeadlined]
-    if len(undeadlined_hits) != 2:
-        print("SELF-TEST FAIL: expected 2 missing-deadline findings in the "
-              "repro (Call and Recv), got %d" % len(undeadlined_hits))
-        ok = False
-    bypass_hits = [f for f in flagged
-                   if f.rule == "direct-ring-send" and f.path == ring_bypass]
-    if len(bypass_hits) != 2:
-        print("SELF-TEST FAIL: expected 2 direct-ring-send findings in the "
-              "repro (accessor chain and typed reference), got %d"
-              % len(bypass_hits))
-        ok = False
-    for f in flagged:
-        print("  (expected) %s" % f)
-
-    clean = lint_paths([good], roots)
-    for f in clean:
-        print("SELF-TEST FAIL: false positive on clean exemplar: %s" % f)
-        ok = False
-    print("self-test: %s" % ("PASS" if ok else "FAIL"))
-    return ok
-
-
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("paths", nargs="*", help="files or directories to lint")
-    ap.add_argument("--root", default=None,
-                    help="repo root (default: parent of this script's dir)")
-    ap.add_argument("--self-test", action="store_true",
-                    help="verify the lint flags the seeded bug repros")
-    args = ap.parse_args()
-
-    repo_root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-
-    if args.self_test:
-        return 0 if self_test(repo_root) else 2
-
-    targets = []
-    for p in (args.paths or [os.path.join(repo_root, "src")]):
-        targets.extend(source_files(p) if os.path.isdir(p) else [p])
-    findings = lint_paths(targets, [os.path.join(repo_root, "src")])
-    for f in findings:
-        print(f)
-    print("lint_tasks: %d file(s), %d finding(s)" %
-          (len(targets), len(findings)))
-    return 1 if findings else 0
-
+from simlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.stderr.write(
+        "note: lint_tasks.py is a shim; prefer `python3 tools/simlint`\n")
+    sys.exit(main(sys.argv[1:]))

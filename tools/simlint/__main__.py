@@ -1,0 +1,18 @@
+"""Entry point: ``python3 tools/simlint [args...]``.
+
+Running a directory puts the directory itself on sys.path; the package
+must instead be importable as ``simlint`` from its parent (tools/), so
+bootstrap that before the relative imports inside the package resolve.
+"""
+
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from simlint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

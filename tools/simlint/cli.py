@@ -1,0 +1,78 @@
+"""Command-line interface.
+
+Usage:
+  python3 tools/simlint [--root DIR] [paths...]   # lint src/ (default)
+  python3 tools/simlint --self-test               # replay seeded repros
+  python3 tools/simlint --list-rules
+  python3 tools/simlint --rules missing-deadline,leaked-span src bench
+
+Exit code 0 = clean, 1 = findings, 2 = usage/self-test failure.
+Stdlib only: the container has no libclang, so this is a token-stream
+pass — conservative by construction (prefers false negatives over
+noise), but structurally immune to the string-literal/continuation-line
+false positives of the old regex linter.
+"""
+
+import argparse
+import os
+import sys
+
+from . import __version__, selftest
+from .engine import Analyzer, expand_targets
+from .rules import all_rules
+
+
+def _default_repo_root():
+    # tools/simlint/cli.py -> tools/simlint -> tools -> repo root
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="simlint",
+        description="token-stream, cross-file static analyzer for "
+                    "coroutine, ordering, and overload-contract "
+                    "invariants")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: grandparent of this package)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule against the seeded bug corpus")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print registered rules and exit")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the per-finding echo in --self-test")
+    ap.add_argument("--version", action="version", version=__version__)
+    args = ap.parse_args(argv)
+
+    repo_root = os.path.abspath(args.root or _default_repo_root())
+
+    if args.list_rules:
+        for name, fn in all_rules():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print("%-30s %s" % (name, doc[0] if doc else ""))
+        return 0
+
+    if args.self_test:
+        return 0 if selftest.run(repo_root, verbose=not args.quiet) else 2
+
+    rule_names = None
+    if args.rules:
+        rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    paths = args.paths or [os.path.join(repo_root, "src")]
+    try:
+        analyzer = Analyzer([os.path.join(repo_root, "src")], rule_names)
+    except ValueError as err:
+        print("simlint: %s" % err, file=sys.stderr)
+        return 2
+    findings = analyzer.lint_paths(paths)
+    for f in findings:
+        print(f)
+    print("simlint: %d file(s), %d finding(s)"
+          % (len(expand_targets(paths)), len(findings)))
+    return 1 if findings else 0

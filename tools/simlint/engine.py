@@ -1,0 +1,66 @@
+"""Analysis driver: lex → scope → rules, over files and directory trees."""
+
+import os
+
+from . import lexer, scopes, symbols
+from .rules import RuleContext, all_rules
+
+SOURCE_SUFFIXES = (".cc", ".h", ".cpp")
+
+
+def source_files(root):
+    out = []
+    for dirpath, _, files in os.walk(root):
+        for f in sorted(files):
+            if f.endswith(SOURCE_SUFFIXES):
+                out.append(os.path.join(dirpath, f))
+    return out
+
+
+def expand_targets(paths):
+    targets = []
+    for p in paths:
+        if os.path.isdir(p):
+            targets.extend(source_files(p))
+        else:
+            targets.append(p)
+    return targets
+
+
+class Analyzer:
+    """Holds the cross-file symbol index; lints files against it."""
+
+    def __init__(self, index_roots, rule_names=None):
+        self.index = symbols.build(index_roots)
+        selected = all_rules()
+        if rule_names is not None:
+            wanted = set(rule_names)
+            unknown = wanted - {name for name, _ in selected}
+            if unknown:
+                raise ValueError("unknown rule(s): %s"
+                                 % ", ".join(sorted(unknown)))
+            selected = [(n, f) for n, f in selected if n in wanted]
+        self.rules = selected
+
+    def rule_names(self):
+        return [name for name, _ in self.rules]
+
+    def lint_file(self, path):
+        lexed = lexer.lex_file(path)
+        model = scopes.build(lexed)
+        findings = []
+        local_must, local_other = symbols.file_overlay(model)
+        ctx = RuleContext(path, lexed, model, self.index, findings,
+                          local_must_use=local_must,
+                          local_other_returns=local_other)
+        for _, rule_fn in self.rules:
+            rule_fn(ctx)
+        findings.sort(key=lambda f: (f.line, f.rule))
+        return findings, lexed
+
+    def lint_paths(self, paths):
+        findings = []
+        for path in expand_targets(paths):
+            file_findings, _ = self.lint_file(path)
+            findings.extend(file_findings)
+        return findings

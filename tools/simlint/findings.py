@@ -1,0 +1,21 @@
+"""Finding type and helpers shared by every simlint pass."""
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+    def __repr__(self):
+        return "Finding(%r, %d, %r)" % (self.path, self.line, self.rule)

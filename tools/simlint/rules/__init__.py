@@ -1,0 +1,233 @@
+"""Rule registry and token-stream helpers shared by every rule."""
+
+import os
+import re
+
+# ---------------------------------------------------------------------------
+# Rule context
+
+
+class RuleContext:
+    """Everything one rule invocation sees for one file."""
+
+    __slots__ = ("path", "lexed", "model", "index", "findings",
+                 "local_must_use", "local_other_returns")
+
+    def __init__(self, path, lexed, model, index, findings,
+                 local_must_use=frozenset(), local_other_returns=frozenset()):
+        self.path = path
+        self.lexed = lexed
+        self.model = model
+        self.index = index
+        self.findings = findings
+        self.local_must_use = local_must_use
+        self.local_other_returns = local_other_returns
+
+    @property
+    def tokens(self):
+        return self.lexed.tokens
+
+    def must_use_names(self):
+        """Header-index must-use names, adjusted by this translation
+        unit's own definitions: a local non-must-use overload disables
+        the name (ambiguous at call sites); a local must-use definition
+        enables it even when no header declares it."""
+        names = (self.index.must_use_names()
+                 | self.local_must_use) - self.local_other_returns
+        return names - self.index.other_return
+
+    def report(self, line, rule, message):
+        from ..findings import Finding
+        if self.lexed.allowed(line, rule):
+            return
+        self.findings.append(Finding(self.path, line, rule, message))
+
+
+# ---------------------------------------------------------------------------
+# Path classification (shared exemptions)
+
+def _norm(path):
+    # Absolute so `tests/foo.cc` and `/repo/tests/foo.cc` classify alike.
+    return os.path.abspath(path).replace(os.sep, "/")
+
+
+def is_test_path(path):
+    norm = _norm(path)
+    return ("/tests/" in norm or "/test/" in norm
+            or re.search(r"_test\.(?:cc|cpp|h)$", norm) is not None)
+
+
+def is_msg_internal(path):
+    return "/src/msg/" in _norm(path)
+
+
+# ---------------------------------------------------------------------------
+# Token-walk helpers
+
+#: identifiers that start a statement but can never start a declaration
+STMT_KEYWORDS = {
+    "return", "co_return", "co_await", "co_yield", "if", "else", "for",
+    "while", "do", "switch", "case", "default", "break", "continue",
+    "goto", "using", "typedef", "delete", "new", "throw", "public",
+    "private", "protected", "template", "namespace", "static_assert",
+    "else",
+}
+
+_DECL_LINK_PUNCT = {"&", "*", "::", ",", "[", "]"}
+
+
+def iter_statements(tokens, start, end):
+    """Yield (first_idx, last_idx) for `;`-terminated statement spans in
+    tokens[start:end], flattening nested braces (a `{`/`}` resets the
+    statement start, same contract as the old regex pass)."""
+    stmt_start = start
+    i = start
+    while i < end:
+        t = tokens[i]
+        if t.is_punct("{", "}"):
+            stmt_start = i + 1
+        elif t.is_punct(";"):
+            if i > stmt_start:
+                yield stmt_start, i
+            stmt_start = i + 1
+        i += 1
+
+
+def local_decl_name(tokens, start, end):
+    """If tokens[start:end] look like a single-declarator local
+    declaration (`Type name;`, `auto name = ...`, `Type name(...)`,
+    `Type name{...}`), return the declared name, else None."""
+    if start >= end:
+        return None
+    first = tokens[start]
+    if not first.is_id() or first.text in STMT_KEYWORDS:
+        return None
+    angle = 0
+    last_id = None
+    id_count = 0
+    k = start
+    while k < end:
+        t = tokens[k]
+        if t.is_punct("<"):
+            angle += 1
+        elif t.is_punct(">"):
+            angle = max(0, angle - 1)
+        elif angle == 0:
+            if t.is_punct(";", "=", "{", "("):
+                return last_id if id_count >= 2 else None
+            if t.is_id():
+                if t.text == "const":
+                    k += 1
+                    continue
+                last_id = t.text
+                id_count += 1
+            elif t.kind == "punct" and t.text not in _DECL_LINK_PUNCT:
+                return None  # an operator: expression, not declaration
+            elif t.kind in ("str", "char"):
+                return None
+        k += 1
+    return last_id if id_count >= 2 else None
+
+
+def match_paren(model, open_idx):
+    return model.paren_match.get(open_idx)
+
+
+def call_chain_at(tokens, i, end):
+    """Parse a member/namespace call chain starting at token ``i``:
+    ``id ((. | -> | ::) id)* (`` — returns (callee_name, open_paren_idx)
+    or (None, None)."""
+    if i >= end or not tokens[i].is_id() \
+            or tokens[i].text in STMT_KEYWORDS:
+        return None, None
+    k = i
+    callee = tokens[k].text
+    k += 1
+    while k + 1 < end and tokens[k].is_punct(".", "->", "::") \
+            and tokens[k + 1].is_id():
+        callee = tokens[k + 1].text
+        k += 2
+    if k < end and tokens[k].is_punct("("):
+        return callee, k
+    return None, None
+
+
+def statement_end_after(model, idx, limit):
+    """Token index just past the statement containing ``idx``: the first
+    `;` at paren-depth 0, or the first `{` opening a block (whichever
+    comes first), bounded by ``limit``."""
+    tokens = model.tokens
+    depth = 0
+    k = idx
+    while k < limit:
+        t = tokens[k]
+        if t.is_punct("("):
+            depth += 1
+        elif t.is_punct(")"):
+            depth -= 1
+        elif depth <= 0 and t.is_punct(";"):
+            return k + 1
+        elif depth <= 0 and t.is_punct("{"):
+            return k + 1
+        k += 1
+    return limit
+
+
+def enclosing_brace_scope(model, idx):
+    """(open_idx, close_idx) of the innermost brace pair containing
+    token ``idx``, or (None, None)."""
+    best = (None, None)
+    for o, c in model.brace_match.items():
+        if o < idx < c:
+            if best[0] is None or o > best[0]:
+                best = (o, c)
+    return best
+
+
+def collect_param_names(tokens, params_start, params_end):
+    """Parameter names: the last identifier of each comma-separated
+    parameter (skipping template-argument commas)."""
+    names = set()
+    angle = 0
+    depth = 0
+    last_id = None
+    for k in range(params_start + 1, params_end):
+        t = tokens[k]
+        if t.is_punct("<"):
+            angle += 1
+        elif t.is_punct(">"):
+            angle = max(0, angle - 1)
+        elif t.is_punct("("):
+            depth += 1
+        elif t.is_punct(")"):
+            depth -= 1
+        elif t.is_punct(",") and angle == 0 and depth == 0:
+            if last_id:
+                names.add(last_id)
+            last_id = None
+        elif t.is_id() and angle == 0 and depth == 0:
+            last_id = t.text
+    if last_id:
+        names.add(last_id)
+    return names
+
+
+def collect_local_names(tokens, body_start, body_end):
+    names = set()
+    for s, e in iter_statements(tokens, body_start + 1, body_end):
+        name = local_decl_name(tokens, s, e)
+        if name:
+            names.add(name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+def all_rules():
+    """[(rule_name, callable(ctx))] in deterministic order."""
+    from . import contracts, lifetime, resources, supervision
+    rules = []
+    for mod in (lifetime, contracts, supervision, resources):
+        rules.extend(mod.RULES)
+    return rules

@@ -1,0 +1,181 @@
+"""Result- and status-contract rules.
+
+discarded-result         (ported from lint_tasks.py, PR 3)
+overloaded-never-retried (new; the PR 6 overload contract)
+"""
+
+import re
+
+from . import call_chain_at, iter_statements
+
+# ---------------------------------------------------------------------------
+# discarded-result — a bare statement calling a repo function that
+# returns sim::Task/Status/Result. A dropped Task never runs (lazy
+# coroutines start suspended); a dropped Status swallows an error.
+# [[nodiscard]] catches most of this at compile time; the lint also
+# covers macro-heavy paths and files gated out of the build.
+#
+# Token-stream shape: a whole statement of exactly
+#     chain ( args ) ;
+# where chain = id ((. | -> | ::) id)*. Anything consuming the value
+# (`x = ...`, `return ...`, `co_await ...`, `(void) ...`, a comparison)
+# breaks the shape at token level, so the regex engine's continuation-
+# line workarounds are structurally unnecessary here.
+
+
+def check_discarded_result(ctx):
+    tokens = ctx.tokens
+    must_use = ctx.must_use_names()
+    n = len(tokens)
+    for s, e in iter_statements(tokens, 0, n):
+        callee, open_paren = call_chain_at(tokens, s, e)
+        if callee is None or callee not in must_use:
+            continue
+        close = ctx.model.paren_match.get(open_paren)
+        if close is None or close + 1 != e:
+            continue  # trailing operators: the value is consumed
+        ctx.report(
+            tokens[s].line, "discarded-result",
+            "result of %s() (Task/Status/Result) is discarded; assign, "
+            "await, check, or cast to (void)" % callee)
+
+
+# ---------------------------------------------------------------------------
+# overloaded-never-retried — the PR 6 contract: kOverloaded is an
+# explicit push-back from a live peer. It is TERMINAL for the attempt:
+# never retried (retrying feeds the overload) and never counted by
+# circuit breakers (the peer is alive; opening amputates capacity
+# exactly when demand peaks). Two shapes are flagged:
+#
+#   (a) a retryability/breaker predicate (Is*Retryable, ShouldRetry,
+#       IsBreakerFailure, ...) whose `return` expression matches
+#       kOverloaded positively (`== kOverloaded`);
+#   (b) an `if`/`while` whose condition matches kOverloaded positively
+#       and whose controlled block reacts with retry machinery
+#       (RecordFailure / BackoffFor / Retry* / a bare `continue` in a
+#       retry loop).
+
+_PREDICATE_NAME_RE = re.compile(
+    r"^(?:Is|Should|Can).*(?:Retry|Retriable|Retryable|BreakerFailure)"
+    r"|^ShouldRetry$")
+
+_RETRY_REACTION_IDS = ("RecordFailure", "BackoffFor", "SpendRetryToken")
+_RETRY_REACTION_PREFIX = "Retry"
+
+
+def _positive_overload_match(tokens, start, end):
+    """Index of a `kOverloaded` that is compared with `==` (not `!=`)
+    within tokens[start:end], else None. `IsOverloaded(...)` used as a
+    truthy condition also counts."""
+    for k in range(start, end):
+        t = tokens[k]
+        if t.is_id("IsOverloaded"):
+            # `!IsOverloaded(...)` is a negative guard.
+            if k > start and tokens[k - 1].is_punct("!"):
+                continue
+            return k
+        if not t.is_id("kOverloaded"):
+            continue
+        # Nearest comparison operator before the (possibly qualified)
+        # kOverloaded decides polarity.
+        j = k - 1
+        while j >= start and (tokens[j].is_punct("::")
+                              or tokens[j].is_id()):
+            j -= 1
+        if j >= start and tokens[j].is_punct("=="):
+            return k
+        # `kOverloaded == code` spelling:
+        if k + 1 < end and tokens[k + 1].is_punct("=="):
+            return k
+    return None
+
+
+def _block_after_condition(ctx, close_paren, limit):
+    """(start, end) token range controlled by an if/while whose condition
+    closes at ``close_paren``: a brace block or a single statement."""
+    tokens = ctx.tokens
+    k = close_paren + 1
+    if k >= limit:
+        return k, k
+    if tokens[k].is_punct("{"):
+        close = ctx.model.brace_match.get(k)
+        return k + 1, close if close is not None else limit
+    # Single statement: up to the next `;`.
+    j = k
+    depth = 0
+    while j < limit:
+        t = tokens[j]
+        if t.is_punct("("):
+            depth += 1
+        elif t.is_punct(")"):
+            depth -= 1
+        elif depth == 0 and t.is_punct(";"):
+            return k, j + 1
+        j += 1
+    return k, limit
+
+
+def _reacts_with_retry(tokens, start, end):
+    for k in range(start, end):
+        t = tokens[k]
+        if t.is_id(*_RETRY_REACTION_IDS):
+            return t
+        if t.is_id("continue"):
+            return t
+        if t.is_id() and t.text.startswith(_RETRY_REACTION_PREFIX) \
+                and k + 1 < end and tokens[k + 1].is_punct("("):
+            return t
+    return None
+
+
+def check_overloaded_never_retried(ctx):
+    tokens = ctx.tokens
+    model = ctx.model
+
+    # Shape (a): retry predicates returning a positive kOverloaded match.
+    for fn in model.functions:
+        if not _PREDICATE_NAME_RE.search(fn.name):
+            continue
+        for s, e in iter_statements(tokens, fn.body_start + 1, fn.body_end):
+            if not tokens[s].is_id("return"):
+                continue
+            hit = _positive_overload_match(tokens, s + 1, e)
+            if hit is not None:
+                ctx.report(
+                    tokens[hit].line, "overloaded-never-retried",
+                    "retry/breaker predicate %s() treats kOverloaded as "
+                    "retryable; kOverloaded is an explicit push-back from "
+                    "a live peer — retrying it feeds the overload and "
+                    "counting it opens breakers under pure load (PR 6 "
+                    "contract: only kDeadlineExceeded/kUnavailable are "
+                    "transport failures)" % fn.name)
+
+    # Shape (b): `if (st == kOverloaded) { <retry reaction> }`.
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if not t.is_id("if", "while"):
+            continue
+        if i + 1 >= n or not tokens[i + 1].is_punct("("):
+            continue
+        close = model.paren_match.get(i + 1)
+        if close is None:
+            continue
+        hit = _positive_overload_match(tokens, i + 2, close)
+        if hit is None:
+            continue
+        blk_start, blk_end = _block_after_condition(ctx, close, n)
+        reaction = _reacts_with_retry(tokens, blk_start, blk_end)
+        if reaction is None:
+            continue
+        ctx.report(
+            tokens[hit].line, "overloaded-never-retried",
+            "this branch matches kOverloaded and reacts with retry "
+            "machinery (%s); kOverloaded is terminal for the attempt — "
+            "surface it to the caller (shed/backpressure), never retry "
+            "or count it against a breaker" % reaction.text)
+
+
+RULES = [
+    ("discarded-result", check_discarded_result),
+    ("overloaded-never-retried", check_overloaded_never_retried),
+]

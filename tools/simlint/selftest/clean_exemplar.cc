@@ -1,6 +1,7 @@
-// Clean counterparts to dangling_repro.cc: the patterns the lint must NOT
-// flag. Not part of the build; tools/lint_tasks.py --self-test asserts
-// zero findings here.
+// Clean counterparts to the repro files: the patterns the lint must NOT
+// flag. Not part of the build; `python3 tools/simlint --self-test`
+// asserts zero findings here (the file carries no simlint-expect
+// annotations, so any finding is a false positive).
 #include <array>
 #include <cstdint>
 #include <span>
@@ -93,7 +94,8 @@ inline obs::Span HandOffSpan(obs::Tracer& tracer, uint32_t host, Nanos now) {
 
 // Budgeted awaits the missing-deadline rule must accept: an absolute
 // deadline computed from now(), a deadline/timeout variable threaded
-// through, and a sanctioned unbounded wait with an explicit waiver.
+// through, and a sanctioned unbounded wait with an explicit waiver —
+// both the current suppression spelling and the legacy lint-tasks one.
 sim::Task<Status> RecvInto(msg::Endpoint& end, std::vector<std::byte>* frame,
                            Nanos deadline);
 
@@ -110,6 +112,13 @@ inline sim::Task<Status> BudgetedDrain(msg::Endpoint& end, Nanos deadline) {
   std::vector<std::byte> frame;
   CO_RETURN_IF_ERROR(co_await end.Recv(&frame, deadline));
   co_return co_await end.Recv(&frame);  // lint-tasks: allow(missing-deadline)
+}
+
+inline sim::Task<Status> FinalDrain(msg::Endpoint& end) {
+  std::vector<std::byte> frame;
+  // Shutdown path: the sender is already quiesced, an unbounded wait is
+  // the point. The waiver names the rule it overrides.
+  co_return co_await end.Recv(&frame);  // simlint: allow(missing-deadline)
 }
 
 }  // namespace cxlpool::repro

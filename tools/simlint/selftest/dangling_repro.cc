@@ -1,7 +1,8 @@
-// Seeded reproductions for tools/lint_tasks.py --self-test. This file is
-// NOT part of the build: it preserves, verbatim in shape, the two bug
-// classes PR 1 fixed at runtime under ASan, so the lint provably catches
-// them. Do not "fix" these — the self-test asserts they are flagged.
+// Seeded reproductions for `python3 tools/simlint --self-test`. This
+// file is NOT part of the build: it preserves, verbatim in shape, the
+// bug classes PR 1 and PR 4 fixed at runtime under ASan, so the lint
+// provably catches them. Do not "fix" these — the self-test asserts
+// each annotated line is flagged, and ONLY those lines.
 #include <array>
 #include <cstdint>
 
@@ -22,7 +23,7 @@ class BuggyDoorbellSender {
   sim::Task<Status> Ring(uint64_t value) {
     std::array<std::byte, 8> buf;
     msg::wire::PutU64(buf.data(), value);
-    return host_.StoreNt(addr_, buf);
+    return host_.StoreNt(addr_, buf);  // simlint-expect: dangling-frame
   }
 
  private:
@@ -34,7 +35,7 @@ class BuggyDoorbellSender {
 // coroutines start suspended, so this Flush never executes at all — the
 // dirty lines silently stay unpublished.
 inline void ForgetToAwait(cxl::HostAdapter& host, uint64_t addr) {
-  host.Flush(addr, 64);
+  host.Flush(addr, 64);  // simlint-expect: discarded-result
 }
 
 // Third bug class (PR 4): a periodic loop detached with no stop token.
@@ -44,7 +45,7 @@ inline void ForgetToAwait(cxl::HostAdapter& host, uint64_t addr) {
 sim::Task<> WatchLoop(cxl::HostAdapter& host);
 
 inline void StartUnsupervisedWatcher(cxl::HostAdapter& host) {
-  sim::Spawn(WatchLoop(host));
+  sim::Spawn(WatchLoop(host));  // simlint-expect: unstoppable-loop
 }
 
 }  // namespace cxlpool::repro

@@ -1,4 +1,5 @@
-// Seeded repro for the direct-ring-send rule. Production code publishing
+// Seeded repro for the direct-ring-send rule, for
+// `python3 tools/simlint --self-test`. Production code publishing
 // straight through RingSender skips the MPSC submission front: no
 // write-combined batching, no doorbell coalescing, no control-priority
 // jump, no staging-bound backpressure. Both bypass shapes appear below —
@@ -10,13 +11,13 @@ namespace cxlpool {
 
 sim::Task<Status> BadChainSend(msg::Endpoint& ep,
                                std::span<const std::byte> m) {
-  co_return co_await ep.sender().Send(m);
+  co_return co_await ep.sender().Send(m);  // simlint-expect: direct-ring-send
 }
 
 sim::Task<Status> BadTypedSend(msg::Endpoint& ep,
                                std::span<const std::byte> m) {
   msg::RingSender& raw = ep.sender();
-  co_return co_await raw.Send(m);
+  co_return co_await raw.Send(m);  // simlint-expect: direct-ring-send
 }
 
 }  // namespace cxlpool

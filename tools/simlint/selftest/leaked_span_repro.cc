@@ -1,6 +1,6 @@
 // Seeded reproduction of the leaked-span bug class for
-// tools/lint_tasks.py --self-test. NOT part of the build. Do not "fix"
-// this — the self-test asserts the lint flags it.
+// `python3 tools/simlint --self-test`. NOT part of the build. Do not
+// "fix" this — the self-test asserts the annotated line is flagged.
 //
 // The shape: an early co_return between StartTrace and End. obs::Span
 // requires an explicit End(now) because only the call site knows the
@@ -23,7 +23,7 @@ namespace cxlpool::repro {
 inline sim::Task<Status> TracedStoreLeaky(cxl::HostAdapter& host,
                                           obs::Tracer* tracer, uint64_t addr,
                                           std::span<const std::byte> data) {
-  obs::Span op =
+  obs::Span op =  // simlint-expect: leaked-span
       obs::MaybeStartTrace(tracer, "store", host.id().value(), host.loop().now());
   Status st = co_await host.StoreNt(addr, data);
   if (!st.ok()) {

@@ -1,0 +1,64 @@
+// Seeded repro for the lock-across-await rule, for
+// `python3 tools/simlint --self-test`. NOT part of the build.
+//
+// The simulator is single-threaded but a co_await interleaves arbitrary
+// other frames; a scoped guard alive across one serializes or deadlocks
+// every frame that touches the same mutex (and in host code it parks a
+// whole OS thread). The rule keys on lock-ish TYPE names — TurnGuard is
+// named that way precisely because holding a turn across awaits is its
+// contract, and it must stay quiet below.
+#include <mutex>
+#include <vector>
+
+#include "src/msg/rpc.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+// BUG: the guard lives until the end of the function body, so it is
+// held across the suspension.
+inline sim::Task<Status> LockedPoke(msg::RpcClient& client, std::mutex& mu,
+                                    std::vector<std::byte> req,
+                                    Nanos deadline) {
+  std::lock_guard<std::mutex> g(mu);
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});  // simlint-expect: lock-across-await
+  co_return resp.status();
+}
+
+// CLEAN: the guard is explicitly released before the suspension.
+inline sim::Task<Status> ReleaseThenPoke(msg::RpcClient& client,
+                                         std::mutex& mu,
+                                         std::vector<std::byte> req,
+                                         Nanos deadline) {
+  std::unique_lock<std::mutex> g(mu);
+  req.push_back(std::byte{1});
+  g.unlock();
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+  co_return resp.status();
+}
+
+// CLEAN: the guard's scope ends before the await.
+inline sim::Task<Status> ScopedThenPoke(msg::RpcClient& client,
+                                        std::mutex& mu,
+                                        std::vector<std::byte> req,
+                                        Nanos deadline) {
+  {
+    std::scoped_lock<std::mutex> g(mu);
+    req.push_back(std::byte{2});
+  }
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+  co_return resp.status();
+}
+
+// CLEAN: TurnGuard is the RpcClient pipelining primitive; holding a
+// turn across the awaited Call is exactly its job. The rule must not
+// pattern-match it as a lock.
+inline sim::Task<Status> TurnOrderedPoke(msg::RpcClient& client,
+                                         std::vector<std::byte> req,
+                                         Nanos deadline) {
+  msg::TurnGuard turn = client.AcquireTurn();
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+  co_return resp.status();
+}
+
+}  // namespace cxlpool::repro

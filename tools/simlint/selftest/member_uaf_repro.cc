@@ -1,0 +1,99 @@
+// Seeded reproduction of the PR 5 use-after-free class for
+// `python3 tools/simlint --self-test`. NOT part of the build. Do not
+// "fix" the Buggy class — the self-test asserts the annotated lines
+// are flagged, and only those.
+//
+// This is the pre-fix ForwardedMmioPath::Write, reconstructed: a member
+// coroutine suspends on a wire RPC, and while the frame is parked a
+// migration/failover destroys the owning path object. When the reply
+// lands the frame resumes and touches freed members (`stats_`,
+// `breaker_`). The original bug survived every directed test and was
+// only caught by a full ASan chaos soak; the old line-regex linter had
+// no way to see it at all — it cannot tell "before the co_await" from
+// "after" without a real statement/suspension model, which is exactly
+// what this analyzer's scope tracker provides.
+#include <cstdint>
+#include <vector>
+
+#include "src/msg/rpc.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+class BuggyForwardedMmioPath {
+ public:
+  // BUG: everything read from `this` before the co_await is fine (the
+  // object is alive when the coroutine starts); `stats_` and `breaker_`
+  // AFTER the suspension are reads through a possibly-freed `this`.
+  sim::Task<Status> Write(uint64_t offset, uint64_t value) {
+    std::vector<std::byte> req = EncodeWrite(offset, value);
+    auto resp = co_await client_->Call(msg::kMethodMmioWrite, req,
+                                       loop_.now() + timeout_, {});
+    if (!resp.ok()) {
+      breaker_.RecordOutcome(false);  // simlint-expect: member-read-after-await
+      ++stats_.write_errors;  // simlint-expect: member-read-after-await
+      co_return resp.status();
+    }
+    co_return DecodeWriteResp(*resp);
+  }
+
+ private:
+  std::vector<std::byte> EncodeWrite(uint64_t offset, uint64_t value);
+  Status DecodeWriteResp(const std::vector<std::byte>& resp);
+
+  msg::RpcClient* client_;
+  sim::EventLoop& loop_;
+  Nanos timeout_;
+  msg::CircuitBreaker breaker_;
+  struct { uint64_t write_errors; } stats_;
+};
+
+// The PR 5 fix, in the same file so the self-test pins the contrast:
+// pin everything the continuation needs into frame locals BEFORE the
+// suspension, and never touch `this` after it. Frame-owned state is
+// safe no matter when (or whether) the owner dies.
+class PinnedForwardedMmioPath {
+ public:
+  sim::Task<Status> Write(uint64_t offset, uint64_t value) {
+    sim::EventLoop& loop = loop_;
+    msg::RpcClient& client = *client_;
+    Nanos deadline = loop.now() + timeout_;
+    std::vector<std::byte> req = EncodeWrite(offset, value);
+    auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+    if (!resp.ok()) {
+      co_return resp.status();
+    }
+    co_return OkStatus();
+  }
+
+ private:
+  std::vector<std::byte> EncodeWrite(uint64_t offset, uint64_t value);
+
+  msg::RpcClient* client_;
+  sim::EventLoop& loop_;
+  Nanos timeout_;
+};
+
+// The supervised-loop exemption: a coroutine taking a sim::StopToken&
+// is stopped before its owner is torn down (the repo-wide *Loop
+// protocol), so member access after its awaits is part of the contract,
+// not a bug. The rule must stay quiet here.
+class SupervisedPoller {
+ public:
+  sim::Task<> PollLoop(sim::StopToken& stop) {
+    while (!stop.stopped()) {
+      auto frame = co_await endpoint_->Recv(&buf_, loop_.now() + kMillisecond);
+      if (frame.ok()) {
+        ++polls_;  // safe: the loop is stopped before `this` dies
+      }
+    }
+  }
+
+ private:
+  msg::Endpoint* endpoint_;
+  std::vector<std::byte> buf_;
+  sim::EventLoop& loop_;
+  uint64_t polls_ = 0;
+};
+
+}  // namespace cxlpool::repro

@@ -1,6 +1,6 @@
 // Seeded reproduction of the missing-deadline bug class for
-// tools/lint_tasks.py --self-test. NOT part of the build. Do not "fix"
-// this — the self-test asserts the lint flags it.
+// `python3 tools/simlint --self-test`. NOT part of the build. Do not
+// "fix" this — the self-test asserts the annotated lines are flagged.
 //
 // The shape: a co_await on an RPC Call / channel Recv whose argument
 // list carries no deadline. An op with no budget cannot be shed by any
@@ -10,6 +10,11 @@
 // deadline rides the wire so every hop (client queue, server dequeue,
 // pre-BAR re-check) can drop expired work; an undeadlined await opts
 // out of all of it silently.
+//
+// Note the `/*deadline=*/0` comment on the first call: the token-stream
+// lexer strips comments BEFORE the rule looks for deadline-ish words,
+// so a comment naming "deadline" cannot launder a missing argument —
+// a false-negative class a line-regex engine is structurally prone to.
 #include <cstdint>
 #include <vector>
 
@@ -24,7 +29,7 @@ namespace cxlpool::repro {
 // never be shed and the caller blocks until the peer answers.
 inline sim::Task<Status> PokeAgentForever(msg::RpcClient& client,
                                           std::vector<std::byte> request) {
-  auto resp = co_await client.Call(msg::kMethodMmioWrite, request,
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, request,  // simlint-expect: missing-deadline
                                    /*deadline=*/0, {});
   co_return resp.status();
 }
@@ -34,7 +39,7 @@ inline sim::Task<Status> PokeAgentForever(msg::RpcClient& client,
 // (and everything it references) never unwinds.
 inline sim::Task<Status> DrainOne(msg::Endpoint& end) {
   std::vector<std::byte> frame;
-  co_return co_await end.Recv(&frame);
+  co_return co_await end.Recv(&frame);  // simlint-expect: missing-deadline
 }
 
 }  // namespace cxlpool::repro

@@ -1,0 +1,85 @@
+// Seeded repro for the overloaded-never-retried rule, for
+// `python3 tools/simlint --self-test`. NOT part of the build.
+//
+// The PR 6 contract: kOverloaded is an explicit push-back from a LIVE
+// peer. It is terminal for the attempt — retrying it feeds the overload
+// it reports, and counting it against a circuit breaker opens the
+// breaker exactly when demand peaks (amputating healthy capacity).
+// Only kDeadlineExceeded and kUnavailable are transport failures.
+// Both contract-violation shapes appear below: a retryability/breaker
+// predicate matching kOverloaded positively, and an inline retry branch.
+#include <cstdint>
+#include <vector>
+
+#include "src/msg/retry.h"
+#include "src/msg/rpc.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+// BUG (shape a): the predicate makes every retry loop in the system
+// treat push-back as a transient transport fault.
+inline bool IsRetryableStatus(const Status& st) {
+  return st.code() == StatusCode::kUnavailable ||
+         st.code() == StatusCode::kOverloaded;  // simlint-expect: overloaded-never-retried
+}
+
+// BUG (shape a, breaker flavour): counting push-back opens the breaker
+// under pure load, with the peer alive and draining.
+inline bool IsBreakerFailureLoose(const Status& st) {
+  return st.code() == StatusCode::kOverloaded;  // simlint-expect: overloaded-never-retried
+}
+
+// BUG (shape b): an inline retry branch keyed on kOverloaded — backoff
+// plus continue turns shed load into a retry storm.
+inline sim::Task<Status> NaiveRetryCall(msg::RpcClient& client,
+                                        msg::RetryPolicy& policy,
+                                        std::vector<std::byte> req,
+                                        Nanos deadline) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+    if (resp.status().code() == StatusCode::kOverloaded) {  // simlint-expect: overloaded-never-retried
+      policy.RecordFailure(attempt);
+      continue;
+    }
+    co_return resp.status();
+  }
+  co_return Status(StatusCode::kUnavailable, "retries exhausted");
+}
+
+// CLEAN: the contract-conforming predicate — push-back is excluded.
+inline bool IsRetryableStatusStrict(const Status& st) {
+  return st.code() == StatusCode::kDeadlineExceeded ||
+         st.code() == StatusCode::kUnavailable;
+}
+
+// CLEAN: matching kOverloaded to SURFACE it (shed, no retry machinery)
+// is exactly what callers should do.
+inline sim::Task<Status> ShedOnOverload(msg::RpcClient& client,
+                                        std::vector<std::byte> req,
+                                        Nanos deadline) {
+  auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+  if (resp.status().code() == StatusCode::kOverloaded) {
+    co_return resp.status();  // terminal: hand the push-back to the caller
+  }
+  co_return OkStatus();
+}
+
+// CLEAN: a negative match (`!=`) guarding the non-overload path may
+// retry freely.
+inline sim::Task<Status> RetryUnlessOverloaded(msg::RpcClient& client,
+                                               msg::RetryPolicy& policy,
+                                               std::vector<std::byte> req,
+                                               Nanos deadline) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto resp = co_await client.Call(msg::kMethodMmioWrite, req, deadline, {});
+    if (resp.status().code() != StatusCode::kOverloaded) {
+      policy.RecordFailure(attempt);
+      continue;
+    }
+    co_return resp.status();
+  }
+  co_return OkStatus();
+}
+
+}  // namespace cxlpool::repro

@@ -1,0 +1,61 @@
+// Seeded repro for the ref-capture-across-suspension rule, for
+// `python3 tools/simlint --self-test`. NOT part of the build.
+//
+// A coroutine lambda's frame suspends and resumes after the creating
+// scope may have unwound, so a by-reference capture is a use-after-scope
+// waiting for a scheduler interleaving. Migration handlers and Spawned
+// probe lambdas are the shapes that have bitten (the chaos_soak handler
+// PR 5 fixed). The sanctioned fixes — value capture, pointer
+// init-capture (`[p = &obj]`), or passing state as coroutine parameters
+// — all appear below and must stay quiet.
+#include <cstdint>
+#include <vector>
+
+#include "src/core/orchestrator.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+inline void WireHandlers(core::Orchestrator& orch,
+                         std::vector<uint32_t>& leases,
+                         sim::EventLoop& loop) {
+  // BUG: `leases` is captured by reference; if the wiring scope unwinds
+  // before the last migration completes, the resumed frame writes
+  // through a dangling reference.
+  orch.agent(HostId(0))->SetMigrationHandler(
+      [&leases](PcieDeviceId, PcieDeviceId dev, HostId) -> sim::Task<> {  // simlint-expect: ref-capture-across-suspension
+        leases[0] = dev.value();
+        co_return;
+      });
+
+  // BUG: the implicit `[&]` form of the same mistake.
+  orch.agent(HostId(1))->SetMigrationHandler(
+      [&](PcieDeviceId, PcieDeviceId dev, HostId) -> sim::Task<> {  // simlint-expect: ref-capture-across-suspension
+        leases[1] = dev.value();
+        co_return;
+      });
+
+  // CLEAN: pointer init-capture — the `&` is address-of inside the
+  // initializer, so the POINTER is captured by value; the author has
+  // named exactly which object must outlive the handler.
+  orch.agent(HostId(2))->SetMigrationHandler(
+      [leases = &leases](PcieDeviceId, PcieDeviceId dev, HostId) -> sim::Task<> {
+        (*leases)[2] = dev.value();
+        co_return;
+      });
+
+  // CLEAN: plain value capture.
+  orch.agent(HostId(3))->SetMigrationHandler(
+      [base = leases.size()](PcieDeviceId, PcieDeviceId dev, HostId) -> sim::Task<> {
+        (void)(base + dev.value());
+        co_return;
+      });
+
+  // CLEAN: a by-reference lambda that is NOT a coroutine and returns no
+  // Task never suspends, so its captures cannot outlive the scope.
+  auto bump = [&leases](uint32_t v) { leases.push_back(v); };
+  bump(7);
+  (void)loop;
+}
+
+}  // namespace cxlpool::repro

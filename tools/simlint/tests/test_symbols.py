@@ -1,0 +1,96 @@
+"""Unit tests for the simlint cross-file symbol index."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+
+from simlint import scopes, symbols  # noqa: E402
+from simlint.lexer import tokenize  # noqa: E402
+
+
+def index_of(header_src):
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "test.h")
+        with open(path, "w") as f:
+            f.write(header_src)
+        return symbols.build([d])
+
+
+class MustUseHarvest(unittest.TestCase):
+    def test_inline_definitions(self):
+        idx = index_of("""
+            sim::Task<Status> Flush(uint64_t a) { co_return OkStatus(); }
+            Status Check(int x) { return OkStatus(); }
+            Result<int> Parse(const char* s) { return 1; }
+            void Log(const char* m) { }
+        """)
+        names = idx.must_use_names()
+        self.assertIn("Flush", names)
+        self.assertIn("Check", names)
+        self.assertIn("Parse", names)
+        self.assertNotIn("Log", names)
+
+    def test_bodyless_declarations(self):
+        idx = index_of("""
+            sim::Task<Status> Store(uint64_t a, std::span<const std::byte> d);
+            void Reset();
+        """)
+        self.assertIn("Store", idx.must_use_names())
+        self.assertNotIn("Reset", idx.must_use_names())
+
+    def test_ambiguous_name_dropped(self):
+        # A name with both a Task overload and a void overload is
+        # unresolvable at a call site without type info: prefer the
+        # false negative.
+        idx = index_of("""
+            sim::Task<> Drain(msg::Endpoint& e);
+            void Drain();
+        """)
+        self.assertNotIn("Drain", idx.must_use_names())
+
+
+class StopTokenAndMembers(unittest.TestCase):
+    def test_stop_token_param(self):
+        idx = index_of("""
+            sim::Task<> ScrubLoop(Pool& p, sim::StopToken& stop);
+        """)
+        self.assertIn("ScrubLoop", idx.takes_stop_token)
+
+    def test_class_members(self):
+        idx = index_of("""
+            class Path {
+             public:
+              sim::Task<Status> Write(uint64_t o, uint64_t v);
+             private:
+              msg::RpcClient* client_;
+              sim::EventLoop& loop_;
+              uint64_t stats_ = 0;
+            };
+        """)
+        members = idx.members_of("Path")
+        self.assertIn("client_", members)
+        self.assertIn("loop_", members)
+        self.assertIn("stats_", members)
+        self.assertNotIn("Write", members)
+
+
+class FileOverlay(unittest.TestCase):
+    def test_local_definition_disambiguates(self):
+        # The regression that motivated the overlay: a test fixture's
+        # local `void Drain()` must shadow a header's Task-returning
+        # Drain at call sites in that file.
+        lexed = tokenize("void Drain() { } "
+                         "sim::Task<Status> Local(int x) { co_return s; }",
+                         "<test>")
+        model = scopes.build(lexed)
+        local_must, local_other = symbols.file_overlay(model)
+        self.assertIn("Drain", local_other)
+        self.assertIn("Local", local_must)
+
+
+if __name__ == "__main__":
+    unittest.main()
