@@ -15,16 +15,26 @@
 // produce identical digests and event counts).
 //
 // `--short` runs a reduced-horizon but otherwise identical soak for CI.
+//
+// `--faults=<comma-list>` keeps only the named fault CLASSES (host-crash,
+// link, mhd, device-failstop, wedge-device, overload-drain, poison-line,
+// partition, asym_link, lossy_link). A non-empty filter also switches the
+// planner into STORM mode (denser schedule, shorter outages) — e.g.
+// `--faults=partition,asym_link,lossy_link` is the network-partition
+// storm the split-brain machinery is certified against.
 #include <array>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 
 #include "src/analysis/coherence_checker.h"
+#include "src/analysis/lease_oracle.h"
 #include "src/common/check.h"
 #include "src/core/rack.h"
 #include "src/cxl/replication.h"
+#include "src/netsim/fault_plane.h"
 #include "src/obs/obs.h"
 #include "src/sim/chaos.h"
 #include "src/sim/task.h"
@@ -43,9 +53,16 @@ class DoorbellDevice : public pcie::PcieDevice {
       : PcieDevice(id, "doorbell", loop, cxl::LinkSpec{}, pcie::PcieTiming{}) {}
 
   std::map<uint64_t, uint64_t> regs;
+  // Every write that actually landed on the register file. The soak's
+  // lost-acked-write check needs the device-side ground truth: total
+  // applies must cover every op the clients saw acknowledged.
+  uint64_t writes_applied = 0;
 
  protected:
-  void OnMmioWrite(uint64_t reg, uint64_t value) override { regs[reg] = value; }
+  void OnMmioWrite(uint64_t reg, uint64_t value) override {
+    regs[reg] = value;
+    ++writes_applied;
+  }
   uint64_t OnMmioRead(uint64_t reg) override { return regs[reg]; }
 };
 
@@ -118,6 +135,13 @@ struct RunResult {
   uint64_t quarantines = 0;
   uint64_t quarantine_releases = 0;
   uint64_t quarantined_skips = 0;
+  // Split-brain audit: device-side applies witnessed by the lease oracle
+  // (zero epoch regressions allowed), total doorbell writes that landed on
+  // any register file, and the fault plane's frame-level damage tally.
+  uint64_t oracle_applies = 0;
+  uint64_t oracle_violations = 0;
+  uint64_t writes_applied = 0;
+  netsim::FaultPlane::Stats plane;
   cxl::ReplicatedRegion::Stats scrub;
   Orchestrator::Stats orch;
   TrafficStats traffic;
@@ -132,8 +156,15 @@ uint64_t CounterValue(obs::Registry& reg, const std::string& name) {
 // every hook disabled — main() runs the same seed both ways and requires a
 // bit-identical trace digest, which is the tracing-purity guarantee.
 // `json_path` (optional) gets a BENCH_chaos_soak-style metrics snapshot.
+// `fault_filter` empty = all classes; non-empty = only the named classes,
+// AND the planner runs in storm mode (see --faults in the header comment).
 RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
-                  obs::Observability* obs, const std::string& json_path = "") {
+                  obs::Observability* obs, const std::string& json_path = "",
+                  const std::set<std::string>& fault_filter = {}) {
+  const bool storm = !fault_filter.empty();
+  auto enabled = [&fault_filter](const char* cls) {
+    return fault_filter.empty() || fault_filter.count(cls) != 0;
+  };
   sim::EventLoop loop;
   RackConfig rc;
   rc.pod.num_hosts = 4;
@@ -157,11 +188,17 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
   checker.BindObservability(obs);
 
   // One doorbell accel per host, so failover always has somewhere to go.
+  // In storm mode host 3's accel is homed on host 0 instead: h3 then drives
+  // a FORWARDED path across the faulted fabric (including the asym-cut
+  // h3->h0 direction), so the lease oracle witnesses real cross-host
+  // applies under partition pressure rather than vacuous local MMIO.
   std::vector<std::unique_ptr<DoorbellDevice>> accels;
   for (int h = 0; h < 4; ++h) {
+    int home = (storm && h == 3) ? 0 : h;
     auto dev = std::make_unique<DoorbellDevice>(PcieDeviceId(100 + h), loop);
-    dev->AttachTo(&rack.pod().host(h));
-    rack.orchestrator().RegisterDevice(HostId(h), dev.get(), DeviceType::kAccel);
+    dev->AttachTo(&rack.pod().host(home));
+    rack.orchestrator().RegisterDevice(HostId(home), dev.get(),
+                                       DeviceType::kAccel);
     accels.push_back(std::move(dev));
   }
   rack.Start();
@@ -187,11 +224,22 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
 
   sim::ChaosInjector::Options copts;
   copts.seed = seed;
-  copts.mean_interval = 500 * kMicrosecond;
-  copts.min_outage = 50 * kMicrosecond;
-  // Long enough that some host crashes outlive the liveness timeout and are
-  // declared dead (revocation + failover), while short ones ride it out.
-  copts.max_outage = 800 * kMicrosecond;
+  if (storm) {
+    // Storm schedule: dense injections, outages long enough to push hosts
+    // into the orchestrator's suspect band (>300 µs report staleness) but
+    // mostly short of quorum condemnation — the regime where fencing and
+    // quorum liveness carry the whole split-brain burden.
+    copts.mean_interval = 150 * kMicrosecond;
+    copts.min_outage = 50 * kMicrosecond;
+    copts.max_outage = 500 * kMicrosecond;
+  } else {
+    copts.mean_interval = 500 * kMicrosecond;
+    copts.min_outage = 50 * kMicrosecond;
+    // Long enough that some host crashes outlive the liveness timeout and
+    // are declared dead (revocation + failover), while short ones ride it
+    // out.
+    copts.max_outage = 800 * kMicrosecond;
+  }
   sim::ChaosInjector chaos(loop, copts);
   if (obs != nullptr) {
     // Mirror every executed fail/repair/recover line into the flight
@@ -206,32 +254,42 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
 
   cxl::CxlPod& pod = rack.pod();
   // Never crash host 0: it runs the orchestrator container (§4.2).
-  for (int h = 1; h < 4; ++h) {
-    chaos.AddFault("host" + std::to_string(h), "host-crash",
-                   [&pod, h] { pod.FailHost(HostId(h)); },
-                   [&pod, h] { pod.RepairHost(HostId(h)); });
+  if (enabled("host-crash")) {
+    for (int h = 1; h < 4; ++h) {
+      chaos.AddFault("host" + std::to_string(h), "host-crash",
+                     [&pod, h] { pod.FailHost(HostId(h)); },
+                     [&pod, h] { pod.RepairHost(HostId(h)); });
+    }
   }
-  chaos.AddFault("link-h1-m0", "link",
-                 [&pod] { pod.FailLink(HostId(1), MhdId(0)); },
-                 [&pod] { pod.RepairLink(HostId(1), MhdId(0)); });
-  chaos.AddFault("link-h2-m1", "link",
-                 [&pod] { pod.FailLink(HostId(2), MhdId(1)); },
-                 [&pod] { pod.RepairLink(HostId(2), MhdId(1)); });
-  chaos.AddFault("mhd1", "mhd", [&pod] { pod.FailMhd(MhdId(1)); },
-                 [&pod] { pod.RepairMhd(MhdId(1)); });
-  DoorbellDevice* accel1 = accels[1].get();
-  chaos.AddFault("accel101", "device-failstop",
-                 [accel1] { accel1->InjectFailure(); },
-                 [accel1] { accel1->Repair(); });
+  if (enabled("link")) {
+    chaos.AddFault("link-h1-m0", "link",
+                   [&pod] { pod.FailLink(HostId(1), MhdId(0)); },
+                   [&pod] { pod.RepairLink(HostId(1), MhdId(0)); });
+    chaos.AddFault("link-h2-m1", "link",
+                   [&pod] { pod.FailLink(HostId(2), MhdId(1)); },
+                   [&pod] { pod.RepairLink(HostId(2), MhdId(1)); });
+  }
+  if (enabled("mhd")) {
+    chaos.AddFault("mhd1", "mhd", [&pod] { pod.FailMhd(MhdId(1)); },
+                   [&pod] { pod.RepairMhd(MhdId(1)); });
+  }
+  if (enabled("device-failstop")) {
+    DoorbellDevice* accel1 = accels[1].get();
+    chaos.AddFault("accel101", "device-failstop",
+                   [accel1] { accel1->InjectFailure(); },
+                   [accel1] { accel1->Repair(); });
+  }
   // Gray failures. A wedge has NO chaos-side repair: the home agent's
   // watchdog must notice the MMIO deadline misses and FLR the device —
   // that reset, not the injector, is the repair path. (Wedge() on an
   // already-reset device is a fresh episode; on a crashed host the wedge
   // sits until the host reboots and its watchdog resumes.)
-  for (int h = 2; h < 4; ++h) {
-    DoorbellDevice* dev = accels[h].get();
-    chaos.AddFault("wedge-accel" + std::to_string(100 + h), "wedge-device",
-                   [dev] { dev->Wedge(); }, [] { /* watchdog FLRs it */ });
+  if (enabled("wedge-device")) {
+    for (int h = 2; h < 4; ++h) {
+      DoorbellDevice* dev = accels[h].get();
+      chaos.AddFault("wedge-accel" + std::to_string(100 + h), "wedge-device",
+                     [dev] { dev->Wedge(); }, [] { /* watchdog FLRs it */ });
+    }
   }
   // Overload: a slow-draining home agent (GC pause, noisy neighbor — the
   // host is alive but every forwarded op stalls in its handler). This is
@@ -239,29 +297,133 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
   // data-plane backlog, deadline propagation kills dead doorbells before
   // the BAR, and control-priority probes/reports keep flowing — so the
   // watchdog must NOT mistake the slow agent for a wedged device.
-  for (int h = 1; h < 3; ++h) {
-    Agent* slow_agent = rack.orchestrator().agent(HostId(h));
-    chaos.AddFault(
-        "slow-agent" + std::to_string(h), "overload-drain",
-        [slow_agent] { slow_agent->InjectSlowDrain(30 * kMicrosecond); },
-        [slow_agent] { slow_agent->InjectSlowDrain(0); });
+  if (enabled("overload-drain")) {
+    for (int h = 1; h < 3; ++h) {
+      Agent* slow_agent = rack.orchestrator().agent(HostId(h));
+      chaos.AddFault(
+          "slow-agent" + std::to_string(h), "overload-drain",
+          [slow_agent] { slow_agent->InjectSlowDrain(30 * kMicrosecond); },
+          [slow_agent] { slow_agent->InjectSlowDrain(0); });
+    }
   }
   // Poisoned media: each firing poisons a few 64B lines of one replica of
   // the scrubbed region (deterministic line choice — no RNG draws outside
   // the planner). Repair is the scrubber's job, so the chaos-side repair
   // is a no-op; the recovery probe below holds until the pool is clean.
   auto poison_counter = std::make_shared<uint64_t>(0);
-  chaos.AddFault(
-      "poison-region", "poison-line",
-      [&pod, &region, poison_counter] {
-        uint64_t n = (*poison_counter)++;
-        const cxl::PoolSegment& seg = region.segment(static_cast<int>(n % 2));
-        uint64_t lines = kRegionSize / kCachelineSize;
-        for (uint64_t i = 0; i < 3; ++i) {
-          pod.PoisonLine(seg.base + kCachelineSize * ((n * 37 + i * 11) % lines));
-        }
-      },
-      [] { /* scrub repairs */ });
+  if (enabled("poison-line")) {
+    chaos.AddFault(
+        "poison-region", "poison-line",
+        [&pod, &region, poison_counter] {
+          uint64_t n = (*poison_counter)++;
+          const cxl::PoolSegment& seg = region.segment(static_cast<int>(n % 2));
+          uint64_t lines = kRegionSize / kCachelineSize;
+          for (uint64_t i = 0; i < 3; ++i) {
+            pod.PoisonLine(seg.base +
+                           kCachelineSize * ((n * 37 + i * 11) % lines));
+          }
+        },
+        [] { /* scrub repairs */ });
+  }
+
+  // --- Network fault plane classes (ISSUE 9) ---
+  // These damage the message fabric itself (rings between hosts), not the
+  // CXL media paths: the liveness/fencing machinery, not replication, is
+  // what must hold the line here.
+  netsim::FaultPlane& plane = pod.fault_plane();
+  if (enabled("partition")) {
+    // Full isolation of h1: every peer votes it unreachable, so a long
+    // enough outage is condemned BY QUORUM — and fencing guarantees any
+    // lease it held is epoch-bumped before re-grant.
+    chaos.AddFault(
+        "partition-h1", "partition",
+        [&plane] {
+          const HostId one[] = {HostId(1)};
+          const HostId rest[] = {HostId(0), HostId(2), HostId(3)};
+          plane.Partition(one, rest);
+        },
+        [&plane] {
+          const HostId one[] = {HostId(1)};
+          const HostId rest[] = {HostId(0), HostId(2), HostId(3)};
+          plane.HealPartition(one, rest);
+        });
+    // Orchestrator-only partition: h2 loses its path to h0 (both ways) but
+    // its peers still see it. Quorum must REFUSE to condemn — h2 rides it
+    // out as a fenced suspect and recovers on heal. With probe-only
+    // liveness this exact shape is the classic false-positive kill.
+    chaos.AddFault(
+        "partition-h2-orch", "partition",
+        [&plane] {
+          plane.Cut(HostId(2), HostId(0));
+          plane.Cut(HostId(0), HostId(2));
+        },
+        [&plane] {
+          plane.Heal(HostId(2), HostId(0));
+          plane.Heal(HostId(0), HostId(2));
+        });
+  }
+  if (enabled("asym_link")) {
+    // One-way damage: h3's frames toward h0 vanish, h0's toward h3 arrive.
+    // The orchestrator stops hearing reports (suspect), but h3's peers
+    // still exchange probes with it, so quorum keeps it alive.
+    chaos.AddFault(
+        "asym-h3-to-h0", "asym_link",
+        [&plane] { plane.Cut(HostId(3), HostId(0)); },
+        [&plane] { plane.Heal(HostId(3), HostId(0)); });
+  }
+  if (enabled("lossy_link")) {
+    // Both directions of h0<->h1 degrade: seeded drops, duplicates, and
+    // delayed/reordered frames. RPC retries + the dedup window must absorb
+    // all of it without double-applying a doorbell.
+    chaos.AddFault(
+        "lossy-h0-h1", "lossy_link",
+        [&plane] {
+          netsim::FaultPlane::LinkState lossy;
+          lossy.drop_p = 0.15;
+          lossy.dup_p = 0.10;
+          lossy.delay_p = 0.20;
+          lossy.delay_min = 5 * kMicrosecond;
+          lossy.delay_max = 40 * kMicrosecond;
+          plane.SetLossy(HostId(0), HostId(1), lossy);
+          plane.SetLossy(HostId(1), HostId(0), lossy);
+        },
+        [&plane] {
+          plane.Heal(HostId(0), HostId(1));
+          plane.Heal(HostId(1), HostId(0));
+        });
+  }
+
+  // The lease oracle shadows every device-side apply on every agent: an
+  // apply under an epoch older than one already witnessed for that device
+  // is a dual-ownership interval — the split-brain the fencing machinery
+  // exists to make impossible. Wired in BOTH runs (pure bookkeeping; must
+  // not perturb the digest).
+  analysis::LeaseOracle oracle;
+  for (int h = 0; h < 4; ++h) {
+    Agent* a = rack.orchestrator().agent(HostId(h));
+    a->SetApplyHook([&oracle](PcieDeviceId dev, uint64_t epoch,
+                              uint64_t client_id, Nanos at) {
+      oracle.RecordApply(dev, epoch, client_id, at);
+    });
+  }
+  if (obs != nullptr) {
+    obs::Registry& reg = obs->metrics();
+    reg.RegisterProbe("fault_plane.frames_dropped", {}, [&plane] {
+      return static_cast<int64_t>(plane.stats().frames_dropped);
+    });
+    reg.RegisterProbe("fault_plane.frames_duplicated", {}, [&plane] {
+      return static_cast<int64_t>(plane.stats().frames_duplicated);
+    });
+    reg.RegisterProbe("fault_plane.frames_delayed", {}, [&plane] {
+      return static_cast<int64_t>(plane.stats().frames_delayed);
+    });
+    reg.RegisterProbe("lease_oracle.applies", {}, [&oracle] {
+      return static_cast<int64_t>(oracle.applies());
+    });
+    reg.RegisterProbe("lease_oracle.violations", {}, [&oracle] {
+      return static_cast<int64_t>(oracle.violations());
+    });
+  }
 
   Orchestrator& orch = rack.orchestrator();
   // Both invariants are enforced synchronously by DeclareAgentDead, so any
@@ -298,6 +460,11 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
       if ((!rec.healthy || pod.HostCrashed(rec.home)) && !rec.lessees.empty()) {
         return false;
       }
+    }
+    // A fenced suspect is not a recovered cluster: either the partition
+    // heals (suspect -> alive) or quorum/TTL condemns it (suspect -> dead).
+    if (orch.suspect_count() != 0) {
+      return false;
     }
     if (pod.PoisonedLineCount() != 0) {
       return false;
@@ -374,6 +541,12 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
   }
   r.injections_by_class = chaos.injections_by_class();
   r.orch = orch.stats();
+  r.oracle_applies = oracle.applies();
+  r.oracle_violations = oracle.violations();
+  r.plane = plane.stats();
+  for (const auto& dev : accels) {
+    r.writes_applied += dev->writes_applied;
+  }
   r.quarantines = CounterValue(orch.metrics(), "orch.quarantines");
   r.quarantine_releases = CounterValue(orch.metrics(), "orch.quarantine_releases");
   r.quarantined_skips = CounterValue(orch.metrics(), "orch.quarantined_skips");
@@ -414,10 +587,12 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
     for (const auto& [cls, pct] : r.mttr_by_class) {
       std::printf("  MTTR[%-15s] %s\n", cls.c_str(), pct.c_str());
     }
-    std::printf("doorbell ops:      %llu ok, %llu failed, %llu re-acquires\n",
+    std::printf("doorbell ops:      %llu ok, %llu failed, %llu re-acquires, "
+                "%llu device applies\n",
                 (unsigned long long)r.traffic.ops_ok,
                 (unsigned long long)r.traffic.ops_failed,
-                (unsigned long long)r.traffic.reacquires);
+                (unsigned long long)r.traffic.reacquires,
+                (unsigned long long)r.writes_applied);
     std::printf("orchestrator:      %llu failovers, %llu rebalances, "
                 "%llu host deaths, %llu re-registrations\n",
                 (unsigned long long)r.orch.failovers,
@@ -428,6 +603,25 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
                 "migrations\n",
                 (unsigned long long)r.orch.leases_revoked,
                 (unsigned long long)r.orch.abandoned_migrations);
+    std::printf("liveness:          %llu suspects, %llu recovered, "
+                "%llu condemned by quorum, %llu by TTL\n",
+                (unsigned long long)r.orch.suspects,
+                (unsigned long long)r.orch.suspect_recoveries,
+                (unsigned long long)r.orch.condemned_by_quorum,
+                (unsigned long long)r.orch.condemned_by_ttl);
+    std::printf("fencing:           %llu fences acked, %llu resolved by "
+                "lease-TTL expiry\n",
+                (unsigned long long)r.orch.fences_acked,
+                (unsigned long long)r.orch.fences_ttl_expired);
+    std::printf("fault plane:       %llu frames dropped, %llu duplicated, "
+                "%llu delayed\n",
+                (unsigned long long)r.plane.frames_dropped,
+                (unsigned long long)r.plane.frames_duplicated,
+                (unsigned long long)r.plane.frames_delayed);
+    std::printf("lease oracle:      %llu applies witnessed, %llu epoch "
+                "regressions (dual-ownership intervals)\n",
+                (unsigned long long)r.oracle_applies,
+                (unsigned long long)r.oracle_violations);
     std::printf("quarantine:        %llu entered, %llu released, %llu "
                 "allocation skips\n",
                 (unsigned long long)r.quarantines,
@@ -472,32 +666,58 @@ RunResult RunSoak(uint64_t seed, Nanos soak, bool print,
 int main(int argc, char** argv) {
   bool short_mode = false;
   std::string json_path;
+  std::set<std::string> fault_filter;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--short") == 0) {
       short_mode = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      std::string list = argv[i] + 9;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        if (comma > pos) {
+          fault_filter.insert(list.substr(pos, comma - pos));
+        }
+        pos = comma + 1;
+      }
     }
   }
+  const bool storm = !fault_filter.empty();
   // The short mode is the CI gate: same faults, same seed, same
   // assertions, reduced horizon.
   const Nanos soak = short_mode ? 8 * kMillisecond : 30 * kMillisecond;
-  std::printf("=== chaos soak: crash/link/MHD/fail-stop/wedge/poison faults "
-              "vs the control plane%s ===\n\n",
-              short_mode ? " (short)" : "");
+  if (storm) {
+    std::string classes;
+    for (const std::string& c : fault_filter) {
+      classes += (classes.empty() ? "" : ",") + c;
+    }
+    std::printf("=== chaos soak STORM: %s%s ===\n\n", classes.c_str(),
+                short_mode ? " (short)" : "");
+  } else {
+    std::printf("=== chaos soak: crash/link/MHD/fail-stop/wedge/poison faults "
+                "vs the control plane%s ===\n\n",
+                short_mode ? " (short)" : "");
+  }
   constexpr uint64_t kSeed = 0xC0FFEE;
   // First run: full observability — tracing, registry metrics, and the
   // flight recorder wired to CHECK failures (so any assertion below dumps
   // the last operations of every host).
   obs::Observability obs;
   obs.InstallCheckHook();
-  RunResult first = RunSoak(kSeed, soak, /*print=*/true, &obs, json_path);
+  RunResult first =
+      RunSoak(kSeed, soak, /*print=*/true, &obs, json_path, fault_filter);
 
   // Second run: same seed, all observability off. Identical digests prove
   // both reproducibility and tracing purity — the instrumented run made
   // exactly the simulation decisions the bare run did.
   std::printf("\nre-running the identical seed with observability off...\n");
-  RunResult second = RunSoak(kSeed, soak, /*print=*/false, /*obs=*/nullptr);
+  RunResult second =
+      RunSoak(kSeed, soak, /*print=*/false, /*obs=*/nullptr, "", fault_filter);
   CXLPOOL_CHECK(first.digest == second.digest);
   CXLPOOL_CHECK(first.executed == second.executed);
   CXLPOOL_CHECK(first.traffic.ops_ok == second.traffic.ops_ok);
@@ -507,7 +727,20 @@ int main(int argc, char** argv) {
   CXLPOOL_CHECK(first.violations == 0);
   // The overload fault class must actually have fired — a soak that never
   // stalled an agent proves nothing about the backpressure stack.
-  CXLPOOL_CHECK(first.injections_by_class.count("overload-drain") == 1);
+  if (fault_filter.empty() || fault_filter.count("overload-drain") != 0) {
+    CXLPOOL_CHECK(first.injections_by_class.count("overload-drain") == 1);
+  }
+  // Filtered runs: every requested class must have actually fired, and the
+  // storm must be dense enough to mean something (>= 50 injections on the
+  // full horizon).
+  if (storm) {
+    for (const std::string& cls : fault_filter) {
+      CXLPOOL_CHECK(first.injections_by_class.count(cls) == 1);
+    }
+    if (!short_mode) {
+      CXLPOOL_CHECK(first.injections >= 50);
+    }
+  }
   // The fault storm must not have tricked any host into breaking the
   // publish/consume protocol or silently destroying unpublished bytes.
   CXLPOOL_CHECK(first.coherence_violations == 0);
@@ -515,6 +748,34 @@ int main(int argc, char** argv) {
   CXLPOOL_CHECK(first.lost_dirty_lines == 0);
   std::printf("coherence check:   OK — zero violations over %llu line events\n",
               (unsigned long long)first.coherence_events);
+  // Split-brain: the lease oracle must have witnessed ZERO dual-ownership
+  // intervals (epoch regressions at any device) in BOTH runs.
+  CXLPOOL_CHECK(first.oracle_violations == 0);
+  CXLPOOL_CHECK(second.oracle_violations == 0);
+  // Lost-acked-write accounting: the register files must hold at least as
+  // many applies as the clients saw acknowledged (a dedup-absorbed retry
+  // acks an op that already applied, so applies >= acks). This is an
+  // invariant of NETWORK faults only — MMIO writes are posted, so a
+  // device that wedges/fail-stops (or a host that crashes) inside the
+  // posting window absorbs an acked write by design; that gray loss is
+  // the watchdog/FLR story, not a fabric bug. Enforced whenever the storm
+  // is restricted to fault-plane classes.
+  const bool network_only = storm && [&fault_filter] {
+    for (const std::string& c : fault_filter) {
+      if (c != "partition" && c != "asym_link" && c != "lossy_link") {
+        return false;
+      }
+    }
+    return true;
+  }();
+  if (network_only) {
+    CXLPOOL_CHECK(first.writes_applied >= first.traffic.ops_ok);
+    CXLPOOL_CHECK(second.writes_applied >= second.traffic.ops_ok);
+  }
+  std::printf("split-brain check: OK — zero dual-ownership intervals over "
+              "%llu witnessed applies%s\n",
+              (unsigned long long)first.oracle_applies,
+              network_only ? ", zero lost acked writes" : "");
   // Media RAS: every poisoned line must have been repaired from a healthy
   // replica — none left behind, none written off as unrecoverable.
   CXLPOOL_CHECK(first.scrub.scrub_unrecoverable == 0);

@@ -1,0 +1,33 @@
+#include "src/analysis/lease_oracle.h"
+
+#include <string>
+
+namespace cxlpool::analysis {
+
+void LeaseOracle::RecordApply(PcieDeviceId device, uint64_t epoch,
+                              uint64_t client_id, Nanos at) {
+  ++applies_;
+  PerDevice& d = devices_[device];
+  if (epoch > d.max_epoch) {
+    d.max_epoch = epoch;
+    d.max_epoch_first_apply = at;
+    d.last_client = client_id;
+    return;
+  }
+  if (epoch < d.max_epoch) {
+    // An old-epoch holder applied AFTER a newer epoch was already active
+    // on this device: two owners at overlapping sim times.
+    ++violations_;
+    if (log_.size() < 64) {
+      log_.push_back(
+          "device " + std::to_string(device.value()) + ": epoch " +
+          std::to_string(epoch) + " apply by client " +
+          std::to_string(client_id) + " at t=" + std::to_string(at) +
+          "ns overlaps epoch " + std::to_string(d.max_epoch) +
+          " active since t=" + std::to_string(d.max_epoch_first_apply) + "ns");
+    }
+  }
+  d.last_client = client_id;
+}
+
+}  // namespace cxlpool::analysis

@@ -1,0 +1,53 @@
+// LeaseOracle: the dual-ownership detector for ISSUE 9's zero-tolerance
+// rule. Every forwarded MMIO write the home agents actually APPLY to a
+// device BAR is reported here with the epoch it was admitted under. For
+// any one device, applied epochs must be nondecreasing over sim time: an
+// apply under epoch e arriving after any apply under e' > e means two
+// leaseholders were live on the same device at overlapping times — the
+// split-brain interval the quorum + fencing machinery exists to make
+// impossible. The oracle is pure bookkeeping (no sim events, no RNG), so
+// attaching it never perturbs the deterministic schedule or the trace
+// digest.
+#ifndef SRC_ANALYSIS_LEASE_ORACLE_H_
+#define SRC_ANALYSIS_LEASE_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/units.h"
+
+namespace cxlpool::analysis {
+
+class LeaseOracle {
+ public:
+  // Called by the home agent at the moment a forwarded write lands on the
+  // device BAR. `epoch` is the epoch the op was admitted under; `client_id`
+  // is the forwarded path's wire client id (one per (user host, device)
+  // path, so distinct holders never alias).
+  void RecordApply(PcieDeviceId device, uint64_t epoch, uint64_t client_id,
+                   Nanos at);
+
+  uint64_t applies() const { return applies_; }
+  uint64_t violations() const { return violations_; }
+  // Human-readable description of each dual-ownership interval (bounded).
+  const std::vector<std::string>& violation_log() const { return log_; }
+
+ private:
+  struct PerDevice {
+    uint64_t max_epoch = 0;
+    Nanos max_epoch_first_apply = 0;  // when the newest epoch became active
+    uint64_t last_client = 0;
+  };
+
+  std::map<PcieDeviceId, PerDevice> devices_;
+  uint64_t applies_ = 0;
+  uint64_t violations_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace cxlpool::analysis
+
+#endif  // SRC_ANALYSIS_LEASE_ORACLE_H_

@@ -12,10 +12,12 @@ namespace cxlpool::core {
 
 namespace report_wire {
 
-std::vector<std::byte> Encode(HostId reporter, std::span<const DeviceStatus> statuses) {
+std::vector<std::byte> Encode(HostId reporter, uint64_t peer_mask,
+                              std::span<const DeviceStatus> statuses) {
   std::vector<std::byte> out;
   msg::wire::Writer w(&out);
   w.U32(reporter.value());
+  w.U64(peer_mask);
   w.U32(static_cast<uint32_t>(statuses.size()));
   for (const DeviceStatus& s : statuses) {
     w.U32(s.device.value());
@@ -27,19 +29,22 @@ std::vector<std::byte> Encode(HostId reporter, std::span<const DeviceStatus> sta
   return out;
 }
 
-Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
-    std::span<const std::byte> payload) {
-  if (payload.size() < 8) {
+Result<Decoded> Decode(std::span<const std::byte> payload) {
+  if (payload.size() < 16) {
     return InvalidArgument("short report frame");
   }
   msg::wire::Reader r(payload);
-  HostId reporter(r.U32());
+  Decoded d;
+  d.reporter = HostId(r.U32());
+  d.peer_mask = r.U64();
   uint32_t count = r.U32();
-  if (r.remaining() < count * 18u) {
+  // 64-bit arithmetic: a hostile/bit-flipped count near UINT32_MAX must
+  // not wrap the product past the length check and CHECK-fail inside the
+  // Reader (lossy links deliver exactly such frames).
+  if (r.remaining() < static_cast<uint64_t>(count) * 18u) {
     return InvalidArgument("truncated report frame");
   }
-  std::vector<DeviceStatus> statuses;
-  statuses.reserve(count);
+  d.statuses.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     DeviceStatus s;
     s.device = PcieDeviceId(r.U32());
@@ -47,9 +52,9 @@ Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
     s.healthy = r.U8() != 0;
     s.utilization = std::bit_cast<double>(r.U64());
     s.fault_episodes = r.U32();
-    statuses.push_back(s);
+    d.statuses.push_back(s);
   }
-  return std::make_pair(reporter, std::move(statuses));
+  return d;
 }
 
 }  // namespace report_wire
@@ -140,6 +145,12 @@ void Agent::RegisterMetrics() {
   reg.RegisterProbe("agent.expired_at_device", labels, [this] {
     return static_cast<int64_t>(stats_.expired_at_device);
   });
+  reg.RegisterProbe("agent.self_fence_rejects", labels, [this] {
+    return static_cast<int64_t>(stats_.self_fence_rejects);
+  });
+  reg.RegisterProbe("agent.peer_probes_ok", labels, [this] {
+    return static_cast<int64_t>(stats_.peer_probes_ok);
+  });
 }
 
 uint64_t Agent::rpc_shed() const {
@@ -195,6 +206,27 @@ uint32_t Agent::device_fault_episodes(PcieDeviceId id) const {
   return it == devices_.end() ? 0 : it->second.fault_episodes;
 }
 
+bool Agent::self_fenced() const {
+  if (config_.lease_ttl <= 0 || !reporting_started_) {
+    return false;
+  }
+  return host_.loop().now() - last_report_ok_ > config_.lease_ttl;
+}
+
+uint64_t Agent::peer_mask() {
+  uint64_t mask = ~0ull;
+  Nanos stale = config_.peer_unreachable_after > 0
+                    ? config_.peer_unreachable_after
+                    : 2 * config_.peer_probe_interval + config_.peer_probe_timeout;
+  Nanos now = host_.loop().now();
+  for (const auto& [peer, last_ok] : peer_last_ok_) {
+    if (peer < 64 && now - last_ok > stale) {
+      mask &= ~(1ull << peer);
+    }
+  }
+  return mask;
+}
+
 sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
     uint16_t method, std::span<const std::byte> payload,
     const msg::ServerContext& sctx) {
@@ -224,6 +256,17 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
   auto it = devices_.find(decoded->device);
   if (it == devices_.end()) {
     co_return NotFound("device not on this host");
+  }
+  // Self-fence: the lease TTL lapsed without a report round-trip, so the
+  // orchestrator may already be re-issuing this device under a new epoch
+  // it could not push to us. Refusing here (before the epoch check, which
+  // would wrongly admit the op — our epoch is stale too) is what makes
+  // "wait out the TTL" a sound fencing proof on the orchestrator side.
+  if (self_fenced()) {
+    ++stats_.self_fence_rejects;
+    FlightNote("mmio", "self-fence reject dev=%u (lease TTL expired)",
+               decoded->device.value());
+    co_return Aborted("agent lease TTL expired; self-fenced");
   }
   if (decoded->epoch != it->second.epoch) {
     ++stats_.stale_epoch_rejects;
@@ -257,10 +300,20 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
     obs::Span bar = obs::MaybeStartSpan(tracer(), "mmio.device_bar",
                                         host_.id().value(), ctx,
                                         host_.loop().now());
+    // The inflight window opens here with NO suspension point since the
+    // epoch check above, and an epoch push drains it before acking — so a
+    // fence-ack proves no admitted op under the old epoch is still
+    // heading for the BAR.
+    ++inflight_forwarded_;
     Status st = co_await device->MmioWrite(decoded->reg, decoded->value);
+    --inflight_forwarded_;
     bar.End(host_.loop().now());
     if (!st.ok()) {
       co_return st;
+    }
+    if (apply_hook_) {
+      apply_hook_(decoded->device, decoded->epoch, decoded->client_id,
+                  host_.loop().now());
     }
     // Record only after a successful apply: a write the device rejected had
     // no side effect, so its retry must be allowed to run for real.
@@ -274,7 +327,9 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleForwarding(
   obs::Span bar = obs::MaybeStartSpan(tracer(), "mmio.device_bar",
                                       host_.id().value(), ctx,
                                       host_.loop().now());
+  ++inflight_forwarded_;
   auto value = co_await device->MmioRead(decoded->reg);
+  --inflight_forwarded_;
   bar.End(host_.loop().now());
   if (!value.ok()) {
     co_return value.status();
@@ -290,6 +345,16 @@ sim::Task<Result<std::vector<std::byte>>> Agent::HandleControl(
     auto decoded = epoch_wire::Decode(payload);
     if (!decoded.ok()) {
       co_return decoded.status();
+    }
+    // Fence barrier: ops admitted under the old epoch may be mid-flight
+    // between their epoch check and the device BAR. Drain them before
+    // installing the new epoch and acking — once the orchestrator sees
+    // this ack, no old-epoch op can apply, ever (later arrivals fail the
+    // epoch check). Forwarding and control ride separate channels and
+    // serve loops, so waiting here never blocks the drain itself; BAR ops
+    // are deadline-bounded (wedge watchdog), so the wait terminates.
+    while (inflight_forwarded_ > 0) {
+      co_await sim::Delay(host_.loop(), kMicrosecond);
     }
     auto it = devices_.find(decoded->device);
     if (it == devices_.end()) {
@@ -339,7 +404,54 @@ void Agent::ServeControl(msg::Endpoint& endpoint, sim::StopToken& stop) {
 }
 
 void Agent::StartReporting(msg::Endpoint& to_orchestrator, sim::StopToken& stop) {
+  // The lease clock starts with a full TTL of credit: the agent is not
+  // fenced before its first report has had a chance to round-trip.
+  reporting_started_ = true;
+  last_report_ok_ = host_.loop().now();
   sim::Spawn(ReportLoop(to_orchestrator, stop));
+}
+
+void Agent::ServePeerProbe(msg::Endpoint& endpoint, sim::StopToken& stop) {
+  auto server = std::make_unique<msg::RpcServer>(
+      endpoint, [](uint16_t m, std::span<const std::byte>)
+                    -> sim::Task<Result<std::vector<std::byte>>> {
+        if (m != kMethodPeerProbe) {
+          co_return Unimplemented("unknown peer method");
+        }
+        co_return std::vector<std::byte>{};
+      });
+  // A crashed host's serve loop aborts on its first memory op and the
+  // supervisor keeps failing to restart it — so crashed peers simply stop
+  // answering, which is exactly the signal the probe measures.
+  sim::Spawn(server->ServeSupervised(stop));
+  servers_.push_back(std::move(server));
+}
+
+void Agent::StartPeerProbe(HostId peer, msg::Endpoint& endpoint,
+                           sim::StopToken& stop) {
+  // Grace: a freshly wired peer counts reachable for one staleness bound.
+  peer_last_ok_[peer.value()] = host_.loop().now();
+  sim::Spawn(PeerProbeLoop(peer, endpoint, stop));
+}
+
+sim::Task<> Agent::PeerProbeLoop(HostId peer, msg::Endpoint& endpoint,
+                                 sim::StopToken& stop) {
+  msg::RpcClient client(endpoint);
+  while (!stop.stopped()) {
+    if (host_.crashed()) {
+      co_await sim::Delay(host_.loop(), config_.peer_probe_interval);
+      continue;
+    }
+    ++stats_.peer_probes_sent;
+    auto resp = co_await client.Call(
+        kMethodPeerProbe, {}, host_.loop().now() + config_.peer_probe_timeout,
+        {}, msg::kPriorityControl);
+    if (resp.ok()) {
+      ++stats_.peer_probes_ok;
+      peer_last_ok_[peer.value()] = host_.loop().now();
+    }
+    co_await sim::Delay(host_.loop(), config_.peer_probe_interval);
+  }
 }
 
 sim::Task<std::vector<DeviceStatus>> Agent::ProbeDevices() {
@@ -410,10 +522,16 @@ sim::Task<> Agent::ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& st
     // Reports are control plane: they jump client queues and are never
     // shed, so heartbeats keep flowing through a data-plane storm.
     auto resp = co_await client.Call(
-        kMethodReport, report_wire::Encode(host_.id(), statuses),
+        kMethodReport, report_wire::Encode(host_.id(), peer_mask(), statuses),
         host_.loop().now() + config_.rpc_timeout, {}, msg::kPriorityControl);
     if (resp.ok()) {
       ++stats_.reports_sent;
+      // Lease renewal: ONLY a full report round-trip renews the TTL.
+      // Receiving control traffic must not — an asymmetric link can
+      // deliver orchestrator→agent while agent→orchestrator drops, and
+      // the orchestrator's TTL-expiry proof counts from the last report
+      // it saw, so renewal has to track the same events.
+      last_report_ok_ = host_.loop().now();
     }
     co_await sim::Delay(host_.loop(), config_.monitor_interval);
   }

@@ -29,9 +29,10 @@ enum class DeviceType : uint8_t {
 };
 
 // RPC methods beyond the MMIO pair declared in mmio_path.h.
-inline constexpr uint16_t kMethodReport = 3;   // agent -> orchestrator
-inline constexpr uint16_t kMethodMigrate = 4;  // orchestrator -> agent
-inline constexpr uint16_t kMethodEpoch = 5;    // orchestrator -> home agent
+inline constexpr uint16_t kMethodReport = 3;     // agent -> orchestrator
+inline constexpr uint16_t kMethodMigrate = 4;    // orchestrator -> agent
+inline constexpr uint16_t kMethodEpoch = 5;      // orchestrator -> home agent
+inline constexpr uint16_t kMethodPeerProbe = 6;  // agent -> agent liveness
 
 // One device's status inside a report frame.
 struct DeviceStatus {
@@ -46,9 +47,19 @@ struct DeviceStatus {
 };
 
 namespace report_wire {
-std::vector<std::byte> Encode(HostId reporter, std::span<const DeviceStatus> statuses);
-Result<std::pair<HostId, std::vector<DeviceStatus>>> Decode(
-    std::span<const std::byte> payload);
+// peer_mask: bit h set = this reporter could reach host h recently (its
+// peer probe round-tripped within the staleness bound). Hosts the agent
+// does not probe keep their bit set — absence of evidence is never a
+// vote against a peer. The orchestrator's quorum liveness counts cleared
+// bits from fresh reporters as "unreachable" votes.
+std::vector<std::byte> Encode(HostId reporter, uint64_t peer_mask,
+                              std::span<const DeviceStatus> statuses);
+struct Decoded {
+  HostId reporter;
+  uint64_t peer_mask = ~0ull;
+  std::vector<DeviceStatus> statuses;
+};
+Result<Decoded> Decode(std::span<const std::byte> payload);
 }  // namespace report_wire
 
 namespace migrate_wire {
@@ -94,6 +105,24 @@ class Agent {
     // forwarded ops, flight-recorder notes on anomalies (stale epoch,
     // dedup, FLR), and stats exported as registry probes.
     obs::Observability* obs = nullptr;
+    // Split-brain-safe lease clock (ISSUE 9). When > 0 and reporting has
+    // started, the agent treats its lease authority as a TTL renewed ONLY
+    // by a successful report round-trip (request delivered AND response
+    // received — proof the orchestrator heard from us). Once the local
+    // monotonic clock passes last_renewal + lease_ttl, every forwarded op
+    // on a local device is refused with kAborted (self-fence) until a
+    // report round-trips again. This is what lets a partitioned
+    // orchestrator hand the device away after waiting lease_ttl + margin:
+    // by then the old home agent has provably stopped applying. 0 = off
+    // (standalone agents without a report loop are never fenced).
+    Nanos lease_ttl = 0;
+    // Peer-probe mesh cadence (quorum liveness): how often this agent
+    // pings each peer it was wired to, the per-probe timeout, and how
+    // stale a last-success may get before the peer_mask bit clears.
+    Nanos peer_probe_interval = 50 * kMicrosecond;
+    Nanos peer_probe_timeout = 100 * kMicrosecond;
+    // 0 = derived: 2 * interval + timeout.
+    Nanos peer_unreachable_after = 0;
   };
 
   Agent(cxl::HostAdapter& host, Config config)
@@ -127,6 +156,14 @@ class Agent {
   void ServeControl(msg::Endpoint& endpoint, sim::StopToken& stop);
   // Monitors local devices and pushes reports to the orchestrator.
   void StartReporting(msg::Endpoint& to_orchestrator, sim::StopToken& stop);
+  // Answers kMethodPeerProbe pings from a peer agent (quorum liveness).
+  void ServePeerProbe(msg::Endpoint& endpoint, sim::StopToken& stop);
+  // Pings `peer` over `endpoint` at peer_probe_interval; successes feed
+  // the peer_mask bit this agent reports to the orchestrator.
+  void StartPeerProbe(HostId peer, msg::Endpoint& endpoint,
+                      sim::StopToken& stop);
+  // Reachability bitmap over probed peers (bit h = host h reachable).
+  uint64_t peer_mask();
 
   // Invoked (awaited) when the orchestrator migrates a device this host
   // uses. The I/O stack rebinds its virtual devices here.
@@ -155,6 +192,12 @@ class Agent {
     // dequeue but before the device BAR access (the pre-BAR re-check —
     // the RPC layer's dequeue check catches the rest).
     uint64_t expired_at_device = 0;
+    // Split-brain safety: forwarded ops refused because this agent's
+    // lease TTL expired without a report round-trip (self-fence), and
+    // peer-probe traffic for the quorum mesh.
+    uint64_t self_fence_rejects = 0;
+    uint64_t peer_probes_sent = 0;
+    uint64_t peer_probes_ok = 0;
   };
   const Stats& stats() const { return stats_; }
   // The shared admission controller the forwarding serve loops run under.
@@ -173,6 +216,17 @@ class Agent {
   uint64_t device_epoch(PcieDeviceId id) const;
   // Gray-fault episodes the watchdog logged against a local device (tests).
   uint32_t device_fault_episodes(PcieDeviceId id) const;
+  // True while the lease TTL has lapsed without a report round-trip: all
+  // forwarded ops are being refused (see Config::lease_ttl).
+  bool self_fenced() const;
+
+  // Dual-ownership oracle hook (src/analysis/lease_oracle.h): invoked at
+  // the instant a forwarded write lands on a local device BAR, with the
+  // epoch it was admitted under. Pure bookkeeping — must not touch the
+  // sim clock or RNG.
+  using ApplyHook = std::function<void(PcieDeviceId device, uint64_t epoch,
+                                       uint64_t client_id, Nanos at)>;
+  void SetApplyHook(ApplyHook hook) { apply_hook_ = std::move(hook); }
 
  private:
   struct LocalDevice {
@@ -197,6 +251,8 @@ class Agent {
   sim::Task<Result<std::vector<std::byte>>> HandleControl(
       uint16_t method, std::span<const std::byte> payload);
   sim::Task<> ReportLoop(msg::Endpoint& to_orchestrator, sim::StopToken& stop);
+  sim::Task<> PeerProbeLoop(HostId peer, msg::Endpoint& endpoint,
+                            sim::StopToken& stop);
   sim::Task<std::vector<DeviceStatus>> ProbeDevices();
   void RegisterMetrics();
   obs::Tracer* tracer() { return obs_ != nullptr ? obs_->tracer() : nullptr; }
@@ -212,6 +268,16 @@ class Agent {
   MigrationHandler migration_handler_;
   std::vector<std::unique_ptr<msg::RpcServer>> servers_;
   Stats stats_;
+  ApplyHook apply_hook_;
+  // Lease clock: renewed only by a successful report round-trip.
+  bool reporting_started_ = false;
+  Nanos last_report_ok_ = 0;
+  // Forwarded ops currently between admission and BAR completion. An
+  // epoch push (fence) drains this to zero before acking, so a received
+  // fence-ack proves no old-epoch op can still land.
+  int inflight_forwarded_ = 0;
+  // Peer probe view: last successful round-trip per probed peer.
+  std::map<uint32_t, Nanos> peer_last_ok_;
 };
 
 }  // namespace cxlpool::core

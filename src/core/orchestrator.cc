@@ -43,6 +43,23 @@ void Orchestrator::RegisterMetrics() {
   reg.RegisterProbe("orch.abandoned_migrations", {}, [this] {
     return static_cast<int64_t>(stats_.abandoned_migrations);
   });
+  reg.RegisterProbe("orch.suspects", {},
+                    [this] { return static_cast<int64_t>(stats_.suspects); });
+  reg.RegisterProbe("orch.suspect_recoveries", {}, [this] {
+    return static_cast<int64_t>(stats_.suspect_recoveries);
+  });
+  reg.RegisterProbe("orch.condemned_by_quorum", {}, [this] {
+    return static_cast<int64_t>(stats_.condemned_by_quorum);
+  });
+  reg.RegisterProbe("orch.condemned_by_ttl", {}, [this] {
+    return static_cast<int64_t>(stats_.condemned_by_ttl);
+  });
+  reg.RegisterProbe("orch.fences_acked", {}, [this] {
+    return static_cast<int64_t>(stats_.fences_acked);
+  });
+  reg.RegisterProbe("orch.fences_ttl_expired", {}, [this] {
+    return static_cast<int64_t>(stats_.fences_ttl_expired);
+  });
 }
 
 void Orchestrator::FlightNote(const char* category, const char* fmt, ...) {
@@ -65,6 +82,14 @@ Result<Agent*> Orchestrator::AddAgent(cxl::HostAdapter& host) {
   if (agent_config.obs == nullptr) {
     agent_config.obs = config_.obs;
   }
+  // Split-brain safety: every orchestrated agent runs a lease TTL, so an
+  // unacked fence may resolve once TTL + fence_margin elapses (by then the
+  // agent has provably self-fenced). The stamped value must match the
+  // orchestrator's wait horizon; an explicit per-agent TTL wins.
+  if (agent_config.lease_ttl == 0 && config_.quorum_liveness) {
+    agent_config.lease_ttl = config_.lease_ttl;
+  }
+  entry.lease_ttl = agent_config.lease_ttl;
   entry.agent = std::make_unique<Agent>(host, agent_config);
 
   ASSIGN_OR_RETURN(entry.report_channel,
@@ -113,6 +138,27 @@ void Orchestrator::RegisterDevice(HostId home, pcie::PcieDevice* device,
 
 void Orchestrator::Start(sim::StopToken& stop) {
   stop_ = &stop;
+  // Quorum liveness runs on an agent-to-agent observation mesh: every
+  // agent probes every peer over a dedicated channel and folds the
+  // results into the peer_mask it reports. Wired before the serve loops
+  // so the first reports already carry meaningful masks.
+  if (config_.quorum_liveness) {
+    for (auto& [a_id, a_entry] : agents_) {
+      for (auto& [b_id, b_entry] : agents_) {
+        if (a_id == b_id) {
+          continue;
+        }
+        auto ch =
+            msg::Channel::Create(pod_.pool(), pod_.host(a_id), pod_.host(b_id));
+        if (!ch.ok()) {
+          continue;
+        }
+        b_entry.agent->ServePeerProbe((*ch)->end_b(), stop);
+        a_entry.agent->StartPeerProbe(b_id, (*ch)->end_a(), stop);
+        peer_channels_.push_back(std::move(*ch));
+      }
+    }
+  }
   for (auto& [host_id, entry] : agents_) {
     // Orchestrator-side report server. Supervised: a channel blip (link or
     // MHD fault) aborts the serve loop, which restarts after backoff.
@@ -147,22 +193,38 @@ sim::Task<Result<std::vector<std::byte>>> Orchestrator::HandleReport(
   }
   ++stats_.reports_received;
   Nanos now = pod_.loop().now();
-  auto agent_it = agents_.find(decoded->first);
+  auto agent_it = agents_.find(decoded->reporter);
   if (agent_it != agents_.end()) {
     AgentEntry& entry = agent_it->second;
     entry.last_report = now;
-    if (!entry.alive) {
-      // Clean re-registration: the crashed host is back. Its devices become
-      // eligible again as healthy statuses arrive below; resync the lease
-      // epochs its agent missed while dead.
-      entry.alive = true;
-      ++stats_.host_reregistrations;
-      CXLPOOL_LOG(Info) << "host " << decoded->first
-                        << " re-registered after crash";
-      sim::Spawn(ResyncEpochs(decoded->first));
+    entry.peer_mask = decoded->peer_mask;
+    switch (entry.liveness) {
+      case AgentEntry::Liveness::kAlive:
+        break;
+      case AgentEntry::Liveness::kSuspect:
+        // The suspect was merely slow/partitioned, not dead. It kept its
+        // leases and its epochs, so no resync is needed — just lift the
+        // fence on new grants.
+        entry.liveness = AgentEntry::Liveness::kAlive;
+        ++stats_.suspect_recoveries;
+        FlightNote("liveness", "host=%u suspect recovered",
+                   decoded->reporter.value());
+        CXLPOOL_LOG(Info) << "host " << decoded->reporter
+                          << " recovered from suspect";
+        break;
+      case AgentEntry::Liveness::kDead:
+        // Clean re-registration: the crashed host is back. Its devices
+        // become eligible again as healthy statuses arrive below; resync
+        // the lease epochs its agent missed while dead.
+        entry.liveness = AgentEntry::Liveness::kAlive;
+        ++stats_.host_reregistrations;
+        CXLPOOL_LOG(Info) << "host " << decoded->reporter
+                          << " re-registered after crash";
+        sim::Spawn(ResyncEpochs(decoded->reporter));
+        break;
     }
   }
-  for (const DeviceStatus& s : decoded->second) {
+  for (const DeviceStatus& s : decoded->statuses) {
     auto it = devices_.find(s.device);
     if (it == devices_.end()) {
       continue;
@@ -267,11 +329,24 @@ bool Orchestrator::InQuarantine(PcieDeviceId device) {
   return it != devices_.end() && CheckQuarantine(it->second);
 }
 
+bool Orchestrator::Grantable(const DeviceRecord& rec) const {
+  if (rec.fence_pending) {
+    return false;  // re-issue gate: old holder not yet provably fenced
+  }
+  auto it = agents_.find(rec.home);
+  // Suspect homes are fenced: their devices are not offered until a
+  // report proves the host is back (dead homes are also unhealthy, but
+  // the liveness check here closes the window before that lands).
+  return it == agents_.end() ||
+         it->second.liveness == AgentEntry::Liveness::kAlive;
+}
+
 Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
                                                      PcieDeviceId exclude) {
   DeviceRecord* best = nullptr;
   for (auto& [id, rec] : devices_) {
-    if (id == exclude || !rec.healthy || rec.type != type) {
+    if (id == exclude || !rec.healthy || rec.type != type ||
+        !Grantable(rec)) {
       continue;
     }
     if (CheckQuarantine(rec)) {
@@ -287,23 +362,39 @@ Orchestrator::DeviceRecord* Orchestrator::PickDevice(DeviceType type,
   return best;
 }
 
+uint32_t Orchestrator::suspect_count() const {
+  uint32_t n = 0;
+  for (const auto& [id, entry] : agents_) {
+    if (entry.liveness == AgentEntry::Liveness::kSuspect) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 bool Orchestrator::agent_alive(HostId host) const {
   auto it = agents_.find(host);
-  return it != agents_.end() && it->second.alive;
+  return it != agents_.end() &&
+         it->second.liveness != AgentEntry::Liveness::kDead;
 }
 
 Result<Orchestrator::Assignment> Orchestrator::Acquire(HostId user, DeviceType type) {
   ++stats_.acquires;
   auto agent_it = agents_.find(user);
-  if (agent_it != agents_.end() && !agent_it->second.alive) {
-    return FailedPrecondition("requesting host is marked dead");
+  if (agent_it != agents_.end() &&
+      agent_it->second.liveness != AgentEntry::Liveness::kAlive) {
+    return FailedPrecondition(
+        agent_it->second.liveness == AgentEntry::Liveness::kDead
+            ? "requesting host is marked dead"
+            : "requesting host is a liveness suspect");
   }
   // §4.2: "the orchestrator first checks if the host has a local PCIe
   // device that is below a load threshold."
   DeviceRecord* local_best = nullptr;
   PcieDeviceId local_id;
   for (auto& [id, rec] : devices_) {
-    if (rec.type != type || !rec.healthy || rec.home != user) {
+    if (rec.type != type || !rec.healthy || rec.home != user ||
+        !Grantable(rec)) {
       continue;
     }
     if (CheckQuarantine(rec)) {
@@ -406,13 +497,13 @@ sim::Task<> Orchestrator::MigrateLeases(PcieDeviceId from, bool failover) {
     co_return;
   }
 
-  // When every lease leaves the device, bump its epoch first so forwarded
-  // paths built under the old one get kAborted at the home agent instead of
-  // touching a device their holder no longer leases. Partial rebalances
+  // When every lease leaves the device, fence it: bump the epoch so
+  // forwarded paths built under the old one get kAborted at the home
+  // agent, and keep the device ungrantable until the agent acks the new
+  // epoch (or the old lease TTL provably expires). Partial rebalances
   // keep the epoch: remaining lessees' paths stay valid.
   if (to_move.size() == rec.lessees.size()) {
-    ++rec.epoch;
-    co_await PushEpoch(rec.home, from, rec.epoch);
+    FenceDevice(from, rec);
   }
 
   for (HostId user : to_move) {
@@ -421,17 +512,41 @@ sim::Task<> Orchestrator::MigrateLeases(PcieDeviceId from, bool failover) {
       continue;  // released concurrently
     }
     auto agent_it = agents_.find(user);
-    if (agent_it == agents_.end() || !agent_it->second.alive) {
+    if (agent_it == agents_.end() ||
+        agent_it->second.liveness == AgentEntry::Liveness::kDead) {
       // The holder is dead: revoke instead of moving the lease with it.
       rec.lessees.erase(pos);
       ++stats_.leases_revoked;
       continue;
     }
     DeviceRecord* target = PickDevice(rec.type, from);
+    // A candidate mid-fence becomes grantable once its fence resolves
+    // (epoch ack, usually microseconds for an alive home); wait for that
+    // instead of stranding the lease on a transient gate.
+    for (int waited = 0; target == nullptr && waited < 64; ++waited) {
+      bool fence_in_flight = false;
+      for (auto& [other_id, other] : devices_) {
+        if (other_id != from && other.type == rec.type && other.fence_pending) {
+          fence_in_flight = true;
+          break;
+        }
+      }
+      if (!fence_in_flight) {
+        break;
+      }
+      co_await sim::Delay(pod_.loop(), 20 * kMicrosecond);
+      target = PickDevice(rec.type, from);
+    }
     if (target == nullptr) {
       CXLPOOL_LOG(Warning) << "no replacement device for " << from
                            << "; lease on host " << user << " stranded";
       co_return;
+    }
+    // Re-find the lease: the lessee list may have changed while waiting
+    // out a fence above.
+    pos = std::find(rec.lessees.begin(), rec.lessees.end(), user);
+    if (pos == rec.lessees.end()) {
+      continue;
     }
     rec.lessees.erase(pos);
     target->lessees.push_back(user);
@@ -459,12 +574,74 @@ sim::Task<> Orchestrator::MigrateLeases(PcieDeviceId from, bool failover) {
   }
 }
 
+uint32_t Orchestrator::CondemnationVotes(HostId host, Nanos now,
+                                         uint32_t* fresh_observers) const {
+  uint32_t fresh = 0;
+  uint32_t votes = 0;
+  for (const auto& [other_id, other] : agents_) {
+    if (other_id == host ||
+        other.liveness != AgentEntry::Liveness::kAlive ||
+        now - other.last_report > config_.liveness_timeout) {
+      continue;  // only fresh, alive peers get a vote
+    }
+    ++fresh;
+    // A vote is an EXPLICIT cleared bit: an observer that never probed
+    // this host reports all-ones and abstains (absence of evidence is not
+    // a vote against).
+    if (host.value() < 64 && (other.peer_mask & (1ull << host.value())) == 0) {
+      ++votes;
+    }
+  }
+  *fresh_observers = fresh;
+  return votes;
+}
+
 sim::Task<> Orchestrator::LivenessLoop(sim::StopToken& stop) {
   while (!stop.stopped()) {
     co_await sim::Delay(pod_.loop(), config_.liveness_interval);
     Nanos now = pod_.loop().now();
     for (auto& [host_id, entry] : agents_) {
-      if (entry.alive && now - entry.last_report > config_.liveness_timeout) {
+      if (entry.liveness == AgentEntry::Liveness::kDead) {
+        continue;
+      }
+      Nanos staleness = now - entry.last_report;
+      if (staleness <= config_.liveness_timeout) {
+        continue;
+      }
+      if (!config_.quorum_liveness) {
+        // Legacy probe-only mode: staleness alone condemns. A host that is
+        // merely partitioned from the orchestrator gets overtaken here —
+        // exactly the hole quorum mode closes.
+        DeclareAgentDead(host_id, entry);
+        continue;
+      }
+      if (entry.liveness == AgentEntry::Liveness::kAlive) {
+        entry.liveness = AgentEntry::Liveness::kSuspect;
+        ++stats_.suspects;
+        FlightNote("liveness", "host=%u suspect (stale for %lld ns)",
+                   host_id.value(), static_cast<long long>(staleness));
+        CXLPOOL_LOG(Warning) << "host " << host_id << " suspect (" << staleness
+                             << "ns since last report)";
+      }
+      // Condemnation is evaluated in the same sweep as the suspect
+      // transition, so a genuinely crashed host (peers vote immediately)
+      // still dies within the legacy detection budget.
+      uint32_t fresh = 0;
+      uint32_t votes = CondemnationVotes(host_id, now, &fresh);
+      uint32_t needed = config_.condemn_quorum > 0 ? config_.condemn_quorum
+                                                   : fresh / 2 + 1;
+      if (fresh > 0 && votes >= needed) {
+        ++stats_.condemned_by_quorum;
+        DeclareAgentDead(host_id, entry);
+        continue;
+      }
+      // No quorum (e.g. full partition that also splits the peers, or no
+      // fresh observers at all): fall back to the lease TTL. Past
+      // ttl + fence_margin the agent has provably self-fenced, so
+      // condemning it cannot create a second writer.
+      Nanos ttl = entry.lease_ttl > 0 ? entry.lease_ttl : config_.lease_ttl;
+      if (ttl > 0 && staleness > ttl + config_.fence_margin) {
+        ++stats_.condemned_by_ttl;
         DeclareAgentDead(host_id, entry);
       }
     }
@@ -472,7 +649,7 @@ sim::Task<> Orchestrator::LivenessLoop(sim::StopToken& stop) {
 }
 
 void Orchestrator::DeclareAgentDead(HostId host, AgentEntry& entry) {
-  entry.alive = false;
+  entry.liveness = AgentEntry::Liveness::kDead;
   ++stats_.host_deaths;
   FlightNote("liveness", "host=%u declared dead (stale for %lld ns)",
              host.value(),
@@ -480,11 +657,19 @@ void Orchestrator::DeclareAgentDead(HostId host, AgentEntry& entry) {
   CXLPOOL_LOG(Warning) << "host " << host << " declared dead ("
                        << (pod_.loop().now() - entry.last_report)
                        << "ns since last report)";
-  // Revoke every lease the dead host holds, pool-wide.
+  // Revoke every lease the dead host holds, pool-wide. Each revocation
+  // fences its device: the "dead" holder may in fact be alive behind a
+  // partition with writes still in flight, so the device must not be
+  // granted again until its home agent acked the epoch bump (or the old
+  // lease TTL has provably expired).
   for (auto& [dev_id, rec] : devices_) {
     size_t before = rec.lessees.size();
     std::erase(rec.lessees, host);
-    stats_.leases_revoked += before - rec.lessees.size();
+    size_t revoked = before - rec.lessees.size();
+    if (revoked > 0) {
+      stats_.leases_revoked += revoked;
+      FenceDevice(dev_id, rec);
+    }
   }
   // Its attached devices are unreachable until repair; fail over the leases
   // stranded on them.
@@ -496,10 +681,96 @@ void Orchestrator::DeclareAgentDead(HostId host, AgentEntry& entry) {
   }
 }
 
+void Orchestrator::FenceDevice(PcieDeviceId id, DeviceRecord& rec) {
+  ++rec.epoch;
+  rec.fence_pending = true;
+  Nanos ttl = [&] {
+    auto it = agents_.find(rec.home);
+    if (it != agents_.end() && it->second.lease_ttl > 0) {
+      return it->second.lease_ttl;
+    }
+    return config_.lease_ttl;
+  }();
+  // The deadline is measured from NOW, which is >= the home agent's last
+  // report receipt — so waiting it out is a conservative proof that the
+  // agent's own lease clock (renewed at most fence_margin after our
+  // receipt timestamp) has expired.
+  Nanos deadline = pod_.loop().now() + ttl + config_.fence_margin;
+  FlightNote("fence", "dev=%u fencing at epoch=%llu", id.value(),
+             static_cast<unsigned long long>(rec.epoch));
+  if (stop_ == nullptr) {
+    // Not started: no serve loops and no forwarded paths exist yet, so
+    // there is no old holder to wait out — the bumped epoch alone fences.
+    rec.fence_pending = false;
+    return;
+  }
+  sim::Spawn(FenceLoop(id, rec.epoch, rec.home, deadline, *stop_));
+}
+
+sim::Task<> Orchestrator::FenceLoop(PcieDeviceId device, uint64_t epoch,
+                                    HostId home, Nanos ttl_deadline,
+                                    sim::StopToken& stop) {
+  while (!stop.stopped()) {
+    bool acked = false;
+    auto it = agents_.find(home);
+    bool home_dead = it == agents_.end() ||
+                     it->second.liveness == AgentEntry::Liveness::kDead;
+    if (!home_dead) {
+      auto resp = co_await retry_policy_.Call(
+          *it->second.control_client, kMethodEpoch,
+          epoch_wire::Encode(device, epoch), config_.rpc_timeout, pod_.loop(),
+          {}, 0, msg::kPriorityControl);
+      acked = resp.ok();
+    }
+    // Member reads below each await are safe for the same reason as in
+    // MigrateLeases: the orchestrator outlives the event loop.
+    auto dev_it = devices_.find(device);
+    if (dev_it == devices_.end()) {
+      co_return;
+    }
+    DeviceRecord& rec = dev_it->second;
+    if (rec.epoch != epoch) {
+      co_return;  // superseded by a newer fence, which owns the gate now
+    }
+    Nanos now = pod_.loop().now();
+    if (acked) {
+      // The ack proves the agent drained every in-flight forwarded op
+      // before installing the new epoch: no old-epoch op can ever apply.
+      if (rec.fence_pending) {
+        rec.fence_pending = false;
+        ++stats_.fences_acked;
+        FlightNote("fence", "dev=%u epoch=%llu fence acked", device.value(),
+                   static_cast<unsigned long long>(epoch));
+      }
+      co_return;
+    }
+    if (now >= ttl_deadline) {
+      if (rec.fence_pending) {
+        rec.fence_pending = false;
+        ++stats_.fences_ttl_expired;
+        FlightNote("fence", "dev=%u epoch=%llu fence resolved by TTL expiry",
+                   device.value(), static_cast<unsigned long long>(epoch));
+        CXLPOOL_LOG(Warning)
+            << "fence for device " << device << " resolved by TTL expiry; "
+            << "home agent on host " << home << " never acked";
+      }
+      // Past the TTL the grant gate is open either way. Keep pushing only
+      // while the home might be alive-but-partitioned: a suspect that
+      // heals would otherwise resume applying under the OLD epoch until
+      // its next push. A dead host re-learns epochs via ResyncEpochs.
+      if (home_dead) {
+        co_return;
+      }
+    }
+    co_await sim::Delay(pod_.loop(), config_.liveness_interval);
+  }
+}
+
 sim::Task<> Orchestrator::PushEpoch(HostId home, PcieDeviceId device,
                                     uint64_t epoch) {
   auto it = agents_.find(home);
-  if (it == agents_.end() || !it->second.alive) {
+  if (it == agents_.end() ||
+      it->second.liveness == AgentEntry::Liveness::kDead) {
     co_return;  // resynced when the host re-registers
   }
   auto resp = co_await retry_policy_.Call(

@@ -34,6 +34,31 @@ class Orchestrator {
     // (crashed host). <= 0 disables the liveness sweep.
     Nanos liveness_timeout = 300 * kMicrosecond;
     Nanos liveness_interval = 100 * kMicrosecond;
+    // --- Quorum liveness + split-brain-safe fencing (ISSUE 9) ---
+    // On: a stale agent is first marked kSuspect (fenced from new grants
+    // and allocations; existing leases kept) and condemned only when a
+    // quorum of fresh peers ALSO lost it (their reported peer_mask bit for
+    // it is clear), or when its lease TTL + fence_margin has elapsed with
+    // no report — by which point the agent has provably self-fenced. A
+    // partitioned-from-the-orchestrator-but-alive host therefore survives
+    // as a suspect instead of being overtaken. Off: legacy probe-only
+    // behavior (condemn on report staleness alone).
+    bool quorum_liveness = true;
+    // Votes needed to condemn a suspect. 0 = majority of the fresh alive
+    // observers (the OTHER agents whose own reports are current). With no
+    // fresh observers, only the TTL path can condemn.
+    uint32_t condemn_quorum = 0;
+    // Lease TTL stamped into each agent whose own Config::lease_ttl is 0.
+    // Also the orchestrator's wait horizon before an unacked fence
+    // resolves. Must comfortably exceed the report cadence so healthy
+    // agents never self-fence.
+    Nanos lease_ttl = 800 * kMicrosecond;
+    // Extra slack on top of lease_ttl before an unacked fence resolves by
+    // TTL expiry. The agent renews its lease clock when the report
+    // RESPONSE lands, up to one report rpc_timeout after the orchestrator
+    // stamped the request's arrival — so this must be >= the agent's
+    // report rpc_timeout for the expiry proof to hold.
+    Nanos fence_margin = 500 * kMicrosecond;
     // Retry policy for control-plane RPCs (migrate, epoch pushes).
     msg::RetryPolicy::Options retry;
     // Retry policy handed to forwarded MMIO paths. Retries re-send the
@@ -99,6 +124,12 @@ class Orchestrator {
     Nanos probation_until = 0;
     // Quarantine entries so far; probation doubles with each one.
     uint32_t quarantine_level = 0;
+    // Set while a lease-revoking epoch bump is in flight to the home
+    // agent: the device must not be granted again until the new epoch is
+    // ACKED (proof: the agent drains in-flight forwarded ops before
+    // installing an epoch) or the old holder's lease TTL has provably
+    // expired. This is the split-brain re-issue gate.
+    bool fence_pending = false;
     // Shared by every forwarded path to this device (see Config::breaker);
     // owned here so it survives path rebuilds across migrations.
     std::unique_ptr<msg::CircuitBreaker> breaker;
@@ -144,8 +175,11 @@ class Orchestrator {
   }
 
   // False once the liveness sweep declared the host's agent dead; true
-  // again after it re-registers by reporting.
+  // again after it re-registers by reporting. Suspects count as alive.
   bool agent_alive(HostId host) const;
+  // Agents currently in the suspect (fenced-but-not-condemned) liveness
+  // state. Chaos recovery probes gate on 0 to time partition healing.
+  uint32_t suspect_count() const;
 
   // Feeds `count` flaps into a device's quarantine accounting, exactly as
   // if its home agent had reported that many new fault episodes. Test and
@@ -165,6 +199,13 @@ class Orchestrator {
     uint64_t host_reregistrations = 0;   // dead agent reported again
     uint64_t leases_revoked = 0;         // leases torn down (holder dead)
     uint64_t abandoned_migrations = 0;   // migrate RPC failed after retries
+    // --- Quorum liveness + fencing (ISSUE 9) ---
+    uint64_t suspects = 0;               // alive -> suspect transitions
+    uint64_t suspect_recoveries = 0;     // suspect -> alive (report arrived)
+    uint64_t condemned_by_quorum = 0;    // deaths confirmed by peer votes
+    uint64_t condemned_by_ttl = 0;       // deaths confirmed by TTL expiry
+    uint64_t fences_acked = 0;           // fences resolved by an epoch ack
+    uint64_t fences_ttl_expired = 0;     // fences resolved by TTL expiry
   };
   const Stats& stats() const { return stats_; }
   const msg::RetryPolicy::Stats& retry_stats() const {
@@ -184,13 +225,23 @@ class Orchestrator {
 
  private:
   struct AgentEntry {
+    // kAlive: reports are fresh. kSuspect: reports stale, but not yet
+    // condemned — the host is fenced (no new grants, its devices are not
+    // offered) while its existing leases are kept; the next report
+    // recovers it. kDead: condemned by quorum, TTL, or legacy staleness.
+    enum class Liveness { kAlive, kSuspect, kDead };
     std::unique_ptr<Agent> agent;
     std::unique_ptr<msg::Channel> report_channel;   // agent -> orch RPC
     std::unique_ptr<msg::Channel> control_channel;  // orch -> agent RPC
     std::unique_ptr<msg::RpcServer> report_server;
     std::unique_ptr<msg::RpcClient> control_client;
     Nanos last_report = 0;
-    bool alive = true;
+    Liveness liveness = Liveness::kAlive;
+    // Reachability bitmap from this agent's last report (bit h = it could
+    // reach host h recently); all-ones before any report.
+    uint64_t peer_mask = ~0ull;
+    // The lease TTL this agent actually runs with (stamped in AddAgent).
+    Nanos lease_ttl = 0;
   };
 
   sim::Task<Result<std::vector<std::byte>>> HandleReport(
@@ -207,11 +258,26 @@ class Orchestrator {
   // failover (from is unhealthy) and rebalancing.
   sim::Task<> MigrateLeases(PcieDeviceId from, bool failover);
   sim::Task<> RebalanceLoop(sim::StopToken& stop);
-  // Periodically declares agents dead when their reports go stale.
+  // Periodically sweeps report staleness. Quorum mode: stale agents turn
+  // suspect, and a suspect is condemned only on peer votes or TTL expiry.
+  // Legacy mode: stale agents are condemned directly.
   sim::Task<> LivenessLoop(sim::StopToken& stop);
+  // Peer votes against `host`: fresh alive observers whose reported
+  // peer_mask clears this host's bit.
+  uint32_t CondemnationVotes(HostId host, Nanos now,
+                             uint32_t* fresh_observers) const;
   // Revokes the dead host's leases, fails its home devices, and spawns
   // failover for the leases stranded on them.
   void DeclareAgentDead(HostId host, AgentEntry& entry);
+  // Starts fencing `rec`: bumps its epoch, marks fence_pending, and spawns
+  // FenceLoop to push the epoch to the home agent. The device stays
+  // ungrantable until the push is acked or `ttl + fence_margin` elapses.
+  void FenceDevice(PcieDeviceId id, DeviceRecord& rec);
+  sim::Task<> FenceLoop(PcieDeviceId device, uint64_t epoch, HostId home,
+                        Nanos ttl_deadline, sim::StopToken& stop);
+  // True when `rec`'s home host currently offers leases (alive, not
+  // suspect) and the device itself is not mid-fence.
+  bool Grantable(const DeviceRecord& rec) const;
   // Pushes `epoch` for `device` to its home agent (retried; best-effort).
   sim::Task<> PushEpoch(HostId home, PcieDeviceId device, uint64_t epoch);
   // After a host re-registers, re-sends current epochs for its devices.
@@ -234,6 +300,9 @@ class Orchestrator {
   obs::Counter* breaker_opens_ = nullptr;
   std::map<HostId, AgentEntry> agents_;
   std::map<PcieDeviceId, DeviceRecord> devices_;
+  // Agent-to-agent probe channels (quorum liveness mesh), one per ordered
+  // host pair, wired in Start().
+  std::vector<std::unique_ptr<msg::Channel>> peer_channels_;
   std::vector<std::unique_ptr<msg::Channel>> forwarding_channels_;
   std::vector<std::shared_ptr<msg::RpcClient>> forwarding_clients_;
   sim::StopToken* stop_ = nullptr;

@@ -34,6 +34,10 @@
 #include "src/sim/random.h"
 #include "src/sim/task.h"
 
+namespace cxlpool::netsim {
+class FaultPlane;
+}  // namespace cxlpool::netsim
+
 namespace cxlpool::cxl {
 
 class HostAdapter {
@@ -131,6 +135,13 @@ class HostAdapter {
   void set_coherence_observer(CoherenceObserver* obs) { coherence_observer_ = obs; }
   CoherenceObserver* coherence_observer() const { return coherence_observer_; }
 
+  // --- Message-fabric fault plane (src/netsim) ---
+  // Set by CxlPod: the directed per-link partition/loss model that the
+  // msg ring receivers consult for host-to-host frames. Raw memory
+  // traffic never goes through it. nullptr = perfectly reliable fabric.
+  void set_fault_plane(netsim::FaultPlane* plane) { fault_plane_ = plane; }
+  netsim::FaultPlane* fault_plane() const { return fault_plane_; }
+
   // Announces a software handoff of [addr, addr+len) — called by
   // messaging/driver layers at the moment a doorbell/RPC/ownership
   // transfer references the region. No-op without an observer.
@@ -186,6 +197,7 @@ class HostAdapter {
   std::vector<std::pair<const void*, std::function<void(bool)>>> crash_listeners_;
 
   CoherenceObserver* coherence_observer_ = nullptr;
+  netsim::FaultPlane* fault_plane_ = nullptr;
 
   uint64_t dram_base_ = 0;
   uint64_t dram_size_ = 0;

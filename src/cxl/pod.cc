@@ -7,7 +7,7 @@
 namespace cxlpool::cxl {
 
 CxlPod::CxlPod(sim::EventLoop& loop, const CxlPodConfig& config)
-    : loop_(loop), config_(config) {
+    : loop_(loop), config_(config), fault_plane_(config.fault_plane_seed) {
   CXLPOOL_CHECK(config.num_hosts > 0);
   CXLPOOL_CHECK(config.num_mhds > 0);
   CXLPOOL_CHECK(config.num_hosts <= MultiHeadedDevice::kMaxPorts);
@@ -38,6 +38,7 @@ CxlPod::CxlPod(sim::EventLoop& loop, const CxlPodConfig& config)
     region.backend_offset = 0;
     CXLPOOL_CHECK_OK(map_.Register(region));
     adapter->AttachDram(region.base, region.size, config.timing.dram_bytes_per_ns);
+    adapter->set_fault_plane(&fault_plane_);
     dram_.push_back(std::move(dram));
 
     // One CXL link to every MHD (dense topology).

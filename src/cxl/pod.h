@@ -15,6 +15,7 @@
 #include "src/cxl/pool.h"
 #include "src/mem/address_map.h"
 #include "src/mem/backend.h"
+#include "src/netsim/fault_plane.h"
 #include "src/sim/event_loop.h"
 
 namespace cxlpool::cxl {
@@ -27,6 +28,8 @@ struct CxlPodConfig {
   LinkSpec link;  // default PCIe-5.0 x8 per (host, MHD) link
   CxlTiming timing;
   size_t cache_lines_per_host = 128 * 1024;  // 8 MiB of cached CXL lines
+  // Seed for the message-fabric fault plane's per-frame loss draws.
+  uint64_t fault_plane_seed = 0x9E3779B97F4A7C15ULL;
 };
 
 class CxlPod {
@@ -63,6 +66,14 @@ class CxlPod {
   void RepairHost(HostId h);
   bool HostCrashed(HostId h) const { return hosts_.at(h.value())->crashed(); }
 
+  // Message-fabric partition/loss model (ISSUE 9). Every msg channel
+  // created over this pod's hosts consults it per consumed frame:
+  // FaultPlane::Cut / Partition / SetLossy sever or degrade host-to-host
+  // messaging (reports, control RPCs, forwarded MMIO, peer probes) while
+  // leaving raw pool memory traffic intact — the "partitioned but alive"
+  // regime a probe-only liveness sweep misclassifies as death.
+  netsim::FaultPlane& fault_plane() { return fault_plane_; }
+
   // Media RAS injection (§5 gray failures): marks the 64B line backing pool
   // address `addr` poisoned — subsequent loads / DMA reads of the line
   // return kDataLoss until a full-line write (e.g. scrubber repair) clears
@@ -97,6 +108,7 @@ class CxlPod {
   std::vector<std::unique_ptr<mem::MemoryBackend>> dram_;
   std::vector<std::unique_ptr<HostAdapter>> hosts_;
   std::vector<std::unique_ptr<CxlLink>> links_;
+  netsim::FaultPlane fault_plane_;
 };
 
 }  // namespace cxlpool::cxl

@@ -152,12 +152,29 @@ sim::Task<Status> ReplicatedRegion::ScrubOnce(HostAdapter& host) {
     // if we have one, else the first healthy read. Divergent or poisoned
     // replicas are repaired from it.
     int ref = -1;
+    bool conflict = false;
     if (checksum_known_[line] != 0) {
       for (size_t i = 0; i < n; ++i) {
         if (read_status[i].ok() &&
             HashLine(data[i]) == line_checksums_[line]) {
           ref = static_cast<int>(i);
           break;
+        }
+      }
+      if (ref < 0) {
+        // Publish-version wins when any replica still holds it; here NONE
+        // does — every healthy copy diverged from the published content
+        // (e.g. both sides of a partition scribbled independently). Tie:
+        // converge on the lowest healthy index, flag the line, and adopt
+        // the winner's checksum so the next sweep sees a settled line.
+        // Never byte-merged, never silent.
+        for (size_t i = 0; i < n; ++i) {
+          if (read_status[i].ok()) {
+            ref = static_cast<int>(i);
+            conflict = true;
+            line_checksums_[line] = HashLine(data[i]);
+            break;
+          }
         }
       }
     } else {
@@ -167,6 +184,22 @@ sim::Task<Status> ReplicatedRegion::ScrubOnce(HostAdapter& host) {
           break;
         }
       }
+      // With no published checksum there is no authority to arbitrate:
+      // disagreement among healthy replicas is also a conflict, resolved
+      // by the same deterministic lowest-index rule.
+      if (ref >= 0) {
+        for (size_t i = ref + 1; i < n; ++i) {
+          if (read_status[i].ok() &&
+              std::memcmp(data[i].data(), data[ref].data(),
+                          kCachelineSize) != 0) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+    }
+    if (conflict) {
+      ++stats_.scrub_conflicts;
     }
     if (ref < 0) {
       // No usable copy this sweep. Only media loss makes that
@@ -237,6 +270,9 @@ void ReplicatedRegion::BindMetrics(obs::Registry* registry,
   });
   registry->RegisterProbe("scrub.unrecoverable", labels, [this] {
     return static_cast<int64_t>(stats_.scrub_unrecoverable);
+  });
+  registry->RegisterProbe("scrub.conflicts", labels, [this] {
+    return static_cast<int64_t>(stats_.scrub_conflicts);
   });
   registry->RegisterProbe("replication.publishes", labels, [this] {
     return static_cast<int64_t>(stats_.publishes);

@@ -75,6 +75,13 @@ class ReplicatedRegion {
     uint64_t lines_scrubbed = 0;
     uint64_t scrub_repairs = 0;
     uint64_t scrub_unrecoverable = 0;
+    // Lines where no healthy replica matched the published checksum (or,
+    // with no checksum on record, healthy replicas disagreed): every copy
+    // diverged, e.g. both sides of a partition scribbled. The scrubber
+    // converges them on a DETERMINISTIC winner — the lowest healthy
+    // replica index — and flags the line here; it never byte-merges and
+    // never resolves silently.
+    uint64_t scrub_conflicts = 0;
   };
 
   // Exports the replication/scrubber stats as registry probes under

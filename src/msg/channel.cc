@@ -16,9 +16,17 @@ Result<std::unique_ptr<Channel>> Channel::Create(cxl::CxlPool& pool,
   a_to_b.poll_max = options.poll_max;
   a_to_b.full_wait = options.full_wait;
   a_to_b.recv_window = options.recv_window;
+  // Wire the pod's message-fabric fault plane (if any) into both
+  // directions so every channel — report, control, forwarding, peer
+  // probe — is partitionable by directed (sender → receiver) host pair.
+  a_to_b.fault_plane = a.fault_plane();
+  a_to_b.src_host = a.id();
+  a_to_b.dst_host = b.id();
 
   RingConfig b_to_a = a_to_b;
   b_to_a.base = seg.base + per_ring;
+  b_to_a.src_host = b.id();
+  b_to_a.dst_host = a.id();
 
   auto channel = std::unique_ptr<Channel>(new Channel());
   channel->segment_ = seg;

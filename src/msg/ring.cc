@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/msg/wire.h"
+#include "src/netsim/fault_plane.h"
 
 namespace cxlpool::msg {
 
@@ -275,8 +276,78 @@ sim::Task<Status> RingReceiver::ConsumeMessage(
   co_return OkStatus();
 }
 
+bool RingReceiver::FaultActive() const {
+  return config_.fault_plane != nullptr && config_.fault_plane->active();
+}
+
+Nanos RingReceiver::NextDelayedRelease() const {
+  Nanos earliest = 0;
+  for (const auto& [release_at, bytes] : delayed_) {
+    if (earliest == 0 || release_at < earliest) {
+      earliest = release_at;
+    }
+  }
+  return earliest;
+}
+
+bool RingReceiver::DeliverStashed(std::vector<std::byte>* out) {
+  if (!dup_pending_.empty()) {
+    const std::vector<std::byte>& m = dup_pending_.front();
+    out->insert(out->end(), m.begin(), m.end());
+    dup_pending_.pop_front();
+    return true;
+  }
+  if (delayed_.empty()) {
+    return false;
+  }
+  Nanos now = host_.loop().now();
+  size_t best = delayed_.size();
+  for (size_t i = 0; i < delayed_.size(); ++i) {
+    if (delayed_[i].first <= now &&
+        (best == delayed_.size() || delayed_[i].first < delayed_[best].first)) {
+      best = i;
+    }
+  }
+  if (best == delayed_.size()) {
+    return false;
+  }
+  const std::vector<std::byte>& m = delayed_[best].second;
+  out->insert(out->end(), m.begin(), m.end());
+  delayed_.erase(delayed_.begin() + static_cast<ptrdiff_t>(best));
+  return true;
+}
+
+bool RingReceiver::JudgeConsumed(std::vector<std::byte>* out) {
+  netsim::FaultPlane::FrameFate fate =
+      config_.fault_plane->Judge(config_.src_host, config_.dst_host);
+  switch (fate.verdict) {
+    case netsim::FaultPlane::Verdict::kDeliver:
+      out->insert(out->end(), scratch_.begin(), scratch_.end());
+      return true;
+    case netsim::FaultPlane::Verdict::kDrop:
+      ++stats_.faults_dropped;
+      return false;
+    case netsim::FaultPlane::Verdict::kDuplicate:
+      ++stats_.faults_duplicated;
+      out->insert(out->end(), scratch_.begin(), scratch_.end());
+      dup_pending_.push_back(scratch_);
+      return true;
+    case netsim::FaultPlane::Verdict::kDelay:
+      ++stats_.faults_delayed;
+      delayed_.emplace_back(host_.loop().now() + fate.delay, scratch_);
+      return false;
+  }
+  return false;
+}
+
 sim::Task<Status> RingReceiver::Recv(std::vector<std::byte>* out, Nanos deadline) {
   for (;;) {
+    // Stashed fault-plane deliveries (duplicates, matured delays) come
+    // before new ring traffic — a delayed message overtaken by later ones
+    // is exactly the reorder the model wants.
+    if (DeliverStashed(out)) {
+      co_return OkStatus();
+    }
     std::array<std::byte, kSlotSize> line;
     auto seq_or = co_await LoadSlot(tail_, &line);
     if (!seq_or.ok()) {
@@ -284,7 +355,17 @@ sim::Task<Status> RingReceiver::Recv(std::vector<std::byte>* out, Nanos deadline
     }
     if (*seq_or == static_cast<uint32_t>(tail_ + 1)) {
       backoff_.Reset();
-      co_return co_await ConsumeMessage(line, out);
+      if (!FaultActive()) {
+        co_return co_await ConsumeMessage(line, out);
+      }
+      // Consume fully (slots reclaimed, cursor flow intact), THEN judge:
+      // the sender must never block on a partition, only the delivery.
+      scratch_.clear();
+      CO_RETURN_IF_ERROR(co_await ConsumeMessage(line, &scratch_));
+      if (JudgeConsumed(out)) {
+        co_return OkStatus();
+      }
+      continue;  // dropped or delayed: keep polling
     }
     // Idle: lazily publish the consumer cursor. Without this a sender
     // needing many contiguous slots can wait forever for credits the
@@ -297,20 +378,39 @@ sim::Task<Status> RingReceiver::Recv(std::vector<std::byte>* out, Nanos deadline
       co_return DeadlineExceeded("no message before deadline");
     }
     Nanos delay = std::min(backoff_.NextDelay(), deadline - now);
+    // Wake when a delayed message matures, even if the ring stays idle.
+    Nanos release = NextDelayedRelease();
+    if (release > now) {
+      delay = std::min(delay, release - now);
+    }
     co_await sim::Delay(host_.loop(), delay);
   }
 }
 
 sim::Task<Status> RingReceiver::TryRecv(std::vector<std::byte>* out) {
-  std::array<std::byte, kSlotSize> line;
-  auto seq_or = co_await LoadSlot(tail_, &line);
-  if (!seq_or.ok()) {
-    co_return seq_or.status();
+  if (DeliverStashed(out)) {
+    co_return OkStatus();
   }
-  if (*seq_or != static_cast<uint32_t>(tail_ + 1)) {
-    co_return NotFound("ring empty");
+  for (;;) {
+    std::array<std::byte, kSlotSize> line;
+    auto seq_or = co_await LoadSlot(tail_, &line);
+    if (!seq_or.ok()) {
+      co_return seq_or.status();
+    }
+    if (*seq_or != static_cast<uint32_t>(tail_ + 1)) {
+      co_return NotFound("ring empty");
+    }
+    if (!FaultActive()) {
+      co_return co_await ConsumeMessage(line, out);
+    }
+    scratch_.clear();
+    CO_RETURN_IF_ERROR(co_await ConsumeMessage(line, &scratch_));
+    if (JudgeConsumed(out)) {
+      co_return OkStatus();
+    }
+    // Dropped/delayed: poll the next slot once more so a burst behind a
+    // dropped message is still drained by this call.
   }
-  co_return co_await ConsumeMessage(line, out);
 }
 
 }  // namespace cxlpool::msg

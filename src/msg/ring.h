@@ -28,7 +28,9 @@
 #define SRC_MSG_RING_H_
 
 #include <cstdint>
+#include <deque>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -36,6 +38,10 @@
 #include "src/cxl/host_adapter.h"
 #include "src/sim/poll.h"
 #include "src/sim/task.h"
+
+namespace cxlpool::netsim {
+class FaultPlane;
+}  // namespace cxlpool::netsim
 
 namespace cxlpool::msg {
 
@@ -71,6 +77,17 @@ struct RingConfig {
   // collapses to 1 when the receiver is caught up, so ping-pong traffic
   // never pays for speculative lines. 1 = legacy slot-at-a-time.
   uint32_t recv_window = 8;
+  // Directed fault injection (partitions / asymmetric / lossy links).
+  // When set, every message the RECEIVER consumes is judged against the
+  // plane's (src_host → dst_host) state AFTER its slots are reclaimed:
+  // a dropped message vanishes without stalling the sender's seq/cursor
+  // flow (sender-side dropping would wedge the SPSC publish protocol), a
+  // duplicated one is delivered twice, and a delayed one is held past
+  // later messages — which is also how reorder happens. nullptr (the
+  // default) is the perfectly reliable legacy fabric, with zero cost.
+  netsim::FaultPlane* fault_plane = nullptr;
+  HostId src_host;  // the host publishing into this ring
+  HostId dst_host;  // the host consuming it
 };
 
 // Producer endpoint. Exactly one sender and one receiver per ring (SPSC);
@@ -141,6 +158,11 @@ class RingReceiver {
   struct Stats {
     uint64_t window_loads = 0;  // fresh windowed invalidate+load rounds
     uint64_t window_hits = 0;   // slots consumed from the cached window
+    // Fault-plane outcomes applied by this receiver (subset of the
+    // plane-wide counters, per ring direction).
+    uint64_t faults_dropped = 0;
+    uint64_t faults_duplicated = 0;
+    uint64_t faults_delayed = 0;
   };
   const Stats& stats() const { return stats_; }
   cxl::HostAdapter& host() { return host_; }
@@ -155,6 +177,16 @@ class RingReceiver {
   // Pops one full message whose first chunk line is already loaded.
   sim::Task<Status> ConsumeMessage(std::array<std::byte, kSlotSize> first_line,
                                    std::vector<std::byte>* out);
+  // True when a fault plane is wired AND carries at least one edge — the
+  // per-message Judge cost is only paid while faults are live.
+  bool FaultActive() const;
+  // Delivers a stashed duplicate or matured delayed message, if any.
+  bool DeliverStashed(std::vector<std::byte>* out);
+  // Judges the just-consumed scratch_ message; true = appended to *out
+  // (possibly also stashed as a duplicate), false = dropped or delayed.
+  bool JudgeConsumed(std::vector<std::byte>* out);
+  // Earliest release among delayed messages, or 0 when none pending.
+  Nanos NextDelayedRelease() const;
 
   cxl::HostAdapter& host_;
   RingConfig config_;
@@ -177,6 +209,13 @@ class RingReceiver {
   // extra lines per load would only add pipelined-read latency).
   uint32_t cur_window_ = 1;
   sim::PollBackoff backoff_;
+  // Fault-plane stashes: a consumed message judged kDuplicate is
+  // redelivered from dup_pending_ on the next receive; one judged kDelay
+  // waits in delayed_ until its release time (delivered before any new
+  // ring message, earliest release first — stable on ties).
+  std::vector<std::byte> scratch_;
+  std::deque<std::vector<std::byte>> dup_pending_;
+  std::vector<std::pair<Nanos, std::vector<std::byte>>> delayed_;
 };
 
 }  // namespace cxlpool::msg

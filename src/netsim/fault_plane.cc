@@ -1,0 +1,103 @@
+#include "src/netsim/fault_plane.h"
+
+namespace cxlpool::netsim {
+
+void FaultPlane::Cut(HostId src, HostId dst) {
+  LinkState& s = links_[MakeEdge(src, dst)];
+  if (!s.cut) {
+    ++stats_.cuts;
+  }
+  s.cut = true;
+}
+
+void FaultPlane::Heal(HostId src, HostId dst) {
+  auto it = links_.find(MakeEdge(src, dst));
+  if (it == links_.end()) {
+    return;
+  }
+  ++stats_.heals;
+  links_.erase(it);
+}
+
+void FaultPlane::Partition(std::span<const HostId> a,
+                           std::span<const HostId> b) {
+  for (HostId x : a) {
+    for (HostId y : b) {
+      if (x == y) {
+        continue;
+      }
+      Cut(x, y);
+      Cut(y, x);
+    }
+  }
+}
+
+void FaultPlane::HealPartition(std::span<const HostId> a,
+                               std::span<const HostId> b) {
+  for (HostId x : a) {
+    for (HostId y : b) {
+      if (x == y) {
+        continue;
+      }
+      Heal(x, y);
+      Heal(y, x);
+    }
+  }
+}
+
+void FaultPlane::SetLossy(HostId src, HostId dst, const LinkState& state) {
+  if (state.clean()) {
+    Heal(src, dst);
+    return;
+  }
+  links_[MakeEdge(src, dst)] = state;
+}
+
+void FaultPlane::HealAll() {
+  stats_.heals += links_.size();
+  links_.clear();
+}
+
+bool FaultPlane::IsCut(HostId src, HostId dst) const {
+  auto it = links_.find(MakeEdge(src, dst));
+  return it != links_.end() && it->second.cut;
+}
+
+FaultPlane::FrameFate FaultPlane::Judge(HostId src, HostId dst) {
+  auto it = links_.find(MakeEdge(src, dst));
+  if (it == links_.end()) {
+    return {};
+  }
+  const LinkState& s = it->second;
+  if (s.cut) {
+    ++stats_.frames_dropped;
+    return {Verdict::kDrop, 0};
+  }
+  // One uniform draw decides the frame's fate: the [0, drop_p) band drops,
+  // the next dup_p band duplicates, the next delay_p band delays. A single
+  // draw (instead of three Bernoullis) keeps the per-frame draw count
+  // constant regardless of which probabilities are nonzero.
+  double u = rng_.Uniform();
+  if (u < s.drop_p) {
+    ++stats_.frames_dropped;
+    return {Verdict::kDrop, 0};
+  }
+  u -= s.drop_p;
+  if (u < s.dup_p) {
+    ++stats_.frames_duplicated;
+    return {Verdict::kDuplicate, 0};
+  }
+  u -= s.dup_p;
+  if (u < s.delay_p) {
+    ++stats_.frames_delayed;
+    Nanos d = s.delay_min;
+    if (s.delay_max > s.delay_min) {
+      d += static_cast<Nanos>(
+          rng_.UniformInt(static_cast<uint64_t>(s.delay_max - s.delay_min)));
+    }
+    return {Verdict::kDelay, d};
+  }
+  return {};
+}
+
+}  // namespace cxlpool::netsim

@@ -30,16 +30,41 @@ void Network::Transmit(Frame frame) {
     return;
   }
   Nanos now = loop_.now();
-  Nanos arrival_at_switch = now + config_.propagation;
+  Nanos fault_delay = 0;
+  int copies = 1;
+  if (fault_plane_ != nullptr && fault_plane_->active()) {
+    auto src_it = mac_hosts_.find(frame.src);
+    auto dst_it = mac_hosts_.find(frame.dst);
+    if (src_it != mac_hosts_.end() && dst_it != mac_hosts_.end()) {
+      FaultPlane::FrameFate fate =
+          fault_plane_->Judge(src_it->second, dst_it->second);
+      switch (fate.verdict) {
+        case FaultPlane::Verdict::kDeliver:
+          break;
+        case FaultPlane::Verdict::kDrop:
+          ++dropped_;
+          return;
+        case FaultPlane::Verdict::kDuplicate:
+          copies = 2;
+          break;
+        case FaultPlane::Verdict::kDelay:
+          fault_delay = fate.delay;
+          break;
+      }
+    }
+  }
+  Nanos arrival_at_switch = now + fault_delay + config_.propagation;
   Nanos egress_done =
       it->second.egress->Acquire(arrival_at_switch + config_.switch_latency,
                                  frame.wire_size());
   Nanos delivery = egress_done + config_.propagation;
   Endpoint* endpoint = it->second.endpoint;
-  ++delivered_;
-  loop_.ScheduleAt(delivery, [endpoint, f = std::move(frame)]() mutable {
-    endpoint->DeliverFrame(std::move(f));
-  });
+  for (int c = 0; c < copies; ++c) {
+    ++delivered_;
+    loop_.ScheduleAt(delivery, [endpoint, f = frame]() mutable {
+      endpoint->DeliverFrame(std::move(f));
+    });
+  }
 }
 
 }  // namespace cxlpool::netsim

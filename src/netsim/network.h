@@ -11,8 +11,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/ids.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/netsim/fault_plane.h"
 #include "src/sim/bandwidth.h"
 #include "src/sim/event_loop.h"
 
@@ -62,6 +64,13 @@ class Network {
   uint64_t frames_delivered() const { return delivered_; }
   uint64_t frames_dropped() const { return dropped_; }
 
+  // Partition/loss model for the UDP fabric. `plane` judges every frame
+  // whose src AND dst MACs have a host binding (SetMacHost); unbound
+  // frames are untouched. Duplicates are delivered twice back-to-back,
+  // delays push the whole switch+egress schedule out by the drawn amount.
+  void BindFaultPlane(FaultPlane* plane) { fault_plane_ = plane; }
+  void SetMacHost(MacAddr mac, HostId host) { mac_hosts_[mac] = host; }
+
   sim::EventLoop& loop() { return loop_; }
 
  private:
@@ -73,6 +82,8 @@ class Network {
   sim::EventLoop& loop_;
   NetworkConfig config_;
   std::map<MacAddr, Port> ports_;
+  std::map<MacAddr, HostId> mac_hosts_;
+  FaultPlane* fault_plane_ = nullptr;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
 };

@@ -2,9 +2,12 @@
 
 #include <cstring>
 #include <map>
+#include <span>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/core/rack.h"
+#include "src/sim/random.h"
 #include "src/sim/task.h"
 
 namespace cxlpool::core {
@@ -473,6 +476,131 @@ TEST_F(CoreTest, RebalanceShedsOverloadedDevice) {
   EXPECT_EQ(rack_->orchestrator().stats().rebalances, 1u);
   EXPECT_EQ(rack_->orchestrator().record(PcieDeviceId(51))->lessees.size(), 1u);
   Drain();
+}
+
+// --- Wire codec robustness ---
+// A partition delivers truncated, duplicated, and bit-flipped frames to
+// every control-plane decoder. Each must come back as a typed error or a
+// (harmless) successful parse — never a CHECK failure or a wild read.
+
+TEST(WireFuzzTest, ReportWireRoundTripAndTruncation) {
+  std::vector<DeviceStatus> statuses(3);
+  for (int i = 0; i < 3; ++i) {
+    statuses[i].device = PcieDeviceId(40 + i);
+    statuses[i].type = i == 0 ? DeviceType::kNic : DeviceType::kAccel;
+    statuses[i].healthy = i != 1;
+    statuses[i].utilization = 0.25 * i;
+    statuses[i].fault_episodes = static_cast<uint32_t>(i);
+  }
+  std::vector<std::byte> frame =
+      report_wire::Encode(HostId(2), 0xABCDull, statuses);
+
+  auto full = report_wire::Decode(frame);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->reporter, HostId(2));
+  EXPECT_EQ(full->peer_mask, 0xABCDull);
+  ASSERT_EQ(full->statuses.size(), 3u);
+  EXPECT_EQ(full->statuses[2].device, PcieDeviceId(42));
+  EXPECT_FALSE(full->statuses[1].healthy);
+
+  // Every proper prefix must be a typed error (a truncated status array or
+  // header), not a crash.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    auto r = report_wire::Decode(std::span<const std::byte>(frame).first(len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(WireFuzzTest, ReportWireHugeCountRejected) {
+  // Regression: a frame whose count field promises 2^32-1 statuses must be
+  // refused by the length check, not walked off the end (the count*size
+  // product overflows 32 bits).
+  std::vector<std::byte> frame =
+      report_wire::Encode(HostId(1), ~0ull, {});
+  ASSERT_GE(frame.size(), 16u);
+  frame[12] = std::byte{0xff};
+  frame[13] = std::byte{0xff};
+  frame[14] = std::byte{0xff};
+  frame[15] = std::byte{0xff};
+  EXPECT_FALSE(report_wire::Decode(frame).ok());
+}
+
+TEST(WireFuzzTest, EpochAndMigrateWireTruncation) {
+  std::vector<std::byte> epoch = epoch_wire::Encode(PcieDeviceId(7), 42);
+  auto e = epoch_wire::Decode(epoch);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->device, PcieDeviceId(7));
+  EXPECT_EQ(e->epoch, 42u);
+  for (size_t len = 0; len < epoch.size(); ++len) {
+    EXPECT_FALSE(
+        epoch_wire::Decode(std::span<const std::byte>(epoch).first(len)).ok());
+  }
+
+  std::vector<std::byte> mig =
+      migrate_wire::Encode(PcieDeviceId(1), PcieDeviceId(2), HostId(3));
+  auto m = migrate_wire::Decode(mig);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->new_home, HostId(3));
+  for (size_t len = 0; len < mig.size(); ++len) {
+    EXPECT_FALSE(
+        migrate_wire::Decode(std::span<const std::byte>(mig).first(len)).ok());
+  }
+}
+
+TEST(WireFuzzTest, MmioWireTruncation) {
+  std::vector<std::byte> wr =
+      mmio_wire::EncodeWrite(PcieDeviceId(9), 3, 77, 5, 0x10, 0xbeef);
+  auto d = mmio_wire::Decode(wr, /*is_write=*/true);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->value, 0xbeefu);
+  EXPECT_EQ(d->seq, 5u);
+  for (size_t len = 0; len < wr.size(); ++len) {
+    EXPECT_FALSE(
+        mmio_wire::Decode(std::span<const std::byte>(wr).first(len), true).ok());
+  }
+  std::vector<std::byte> rd =
+      mmio_wire::EncodeRead(PcieDeviceId(9), 3, 77, 6, 0x18);
+  ASSERT_TRUE(mmio_wire::Decode(rd, /*is_write=*/false).ok());
+  for (size_t len = 0; len < rd.size(); ++len) {
+    EXPECT_FALSE(
+        mmio_wire::Decode(std::span<const std::byte>(rd).first(len), false)
+            .ok());
+  }
+}
+
+TEST(WireFuzzTest, SeededBitFlipsNeverCrashDecoders) {
+  std::vector<DeviceStatus> statuses(2);
+  statuses[0].device = PcieDeviceId(50);
+  statuses[1].device = PcieDeviceId(51);
+  const std::vector<std::byte> report =
+      report_wire::Encode(HostId(1), 0x5ull, statuses);
+  const std::vector<std::byte> epoch = epoch_wire::Encode(PcieDeviceId(4), 9);
+  const std::vector<std::byte> mmio =
+      mmio_wire::EncodeWrite(PcieDeviceId(4), 9, 1, 1, 0x20, 1);
+
+  sim::Rng rng(0xF1157);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::byte> f = report;
+    int flips = static_cast<int>(rng.UniformInt(1, 8));
+    for (int i = 0; i < flips; ++i) {
+      size_t bit = rng.UniformInt(f.size() * 8);
+      f[bit / 8] ^= std::byte(1u << (bit % 8));
+    }
+    (void)report_wire::Decode(f);  // must not crash; result may be either
+
+    std::vector<std::byte> g = (iter % 2 == 0) ? epoch : mmio;
+    size_t bit = rng.UniformInt(g.size() * 8);
+    g[bit / 8] ^= std::byte(1u << (bit % 8));
+    if (iter % 2 == 0) {
+      (void)epoch_wire::Decode(g);
+    } else {
+      (void)mmio_wire::Decode(g, /*is_write=*/true);
+    }
+  }
+  // Duplicated payload tails must also parse or reject cleanly.
+  std::vector<std::byte> doubled = report;
+  doubled.insert(doubled.end(), report.begin(), report.end());
+  (void)report_wire::Decode(doubled);
 }
 
 }  // namespace

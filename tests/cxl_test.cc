@@ -616,6 +616,50 @@ TEST_F(CxlPodTest, ScrubberRepairsDivergentReplica) {
   EXPECT_GE(region->stats().scrub_repairs, 1u);
 }
 
+TEST_F(CxlPodTest, ScrubberFlagsBothReplicasDivergedAsConflict) {
+  // Split-brain damage: BOTH replicas scribbled past the published
+  // content (e.g. each side of a partition wrote independently). No copy
+  // matches the checksum, so there is no authority — the scrubber must
+  // converge on the DETERMINISTIC winner (lowest healthy index), count a
+  // conflict, and NEVER byte-merge or resolve silently.
+  auto region = ReplicatedRegion::Create(pod_.pool(), 64, 2);
+  ASSERT_TRUE(region.ok());
+  auto t = [](ReplicatedRegion& r, CxlPod& pod) -> Task<std::pair<int, int>> {
+    auto content = Fill(64, 0x44);
+    CXLPOOL_CHECK_OK(co_await r.Publish(pod.host(0), 0, content));
+    co_await sim::Delay(pod.loop(), kMicrosecond);
+    // Both copies diverge, DIFFERENTLY, behind the region's back.
+    CXLPOOL_CHECK_OK(
+        co_await pod.host(2).StoreNt(r.segment(0).base, Fill(64, 0xA1)));
+    CXLPOOL_CHECK_OK(
+        co_await pod.host(2).StoreNt(r.segment(1).base, Fill(64, 0xB2)));
+    CXLPOOL_CHECK_OK(co_await r.ScrubOnce(pod.host(1)));
+    std::array<std::byte, 64> rep0{};
+    std::array<std::byte, 64> rep1{};
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Invalidate(r.segment(0).base, 64));
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Load(r.segment(0).base, rep0));
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Invalidate(r.segment(1).base, 64));
+    CXLPOOL_CHECK_OK(co_await pod.host(2).Load(r.segment(1).base, rep1));
+    co_return std::make_pair(static_cast<int>(rep0[0]),
+                             static_cast<int>(rep1[0]));
+  };
+  auto [rep0, rep1] = RunBlocking(loop_, t(*region, pod_));
+  // Replica 0 wins (lowest healthy index); replica 1 is repaired FROM it —
+  // never a byte-merge, never replica 1's content.
+  EXPECT_EQ(rep0, 0xA1);
+  EXPECT_EQ(rep1, 0xA1);
+  EXPECT_GE(region->stats().scrub_conflicts, 1u);
+  EXPECT_EQ(region->stats().scrub_unrecoverable, 0u);
+
+  // The adopted winner settles: the next sweep sees a consistent line and
+  // raises no further conflicts.
+  uint64_t conflicts_after_first = region->stats().scrub_conflicts;
+  RunBlocking(loop_, [](ReplicatedRegion& r, CxlPod& pod) -> Task<> {
+    CXLPOOL_CHECK_OK(co_await r.ScrubOnce(pod.host(1)));
+  }(*region, pod_));
+  EXPECT_EQ(region->stats().scrub_conflicts, conflicts_after_first);
+}
+
 TEST_F(CxlPodTest, ScrubberDoesNotCountTransientOutageAsUnrecoverable) {
   auto region = ReplicatedRegion::Create(pod_.pool(), 64, 2);
   ASSERT_TRUE(region.ok());

@@ -2,11 +2,13 @@
 
 discarded-result         (ported from lint_tasks.py, PR 3)
 overloaded-never-retried (new; the PR 6 overload contract)
+lease-check-after-await  (new; the PR 9 fencing contract)
 """
 
 import re
 
-from . import call_chain_at, iter_statements
+from . import (call_chain_at, is_test_path, iter_statements,
+               statement_end_after)
 
 # ---------------------------------------------------------------------------
 # discarded-result — a bare statement calling a repo function that
@@ -175,7 +177,108 @@ def check_overloaded_never_retried(ctx):
             "or count it against a breaker" % reaction.text)
 
 
+# ---------------------------------------------------------------------------
+# lease-check-after-await — the PR 9 fencing contract: an epoch (lease)
+# check is only a fencing proof for code that runs BEFORE the next
+# suspension point. The moment a coroutine parks — a drain delay, a
+# breaker backoff, a nested RPC — the orchestrator may condemn this
+# host, bump the epoch, and re-grant the device elsewhere; when the
+# frame resumes, the stale check admits a split-brain write to the BAR.
+#
+# Shape flagged: a coroutine that validates an epoch (`... epoch ... ==`
+# or `!=`), then suspends, then applies `MmioWrite`/`MmioRead` with no
+# re-check between the suspension and the apply. The co_await that
+# performs the apply itself does not count as an intervening suspension
+# (the agent opens its no-suspension inflight window exactly there, and
+# the fence push drains that window before acking — see
+# Agent::HandleForwarding). The fix is the production shape: re-check
+# epoch and self-fence state after the last unrelated await, immediately
+# before touching the device.
+
+_APPLY_CALLEES = ("MmioWrite", "MmioRead")
+_EPOCH_CMP_WINDOW = 6
+
+
+def _epoch_check_indices(tokens, start, end):
+    """Token indices of `==`/`!=` comparisons involving an epoch-ish
+    identifier within a few tokens on either side."""
+    hits = []
+    for k in range(start, end):
+        if not tokens[k].is_punct("==", "!="):
+            continue
+        lo = max(start, k - _EPOCH_CMP_WINDOW)
+        hi = min(end, k + _EPOCH_CMP_WINDOW + 1)
+        for j in range(lo, hi):
+            t = tokens[j]
+            if t.is_id() and "epoch" in t.text.lower():
+                hits.append(k)
+                break
+    return hits
+
+
+def _suspension_cannot_reach(model, fn, sp, apply_idx):
+    """True when the suspension at ``sp`` sits in a brace block that
+    closes before ``apply_idx`` and returns out of the coroutine after
+    the suspension — a mutually-exclusive branch (the write arm of
+    HandleForwarding vs its read-path apply): control that took the
+    suspension exits the frame instead of falling through to the
+    apply. Loose on purpose (a conditional co_return also matches):
+    false negatives over noise."""
+    tokens = model.tokens
+    for o, c in model.brace_match.items():
+        if not (fn.body_start < o < sp < c < apply_idx):
+            continue
+        for k in range(sp + 1, c):
+            if tokens[k].is_id("co_return", "return"):
+                return True
+    return False
+
+
+def check_lease_check_after_await(ctx):
+    if is_test_path(ctx.path):
+        return
+    tokens = ctx.tokens
+    model = ctx.model
+    flagged_lines = set()  # per-file: lambda bodies nest inside functions
+    for fn in list(model.functions) + list(model.lambdas):
+        if not fn.is_coroutine:
+            continue
+        checks = _epoch_check_indices(tokens, fn.body_start + 1, fn.body_end)
+        if not checks:
+            continue
+        for a in range(fn.body_start + 1, fn.body_end - 1):
+            t = tokens[a]
+            if not (t.is_id(*_APPLY_CALLEES) and tokens[a + 1].is_punct("(")):
+                continue
+            prior = [c for c in checks if c < a]
+            if not prior:
+                continue
+            last_check = max(prior)
+            stale = None
+            for sp in fn.suspend_points:
+                if not (last_check < sp < a):
+                    continue
+                if statement_end_after(model, sp, fn.body_end) > a:
+                    continue  # the apply's own co_await
+                if _suspension_cannot_reach(model, fn, sp, a):
+                    continue  # terminal sibling branch, e.g. write vs read
+                stale = sp
+                break
+            if stale is None or t.line in flagged_lines:
+                continue
+            flagged_lines.add(t.line)
+            ctx.report(
+                t.line, "lease-check-after-await",
+                "%s() is applied after a suspension point that follows "
+                "the last epoch check; the lease can be fenced and "
+                "re-granted while this frame is parked, so the stale "
+                "check admits a split-brain write — re-check the epoch "
+                "(and self-fence state) after the last co_await, "
+                "immediately before touching the device" % t.text)
+
+
 RULES = [
     ("discarded-result", check_discarded_result),
     ("overloaded-never-retried", check_overloaded_never_retried),
+    ("lease-check-after-await", check_lease_check_after_await),
 ]

@@ -1,0 +1,90 @@
+// Seeded reproduction of the PR 9 split-brain class for
+// `python3 tools/simlint --self-test`. NOT part of the build. Do not
+// "fix" the Buggy class — the self-test asserts the annotated lines
+// are flagged, and only those.
+//
+// The bug shape: an agent-side coroutine validates the lease epoch,
+// then suspends (here: a slow-drain delay, in the wild also breaker
+// backoff or a nested RPC), then rings the device BAR. While the frame
+// is parked the orchestrator can condemn this host, bump the epoch, and
+// re-grant the device to another path — the stale check then admits a
+// dual-ownership write that no later fence can recall. The partition
+// storm in chaos_soak is what catches this dynamically (lease-oracle
+// regressions); the lint catches it statically.
+#include <cstdint>
+
+#include "src/pcie/device.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace cxlpool::repro {
+
+class BuggyLeaseApplier {
+ public:
+  // BUG: the epoch check is stale by the time the drain delay resumes;
+  // the MmioWrite after it can land under a revoked lease.
+  sim::Task<Status> Apply(uint64_t want_epoch, uint64_t reg,
+                          uint64_t value) {
+    if (want_epoch != epoch_) {
+      co_return Aborted("stale lease epoch");
+    }
+    co_await sim::Delay(loop_, drain_);
+    Status st = co_await device_->MmioWrite(reg, value);  // simlint-expect: lease-check-after-await
+    co_return st;
+  }
+
+ private:
+  pcie::PcieDevice* device_;
+  sim::EventLoop& loop_;
+  Nanos drain_;
+  uint64_t epoch_ = 0;
+};
+
+// The fix, in the same file so the self-test pins the contrast: after
+// the last unrelated suspension, re-check the epoch immediately before
+// touching the device. The apply's own co_await does not reopen the
+// window — the fence push drains the inflight counter before acking, so
+// "no suspension between check and apply" is exactly the invariant the
+// orchestrator's fence-ack proof rests on.
+class RecheckedLeaseApplier {
+ public:
+  sim::Task<Status> Apply(uint64_t want_epoch, uint64_t reg,
+                          uint64_t value) {
+    if (want_epoch != epoch_) {
+      co_return Aborted("stale lease epoch");
+    }
+    co_await sim::Delay(loop_, drain_);
+    if (want_epoch != epoch_) {
+      co_return Aborted("lease fenced during drain");
+    }
+    Status st = co_await device_->MmioWrite(reg, value);
+    co_return st;
+  }
+
+ private:
+  pcie::PcieDevice* device_;
+  sim::EventLoop& loop_;
+  Nanos drain_;
+  uint64_t epoch_ = 0;
+};
+
+// The production shape (Agent::HandleForwarding): check, then apply,
+// with no suspension in between. The rule must stay quiet here even
+// though the apply itself is a co_await.
+class StraightLineApplier {
+ public:
+  sim::Task<Status> Apply(uint64_t want_epoch, uint64_t reg,
+                          uint64_t value) {
+    if (want_epoch != epoch_) {
+      co_return Aborted("stale lease epoch");
+    }
+    Status st = co_await device_->MmioWrite(reg, value);
+    co_return st;
+  }
+
+ private:
+  pcie::PcieDevice* device_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace cxlpool::repro
