@@ -7,9 +7,12 @@
 // is not the bottleneck; see EXPERIMENTS.md for the absolute-throughput
 // caveat of the single-dispatcher stack model).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/core/rack.h"
+#include "src/obs/registry.h"
 #include "src/sim/task.h"
 #include "src/stack/loadgen.h"
 #include "src/stack/udp.h"
@@ -72,7 +75,17 @@ struct Point {
   int64_t p99;
 };
 
-Point RunPoint(Placement server_buffers, uint32_t payload, double offered_pps) {
+std::string FormatMpps(double mpps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", mpps);
+  return buf;
+}
+
+// Every point records into the shared bench registry under
+// {placement, payload_b, offered_mpps} labels; the table below and the
+// --json snapshot both read from the same series.
+Point RunPoint(Placement server_buffers, uint32_t payload, double offered_pps,
+               obs::Registry& registry, int64_t* total_sim_ns) {
   sim::EventLoop loop;
   RackConfig rc;
   rc.pod.num_hosts = 2;
@@ -99,31 +112,59 @@ Point RunPoint(Placement server_buffers, uint32_t payload, double offered_pps) {
   lg.payload_bytes = payload;
   lg.duration = 15 * kMillisecond;
   lg.warmup = 3 * kMillisecond;
-  LoadGenReport report = RunBlocking(
-      loop, RunUdpLoad(cli_sock, server.stack->mac(), 7, lg));
+  obs::Labels labels = {
+      {"placement", server_buffers == Placement::kCxlPool ? "cxl" : "local"},
+      {"payload_b", std::to_string(payload)},
+      {"offered_mpps", FormatMpps(offered_pps / 1e6)}};
+  RunBlocking(loop,
+              RunUdpLoad(cli_sock, server.stack->mac(), 7, lg, registry, labels));
   rack.Shutdown();
   loop.RunFor(500 * kMicrosecond);
+  *total_sim_ns += loop.now();
   // Latency must not come from skipped write-backs: any unpublished dirty
   // line silently destroyed would mean the datapath cheated the protocol.
   CXLPOOL_CHECK(rack.pod().TotalLostDirtyLines() == 0);
 
   Point p;
   p.offered_mpps = offered_pps / 1e6;
-  p.achieved_gbps = report.achieved_gbps;
-  p.p50 = report.rtt.Percentile(0.50);
-  p.p99 = report.rtt.Percentile(0.99);
+  p.achieved_gbps =
+      static_cast<double>(registry.GetGauge("udp.achieved_mbps", labels)->value()) /
+      1000.0;
+  const sim::Histogram* rtt = registry.FindHistogram("udp.rtt_ns", labels);
+  p.p50 = rtt->Percentile(0.50);
+  p.p99 = rtt->Percentile(0.99);
   return p;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--short] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== Figure 3: UDP echo latency-throughput, server buffers in\n");
   std::printf("    local DDR5 (solid) vs CXL pool (dotted); 100 Gbps NICs ===\n");
 
-  const uint32_t payloads[] = {64, 512, 1472};
-  const double loads_mpps[] = {0.25, 0.75, 1.5, 2.25, 3.0, 4.0};
+  std::vector<uint32_t> payloads = {64, 512, 1472};
+  std::vector<double> loads_mpps = {0.25, 0.75, 1.5, 2.25, 3.0, 4.0};
+  if (short_mode) {
+    // CI snapshot mode: one payload, three regimes (light / knee / saturated).
+    payloads = {512};
+    loads_mpps = {0.75, 2.25, 4.0};
+  }
 
+  obs::Registry registry;
+  int64_t total_sim_ns = 0;
   for (uint32_t payload : payloads) {
     std::printf("\n--- payload %u B ---\n", payload);
     std::printf("%12s | %21s | %21s\n", "", "local DDR5 (solid)",
@@ -131,12 +172,19 @@ int main() {
     std::printf("%12s | %7s %6s %6s | %7s %6s %6s\n", "offered", "Gbps",
                 "p50us", "p99us", "Gbps", "p50us", "p99us");
     for (double mpps : loads_mpps) {
-      Point local = RunPoint(Placement::kLocalDram, payload, mpps * 1e6);
-      Point cxl = RunPoint(Placement::kCxlPool, payload, mpps * 1e6);
+      Point local = RunPoint(Placement::kLocalDram, payload, mpps * 1e6,
+                             registry, &total_sim_ns);
+      Point cxl = RunPoint(Placement::kCxlPool, payload, mpps * 1e6, registry,
+                           &total_sim_ns);
       std::printf("%9.2f M | %7.2f %6.1f %6.1f | %7.2f %6.1f %6.1f\n", mpps,
                   local.achieved_gbps, local.p50 / 1000.0, local.p99 / 1000.0,
                   cxl.achieved_gbps, cxl.p50 / 1000.0, cxl.p99 / 1000.0);
     }
+  }
+  if (!json_path.empty()) {
+    CXLPOOL_CHECK_OK(
+        obs::WriteBenchJson(json_path, "fig3_udp_latency", total_sim_ns, registry));
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   std::printf("\nexpected shape: curves overlap (<~5%% latency gap at moderate\n"
               "load) and both placements saturate at the same throughput.\n");

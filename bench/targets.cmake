@@ -47,5 +47,7 @@ cxlpool_bench(chaos_soak chaos_soak.cc)
 target_link_libraries(chaos_soak PRIVATE cxlpool_core cxlpool_analysis)
 cxlpool_bench(overload_soak overload_soak.cc)
 target_link_libraries(overload_soak PRIVATE cxlpool_core)
+cxlpool_bench(kv_soak kv_soak.cc)
+target_link_libraries(kv_soak PRIVATE cxlpool_kv)
 cxlpool_gbench(micro_primitives micro_primitives.cc)
 target_link_libraries(micro_primitives PRIVATE cxlpool_msg)

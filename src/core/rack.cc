@@ -14,6 +14,9 @@ Rack::Rack(sim::EventLoop& loop, const RackConfig& config)
   }
   pod_ = std::make_unique<cxl::CxlPod>(loop, config_.pod);
   network_ = std::make_unique<netsim::Network>(loop, config_.net);
+  // Fabric frames ride the same fault plane as the pod: link-class faults
+  // (drop/dup/delay) apply to any frame whose endpoints map to hosts.
+  network_->BindFaultPlane(&pod_->fault_plane());
   orchestrator_ = std::make_unique<Orchestrator>(
       *pod_, HostId(config_.orchestrator_home), config_.orch);
 
@@ -31,6 +34,7 @@ Rack::Rack(sim::EventLoop& loop, const RackConfig& config)
       nic->AttachTo(&pod_->host(h));
       netsim::MacAddr mac = kMacBase + nics_.size();
       CXLPOOL_CHECK_OK(nic->ConnectNetwork(network_.get(), mac));
+      network_->SetMacHost(mac, HostId(h));
       devices::Nic* raw = nic.get();
       orchestrator_->RegisterDevice(HostId(h), raw, DeviceType::kNic,
                                     [raw] { return raw->WireUtilization(); });

@@ -69,6 +69,19 @@ void Ssd::OnAttach() { sim::Spawn(Engine(generation())); }
 void Ssd::OnDetach() { kick_.Set(); }
 void Ssd::OnFailure() { kick_.Set(); }
 
+void Ssd::OnReset() {
+  // Wake the old engine so it observes the generation bump and exits.
+  kick_.Set();
+  // Queue state comes up clean, as after a real FLR; the driver must
+  // reprogram SQ/CQ bases before the device executes commands again.
+  sq_base_ = sq_size_ = sq_tail_ = sq_head_ = 0;
+  cq_base_ = 0;
+  completions_ = 0;
+  if (attached()) {
+    sim::Spawn(Engine(generation()));
+  }
+}
+
 sim::Task<> Ssd::Engine(uint64_t my_generation) {
   while (generation() == my_generation) {
     if (sq_head_ >= sq_tail_ || sq_size_ == 0) {

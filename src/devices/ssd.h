@@ -72,6 +72,7 @@ class Ssd : public pcie::PcieDevice {
   void OnAttach() override;
   void OnDetach() override;
   void OnFailure() override;
+  void OnReset() override;
 
  private:
   sim::Task<> Engine(uint64_t my_generation);

@@ -1,0 +1,150 @@
+#include "src/kv/wire.h"
+
+#include "src/msg/wire.h"
+
+namespace cxlpool::kv {
+
+namespace {
+
+bool ValidOpcode(uint8_t op) {
+  return op == static_cast<uint8_t>(Opcode::kGet) ||
+         op == static_cast<uint8_t>(Opcode::kSet) ||
+         op == static_cast<uint8_t>(Opcode::kDelete);
+}
+
+bool ValidWireStatus(uint8_t st) {
+  return st <= static_cast<uint8_t>(WireStatus::kInvalidArgument);
+}
+
+bool ValidOrigin(uint8_t o) {
+  return o <= static_cast<uint8_t>(Origin::kSsd);
+}
+
+// Common prefix checks; returns the opcode byte on success. Length must
+// already cover the fixed header.
+Result<uint8_t> CheckPrefix(std::span<const std::byte> payload) {
+  if (static_cast<uint8_t>(payload[0]) != kKvMagic) {
+    return InvalidArgument("kv frame: bad magic");
+  }
+  if (static_cast<uint8_t>(payload[1]) != kKvWireVersion) {
+    return Unimplemented("kv frame: unsupported wire version");
+  }
+  uint8_t op = static_cast<uint8_t>(payload[2]);
+  if (!ValidOpcode(op)) {
+    return InvalidArgument("kv frame: bad opcode");
+  }
+  return op;
+}
+
+}  // namespace
+
+std::vector<std::byte> EncodeRequest(const Request& req) {
+  std::vector<std::byte> out;
+  out.reserve(kRequestHeaderSize + req.key.size() + req.value.size());
+  msg::wire::Writer w(&out);
+  w.U8(kKvMagic);
+  w.U8(kKvWireVersion);
+  w.U8(static_cast<uint8_t>(req.opcode));
+  w.U8(req.flags);
+  w.U32(req.client_id);
+  w.U64(req.seq);
+  w.U64(static_cast<uint64_t>(req.deadline));
+  w.U16(static_cast<uint16_t>(req.key.size()));
+  w.U32(static_cast<uint32_t>(req.value.size()));
+  w.Bytes(std::as_bytes(std::span<const char>(req.key.data(), req.key.size())));
+  w.Bytes(req.value);
+  return out;
+}
+
+std::vector<std::byte> EncodeResponse(const Response& rsp) {
+  std::vector<std::byte> out;
+  out.reserve(kResponseHeaderSize + rsp.value.size());
+  msg::wire::Writer w(&out);
+  w.U8(kKvMagic);
+  w.U8(kKvWireVersion);
+  w.U8(static_cast<uint8_t>(rsp.opcode));
+  w.U8(static_cast<uint8_t>(rsp.status));
+  w.U8(static_cast<uint8_t>(rsp.origin));
+  w.U8(0);
+  w.U8(0);
+  w.U8(0);
+  w.U32(rsp.client_id);
+  w.U64(rsp.seq);
+  w.U32(static_cast<uint32_t>(rsp.value.size()));
+  w.Bytes(rsp.value);
+  return out;
+}
+
+Result<Request> DecodeRequest(std::span<const std::byte> payload) {
+  if (payload.size() < kRequestHeaderSize) {
+    return InvalidArgument("kv request: short frame");
+  }
+  if (auto prefix = CheckPrefix(payload); !prefix.ok()) {
+    return prefix.status();
+  }
+  msg::wire::Reader r(payload);
+  Request req;
+  (void)r.U8();  // magic
+  (void)r.U8();  // version
+  req.opcode = static_cast<Opcode>(r.U8());
+  req.flags = r.U8();
+  req.client_id = r.U32();
+  req.seq = r.U64();
+  req.deadline = static_cast<Nanos>(r.U64());
+  uint16_t key_len = r.U16();
+  uint32_t value_len = r.U32();
+  if (key_len == 0 || key_len > kMaxKeyLen) {
+    return InvalidArgument("kv request: key length out of bounds");
+  }
+  if (req.opcode != Opcode::kSet && value_len != 0) {
+    return InvalidArgument("kv request: value on non-SET");
+  }
+  // Length check before the Reader touches variable bytes (Reader CHECKs
+  // on underflow; hostile frames must not reach that).
+  if (r.remaining() != static_cast<size_t>(key_len) + value_len) {
+    return InvalidArgument("kv request: length mismatch");
+  }
+  auto key_bytes = r.Bytes(key_len);
+  req.key.assign(reinterpret_cast<const char*>(key_bytes.data()), key_len);
+  auto value_bytes = r.Bytes(value_len);
+  req.value.assign(value_bytes.begin(), value_bytes.end());
+  return req;
+}
+
+Result<Response> DecodeResponse(std::span<const std::byte> payload) {
+  if (payload.size() < kResponseHeaderSize) {
+    return InvalidArgument("kv response: short frame");
+  }
+  if (auto prefix = CheckPrefix(payload); !prefix.ok()) {
+    return prefix.status();
+  }
+  msg::wire::Reader r(payload);
+  Response rsp;
+  (void)r.U8();  // magic
+  (void)r.U8();  // version
+  rsp.opcode = static_cast<Opcode>(r.U8());
+  uint8_t status = r.U8();
+  if (!ValidWireStatus(status)) {
+    return InvalidArgument("kv response: bad status");
+  }
+  rsp.status = static_cast<WireStatus>(status);
+  uint8_t origin = r.U8();
+  if (!ValidOrigin(origin)) {
+    return InvalidArgument("kv response: bad origin");
+  }
+  rsp.origin = static_cast<Origin>(origin);
+  (void)r.U8();
+  (void)r.U8();
+  (void)r.U8();
+  rsp.client_id = r.U32();
+  rsp.seq = r.U64();
+  uint32_t value_len = r.U32();
+  if (r.remaining() != value_len) {
+    return InvalidArgument("kv response: length mismatch");
+  }
+  auto value_bytes = r.Bytes(value_len);
+  rsp.value.assign(value_bytes.begin(), value_bytes.end());
+  return rsp;
+}
+
+}  // namespace cxlpool::kv

@@ -1,0 +1,101 @@
+// KV wire format: versioned request/response frames carried in UDP
+// payloads, memcached's binary-protocol shape reduced to GET/SET/DELETE.
+//
+// Decode follows the repo's fuzz discipline (PR 9): every length is
+// checked before any Reader touches the bytes, hostile input yields a
+// typed InvalidArgument/Unimplemented — never a CHECK, never a crash.
+//
+// Request frame (little-endian):
+//   magic      u8   = kKvMagic
+//   version    u8   = kKvWireVersion
+//   opcode     u8   (Opcode)
+//   flags      u8   (reserved; unknown bits ignored on decode)
+//   client_id  u32  (loadgen connection identity)
+//   seq        u64  (per-client sequence; responses echo it)
+//   deadline   u64  (absolute sim ns; 0 = none — propagated into SSD ops)
+//   key_len    u16
+//   value_len  u32
+//   key bytes, then value bytes (SET only)
+//
+// Response frame:
+//   magic      u8, version u8, opcode u8 (echoed), status u8 (WireStatus)
+//   origin     u8   (Origin: where a GET hit was served from), pad u8 x3
+//   client_id  u32
+//   seq        u64
+//   value_len  u32
+//   value bytes (GET hit only)
+#ifndef SRC_KV_WIRE_H_
+#define SRC_KV_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace cxlpool::kv {
+
+inline constexpr uint8_t kKvMagic = 0xC5;
+inline constexpr uint8_t kKvWireVersion = 1;
+inline constexpr size_t kRequestHeaderSize = 30;
+inline constexpr size_t kResponseHeaderSize = 24;
+inline constexpr size_t kMaxKeyLen = 250;  // memcached's classic bound
+
+enum class Opcode : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kDelete = 3,
+};
+
+// Status on the wire; a compressed projection of StatusCode for the KV
+// contract (clients must not see raw internal codes).
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kOverloaded = 2,        // shed at the KV front; never retried blindly
+  kDeadlineExceeded = 3,  // expired before or during service
+  kDataLoss = 4,          // backing line poisoned; entry dropped
+  kStoreFull = 5,         // no buffer and no evictable entry
+  kInvalidArgument = 6,   // key/value bounds
+};
+
+// Where a GET hit was served from (SLO attribution: pool hits are fast,
+// SSD hydrations pay the storage round trip).
+enum class Origin : uint8_t {
+  kNone = 0,
+  kPool = 1,
+  kSsd = 2,
+};
+
+struct Request {
+  Opcode opcode = Opcode::kGet;
+  uint8_t flags = 0;
+  uint32_t client_id = 0;
+  uint64_t seq = 0;
+  Nanos deadline = 0;  // absolute; 0 = none
+  std::string key;
+  std::vector<std::byte> value;  // SET only
+};
+
+struct Response {
+  Opcode opcode = Opcode::kGet;
+  WireStatus status = WireStatus::kOk;
+  Origin origin = Origin::kNone;
+  uint32_t client_id = 0;
+  uint64_t seq = 0;
+  std::vector<std::byte> value;  // GET hit only
+};
+
+std::vector<std::byte> EncodeRequest(const Request& req);
+std::vector<std::byte> EncodeResponse(const Response& rsp);
+
+// Typed decode errors: InvalidArgument on truncation / bad magic / bad
+// opcode / length overrun, Unimplemented on a version we don't speak.
+Result<Request> DecodeRequest(std::span<const std::byte> payload);
+Result<Response> DecodeResponse(std::span<const std::byte> payload);
+
+}  // namespace cxlpool::kv
+
+#endif  // SRC_KV_WIRE_H_

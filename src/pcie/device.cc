@@ -69,6 +69,11 @@ void PcieDevice::InjectFailure() {
 void PcieDevice::Repair() {
   failed_ = false;
   ++generation_;
+  // A repaired fail-stop device is a replaced or power-cycled card: it comes
+  // back with clean BAR/queue state and fresh engine coroutines, exactly like
+  // a function-level reset. Without this, engines that exited on the failure
+  // generation bump would never respawn and the device would stay silent.
+  OnReset();
 }
 
 void PcieDevice::Wedge() {

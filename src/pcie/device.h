@@ -87,6 +87,9 @@ class PcieDevice {
   // --- Failure injection ---
   bool failed() const { return failed_; }
   void InjectFailure();
+  // Revives a fail-stopped device as a replaced/power-cycled card: clears
+  // the failure, bumps the generation, and runs the OnReset hook so BAR and
+  // queue state come up clean and engine coroutines respawn.
   void Repair();
 
   // --- Gray failure: wedge (paper §5, partial failures) ---

@@ -122,4 +122,48 @@ size_t ZipfGenerator::Sample(Rng& rng) const {
   return static_cast<size_t>(it - cdf_.begin());
 }
 
+ZipfianSampler::ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CXLPOOL_CHECK(n >= 1);
+  CXLPOOL_CHECK(theta > 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - Hinv(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfianSampler::H(double x) const {
+  // (x^{1-theta} - 1) / (1 - theta); the limit for theta -> 1 is ln(x).
+  double one_minus = 1.0 - theta_;
+  if (std::abs(one_minus) < 1e-9) {
+    return std::log(x);
+  }
+  return (std::pow(x, one_minus) - 1.0) / one_minus;
+}
+
+double ZipfianSampler::Hinv(double u) const {
+  double one_minus = 1.0 - theta_;
+  if (std::abs(one_minus) < 1e-9) {
+    return std::exp(u);
+  }
+  return std::pow(1.0 + u * one_minus, 1.0 / one_minus);
+}
+
+uint64_t ZipfianSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  for (;;) {
+    double u = h_x1_ + rng.Uniform() * (h_n_ - h_x1_);
+    double x = Hinv(u);
+    double clamped = std::min(std::max(x, 1.0), static_cast<double>(n_));
+    uint64_t k = static_cast<uint64_t>(clamped + 0.5);
+    k = std::min(std::max<uint64_t>(k, 1), n_);
+    // Accept k either via the cheap shortcut (x close enough to k that the
+    // envelope cannot cross) or the exact rejection test.
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -theta_)) {
+      return k - 1;  // 0-based rank; rank 0 hottest
+    }
+  }
+}
+
 }  // namespace cxlpool::sim

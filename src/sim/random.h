@@ -84,6 +84,33 @@ class ZipfGenerator {
   std::vector<double> cdf_;
 };
 
+// Zipf(theta) over ranks {0, ..., n-1} by rejection-inversion (Hörmann &
+// Derflinger 1996), the memtier/YCSB-style sampler: O(1) memory and O(1)
+// expected draws, so it scales to key spaces of many millions where
+// ZipfGenerator's O(n) CDF table does not. Rank 0 is the hottest item.
+// Deterministic for a fixed Rng seed; holds no RNG state of its own.
+class ZipfianSampler {
+ public:
+  // n >= 1 items, exponent theta > 0 (memcached-style skew is ~0.99).
+  ZipfianSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  // H(x) = integral of x^-theta: the continuous majorizing envelope.
+  double H(double x) const;
+  double Hinv(double u) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;        // H(1.5) - 1
+  double h_n_;         // H(n + 0.5)
+  double threshold_;   // acceptance shortcut: 2 - Hinv(H(2.5) - 2^-theta)
+};
+
 }  // namespace cxlpool::sim
 
 #endif  // SRC_SIM_RANDOM_H_

@@ -35,6 +35,10 @@ class BufferPool {
   uint32_t buffer_size() const { return buffer_size_; }
   size_t available() const { return free_.size(); }
   size_t capacity() const { return buffer_count_; }
+  // Base address of the backing region; buffer i lives at
+  // base() + i * buffer_size(). Chaos harnesses use this to aim media
+  // faults (line poison) at live value buffers.
+  uint64_t base() const { return base_; }
 
   // Coherence-correct accessors for buffer contents.
   core::PlacedMemory& memory() { return mem_; }

@@ -17,7 +17,8 @@ struct SharedState {
 
 sim::Task<> Sender(UdpSocket* sock, netsim::MacAddr dst, uint16_t port,
                    const LoadGenConfig& config, sim::EventLoop& loop,
-                   SharedState& state, LoadGenReport& report, int my_index) {
+                   SharedState& state, obs::Counter& overload_skipped,
+                   int my_index) {
   sim::Rng rng(config.seed + static_cast<uint64_t>(my_index) * 6151);
   // Each sender carries an equal share of the offered rate; thinning a
   // Poisson process yields a Poisson process.
@@ -29,14 +30,14 @@ sim::Task<> Sender(UdpSocket* sock, netsim::MacAddr dst, uint16_t port,
     co_await sim::Delay(loop, std::max<Nanos>(1, static_cast<Nanos>(
                                                      rng.Exponential(mean_gap))));
     if (state.sent - state.received >= config.max_outstanding) {
-      ++report.overload_skipped;
+      overload_skipped.Inc();
       continue;
     }
     msg::wire::PutU64(payload.data(), state.sent);
     msg::wire::PutU64(payload.data() + 8, static_cast<uint64_t>(loop.now()));
     Status st = co_await sock->SendTo(dst, port, payload);
     if (!st.ok()) {
-      ++report.overload_skipped;  // out of buffers == overloaded
+      overload_skipped.Inc();  // out of buffers == overloaded
       continue;
     }
     ++state.sent;
@@ -46,18 +47,24 @@ sim::Task<> Sender(UdpSocket* sock, netsim::MacAddr dst, uint16_t port,
 
 }  // namespace
 
-sim::Task<LoadGenReport> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
-                                    uint16_t dst_port, LoadGenConfig config) {
+sim::Task<> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
+                       uint16_t dst_port, LoadGenConfig config,
+                       obs::Registry& registry, obs::Labels labels) {
   CXLPOOL_CHECK(config.payload_bytes >= 16);
   sim::EventLoop& loop = sock->Loop();
-  LoadGenReport report;
+  obs::Counter* sent = registry.GetCounter("udp.sent", labels);
+  obs::Counter* received = registry.GetCounter("udp.received", labels);
+  obs::Counter* skipped = registry.GetCounter("udp.overload_skipped", labels);
+  sim::Histogram* rtt = registry.GetHistogram("udp.rtt_ns", labels);
+  obs::Gauge* achieved_pps = registry.GetGauge("udp.achieved_pps", labels);
+  obs::Gauge* achieved_mbps = registry.GetGauge("udp.achieved_mbps", labels);
   SharedState state;
   Nanos start = loop.now();
   Nanos measure_from = start + config.warmup;
   Nanos measure_until = start + config.duration;
 
   for (int s = 0; s < config.senders; ++s) {
-    sim::Spawn(Sender(sock, dst_mac, dst_port, config, loop, state, report, s));
+    sim::Spawn(Sender(sock, dst_mac, dst_port, config, loop, state, *skipped, s));
   }
 
   uint64_t measured_responses = 0;
@@ -77,21 +84,22 @@ sim::Task<LoadGenReport> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
         static_cast<Nanos>(msg::wire::GetU64(d->payload.data() + 8));
     Nanos now = loop.now();
     if (sent_at >= measure_from && now <= measure_until) {
-      report.rtt.Add(now - sent_at);
+      rtt->Add(now - sent_at);
       ++measured_responses;
       measured_bytes += d->payload.size();
     }
   }
 
-  report.sent = state.sent;
-  report.received = state.received;
+  sent->Add(state.sent);
+  received->Add(state.received);
   double window = static_cast<double>(measure_until - measure_from);
   if (window > 0) {
-    report.achieved_pps = 1e9 * static_cast<double>(measured_responses) / window;
-    report.achieved_gbps =
-        8.0 * static_cast<double>(measured_bytes) / window;  // bits per ns == Gbit/s
+    achieved_pps->Set(static_cast<int64_t>(
+        1e9 * static_cast<double>(measured_responses) / window));
+    // bits per ns == Gbit/s; export as Mbit/s to keep integer resolution.
+    achieved_mbps->Set(static_cast<int64_t>(
+        8000.0 * static_cast<double>(measured_bytes) / window));
   }
-  co_return report;
 }
 
 }  // namespace cxlpool::stack

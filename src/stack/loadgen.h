@@ -2,9 +2,19 @@
 // client of the Figure 3 experiment. Requests arrive Poisson at the
 // offered rate; every datagram carries a sequence number and send
 // timestamp so the receiver side computes RTTs without shared state.
+//
+// Results land in an obs::Registry under the caller's label set (the last
+// bespoke stats struct on the stack path is gone):
+//   udp.sent / udp.received / udp.overload_skipped   counters
+//   udp.rtt_ns                                       histogram (post-warmup)
+//   udp.achieved_pps                                 gauge (responses/s)
+//   udp.achieved_mbps                                gauge (payload Mbit/s)
+// Callers read them back via Registry::FindCounter / FindHistogram with the
+// same labels they passed in.
 #ifndef SRC_STACK_LOADGEN_H_
 #define SRC_STACK_LOADGEN_H_
 
+#include "src/obs/registry.h"
 #include "src/sim/random.h"
 #include "src/sim/stats.h"
 #include "src/stack/udp.h"
@@ -25,19 +35,12 @@ struct LoadGenConfig {
   int senders = 8;
 };
 
-struct LoadGenReport {
-  sim::Histogram rtt;  // ns, post-warmup
-  uint64_t sent = 0;
-  uint64_t received = 0;
-  uint64_t overload_skipped = 0;
-  double achieved_pps = 0;   // response rate over the measured window
-  double achieved_gbps = 0;  // response goodput (payload bits)
-};
-
 // Drives an echo service at (dst_mac, dst_port) from `sock`. Returns when
-// `duration` has elapsed plus a small drain grace period.
-sim::Task<LoadGenReport> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
-                                    uint16_t dst_port, LoadGenConfig config);
+// `duration` has elapsed plus a small drain grace period. Metrics are
+// recorded into `registry` under `labels` (see the series list above).
+sim::Task<> RunUdpLoad(UdpSocket* sock, netsim::MacAddr dst_mac,
+                       uint16_t dst_port, LoadGenConfig config,
+                       obs::Registry& registry, obs::Labels labels = {});
 
 }  // namespace cxlpool::stack
 

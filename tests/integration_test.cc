@@ -329,11 +329,13 @@ TEST_F(IntegrationTest, LoadedEchoConservesPackets) {
   lg.duration = 5 * kMillisecond;
   lg.warmup = kMillisecond;
   lg.max_outstanding = 64;
-  stack::LoadGenReport report =
-      RunBlocking(loop_, stack::RunUdpLoad(cli, server.nic.mac, 7, lg));
-  EXPECT_GT(report.sent, 400u);
-  EXPECT_EQ(report.received, report.sent);  // no loss at 20% load
-  EXPECT_EQ(report.overload_skipped, 0u);
+  obs::Registry registry;
+  RunBlocking(loop_, stack::RunUdpLoad(cli, server.nic.mac, 7, lg, registry));
+  uint64_t sent = registry.FindCounter("udp.sent")->value();
+  uint64_t received = registry.FindCounter("udp.received")->value();
+  EXPECT_GT(sent, 400u);
+  EXPECT_EQ(received, sent);  // no loss at 20% load
+  EXPECT_EQ(registry.FindCounter("udp.overload_skipped")->value(), 0u);
   Drain(rack);
 }
 

@@ -314,6 +314,73 @@ TEST(RandomTest, ZipfIsSkewed) {
   EXPECT_GT(counts[0], counts[99] * 30);
 }
 
+TEST(RandomTest, ZipfianSamplerDeterministicForFixedSeed) {
+  ZipfianSampler zipf(1'000'000, 0.99);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t va = zipf.Sample(a);
+    uint64_t vb = zipf.Sample(b);
+    ASSERT_EQ(va, vb);
+    ASSERT_LT(va, zipf.n());
+  }
+}
+
+TEST(RandomTest, ZipfianSamplerHeadMass) {
+  // Empirical head mass vs. the analytic zipf(0.99) distribution over 10^5
+  // keys: H = sum k^-0.99 ~= 12.3, so rank 0 carries ~8.1% of the mass and
+  // the top-10 ranks together ~23.6%.
+  ZipfianSampler zipf(100'000, 0.99);
+  Rng rng(7);
+  constexpr int kSamples = 200'000;
+  int head = 0;
+  int top10 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t r = zipf.Sample(rng);
+    if (r == 0) {
+      ++head;
+    }
+    if (r < 10) {
+      ++top10;
+    }
+  }
+  double head_frac = static_cast<double>(head) / kSamples;
+  double top10_frac = static_cast<double>(top10) / kSamples;
+  EXPECT_NEAR(head_frac, 0.081, 0.02);
+  EXPECT_NEAR(top10_frac, 0.236, 0.04);
+}
+
+TEST(RandomTest, ZipfianSamplerMatchesCdfTableForSmallN) {
+  // Rejection-inversion and the exact CDF table must agree on the head
+  // frequencies for a key space small enough to tabulate.
+  constexpr size_t kN = 1000;
+  constexpr double kTheta = 0.99;
+  constexpr int kSamples = 100'000;
+  ZipfianSampler ri(kN, kTheta);
+  ZipfGenerator table(kN, kTheta);
+  Rng ra(23);
+  Rng rb(29);
+  std::vector<int> ca(kN, 0);
+  std::vector<int> cb(kN, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++ca[ri.Sample(ra)];
+    ++cb[table.Sample(rb)];
+  }
+  for (size_t rank : {size_t{0}, size_t{1}, size_t{5}}) {
+    double fa = static_cast<double>(ca[rank]) / kSamples;
+    double fb = static_cast<double>(cb[rank]) / kSamples;
+    EXPECT_NEAR(fa, fb, 0.015) << "rank " << rank;
+  }
+}
+
+TEST(RandomTest, ZipfianSamplerDegenerateSingleItem) {
+  ZipfianSampler zipf(1, 0.99);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+}
+
 // --- Stats ---
 
 TEST(StatsTest, SummaryBasics) {

@@ -108,6 +108,75 @@ TEST_P(StackTest, BufferPoolAllocFree) {
   EXPECT_EQ((*pool)->available(), 4u);
 }
 
+// Free-then-reuse must hand back the same placement-stable addresses:
+// buffer i always lives at base() + i * buffer_size(), and recycling a
+// buffer never migrates it (NIC descriptors cache raw addresses).
+TEST_P(StackTest, BufferPoolFreeThenReusePlacementStable) {
+  Rack rack(loop_, TwoHostRack());
+  auto pool = BufferPool::Create(rack.pod().host(0), GetParam(), 8, 1024);
+  ASSERT_TRUE(pool.ok());
+  uint64_t base = (*pool)->base();
+  uint32_t size = (*pool)->buffer_size();
+
+  std::set<uint64_t> first_round;
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 8; ++i) {
+    auto a = (*pool)->Alloc();
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ((*a - base) % size, 0u);
+    EXPECT_LT((*a - base) / size, 8u);
+    first_round.insert(*a);
+    addrs.push_back(*a);
+  }
+  EXPECT_EQ(first_round.size(), 8u);
+  for (uint64_t a : addrs) {
+    (*pool)->Free(a);
+  }
+  // Second pass: exactly the same address set, no drift, no growth.
+  std::set<uint64_t> second_round;
+  for (int i = 0; i < 8; ++i) {
+    auto a = (*pool)->Alloc();
+    ASSERT_TRUE(a.ok());
+    second_round.insert(*a);
+  }
+  EXPECT_EQ(second_round, first_round);
+}
+
+// A poisoned line under a pool-placed buffer surfaces as typed kDataLoss
+// on ReadFresh, and a full-buffer Publish (all lines rewritten) heals it.
+TEST(StackPoisonTest, PoisonedBackingLineIsTypedAndHealsOnFullWrite) {
+  sim::EventLoop loop;
+  Rack rack(loop, TwoHostRack());
+  auto pool =
+      BufferPool::Create(rack.pod().host(0), Placement::kCxlPool, 4, 1024);
+  ASSERT_TRUE(pool.ok());
+  auto a = (*pool)->Alloc();
+  ASSERT_TRUE(a.ok());
+
+  auto t = [&](sim::EventLoop& loop) -> Task<> {
+    std::vector<std::byte> payload((*pool)->buffer_size(), std::byte{0xcd});
+    CXLPOOL_CHECK_OK(co_await (*pool)->memory().Publish(*a, payload));
+    // Publish has posted-write semantics: let the bytes commit to media
+    // before the media fault strikes (a commit over a full line would
+    // itself clear fresh poison).
+    co_await sim::Delay(loop, 5 * kMicrosecond);
+
+    rack.pod().PoisonLine(*a + kCachelineSize);  // second line of the value
+    std::vector<std::byte> readback(payload.size());
+    Status st = co_await (*pool)->memory().ReadFresh(*a, readback);
+    CXLPOOL_CHECK(st.code() == StatusCode::kDataLoss);
+
+    // Full-buffer publish rewrites every line: the poison clears and the
+    // fresh bytes read back intact.
+    std::vector<std::byte> fresh(payload.size(), std::byte{0x3e});
+    CXLPOOL_CHECK_OK(co_await (*pool)->memory().Publish(*a, fresh));
+    CXLPOOL_CHECK_OK(co_await (*pool)->memory().ReadFresh(*a, readback));
+    CXLPOOL_CHECK(readback == fresh);
+  };
+  RunBlocking(loop, t(loop));
+  EXPECT_EQ(rack.pod().PoisonedLineCount(), 0u);
+}
+
 TEST_P(StackTest, UdpEchoRoundTrip) {
   Rack rack(loop_, TwoHostRack());
   rack.Start();
@@ -289,16 +358,20 @@ TEST(StackComparisonTest, CxlOverheadUnderLoadWithinFivePercent) {
     lg.duration = 8 * kMillisecond;
     lg.warmup = 2 * kMillisecond;
     lg.max_outstanding = 64;  // leave the shared pool room for RX buffers
-    LoadGenReport report =
-        RunBlocking(loop, RunUdpLoad(cli_sock, server.stack->mac(), 7, lg));
+    obs::Registry registry;
+    RunBlocking(loop, RunUdpLoad(cli_sock, server.stack->mac(), 7, lg, registry));
+    const obs::Counter* sent = registry.FindCounter("udp.sent");
+    const obs::Counter* received = registry.FindCounter("udp.received");
+    const obs::Counter* skipped = registry.FindCounter("udp.overload_skipped");
+    const sim::Histogram* rtt = registry.FindHistogram("udp.rtt_ns");
     std::printf("  loadgen: sent=%llu received=%llu skipped=%llu samples=%llu\n",
-                static_cast<unsigned long long>(report.sent),
-                static_cast<unsigned long long>(report.received),
-                static_cast<unsigned long long>(report.overload_skipped),
-                static_cast<unsigned long long>(report.rtt.count()));
+                static_cast<unsigned long long>(sent->value()),
+                static_cast<unsigned long long>(received->value()),
+                static_cast<unsigned long long>(skipped->value()),
+                static_cast<unsigned long long>(rtt->count()));
     rack.Shutdown();
     loop.RunFor(500 * kMicrosecond);
-    return report.rtt.Percentile(0.5);
+    return rtt->Percentile(0.5);
   };
 
   Nanos local = measure(Placement::kLocalDram);
